@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each ``test_fig*`` benchmark regenerates one figure of the paper's
+evaluation section on the simulated network, prints the series, and
+asserts the qualitative shape the paper reports.  All measurements use
+*simulated* time; pytest-benchmark's wall-clock numbers only show how
+long the simulation itself took to run.
+
+Set ``REPRO_BENCH_SCALE=0.25`` (or smaller) for a quick smoke pass.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark fixture."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

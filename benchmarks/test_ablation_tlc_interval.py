@@ -1,0 +1,64 @@
+"""Ablation: the TxListContract's batching interval (§5.4).
+
+The paper batches TLC updates "every time interval, say 30 seconds" to
+cope with the low update rate of blockchains.  This ablation sweeps the
+flush interval and shows the trade-off: shorter intervals mean more
+flush transactions (on-chain overhead) but fresher completeness
+horizons; longer intervals amortise the flushes away at the cost of
+staleness.
+"""
+
+from repro.bench.harness import run_view_workload
+from repro.bench.report import print_series
+from repro.fabric.config import SINGLE_REGION, benchmark_config
+from repro.workload.presets import wl1_topology
+
+INTERVALS_MS = (500.0, 2_000.0, 5_000.0, 30_000.0)
+
+
+def _run(interval_ms):
+    return run_view_workload(
+        "HI",
+        wl1_topology(),
+        clients=8,
+        items_per_client=25,
+        config=benchmark_config(latency=SINGLE_REGION),
+        use_txlist=True,
+        txlist_flush_interval_ms=interval_ms,
+        max_requests_per_client=75,
+    )
+
+
+def test_ablation_tlc_interval(run_once):
+    def sweep():
+        rows = []
+        for interval in INTERVALS_MS:
+            result = _run(interval)
+            overhead = result.onchain_txs - result.committed
+            rows.append(
+                {
+                    "flush_interval_ms": int(interval),
+                    "committed": result.committed,
+                    "flush_txs": overhead,
+                    "onchain_per_request": round(
+                        result.onchain_txs / result.committed, 3
+                    ),
+                    "tps": round(result.tps, 1),
+                }
+            )
+        return rows
+
+    rows = run_once(sweep)
+    print_series(
+        "Ablation — TLC flush interval vs on-chain overhead",
+        rows,
+        note="Shorter intervals = more flush txs but fresher completeness.",
+    )
+    by_interval = {r["flush_interval_ms"]: r for r in rows}
+    # Flush-transaction overhead decreases monotonically with interval.
+    flushes = [by_interval[int(i)]["flush_txs"] for i in INTERVALS_MS]
+    assert all(a >= b for a, b in zip(flushes, flushes[1:])), flushes
+    # At the paper's 30 s interval the overhead is near zero.
+    assert by_interval[30_000]["onchain_per_request"] <= 1.05
+    # At aggressive intervals it is visibly above one tx per request.
+    assert by_interval[500]["flush_txs"] > by_interval[30_000]["flush_txs"]

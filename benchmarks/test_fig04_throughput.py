@@ -1,0 +1,37 @@
+"""Fig 4: transaction rate (requests/s) vs number of clients, WL1.
+
+Paper's shape: revocable views and irrevocable+TLC reach the highest
+throughput and plateau past 48 clients (~800 TPS on the authors'
+testbed); plain irrevocable views commit ~150 requests/s; the
+cross-chain baseline stays below ~70 requests/s, peaks around 24
+clients, and becomes unresponsive past 48.
+"""
+
+from repro.bench import runners
+
+
+def _series(rows, label):
+    return {r["clients"]: r["tps"] for r in rows if r["series"] == label}
+
+
+def test_fig04(run_once):
+    rows = run_once(runners.figure4)
+    max_clients = max(r["clients"] for r in rows)
+    hr = _series(rows, "HR")
+    er = _series(rows, "ER")
+    hi = _series(rows, "HI")
+    tlc = _series(rows, "HI+TLC")
+    baseline = _series(rows, "baseline-2PC")
+
+    # Revocable (both concealments) and TLC dominate plain irrevocable.
+    assert hr[max_clients] > 2.5 * hi[max_clients]
+    assert tlc[max_clients] > 2 * hi[max_clients]
+    assert er[max_clients] > 2.5 * hi[max_clients]
+    # Hash- and encryption-based revocable views perform alike.
+    assert abs(hr[max_clients] - er[max_clients]) / hr[max_clients] < 0.25
+    # The baseline is far below every view method, at every client count.
+    for clients, tps in baseline.items():
+        assert tps < hi[clients], (clients, tps)
+    assert max(baseline.values()) < 0.25 * hr[max_clients]
+    # Throughput of the view methods grows with offered load.
+    assert hr[max_clients] > hr[min(hr)]

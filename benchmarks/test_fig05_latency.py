@@ -1,0 +1,30 @@
+"""Fig 5: per-request latency vs number of clients, WL1.
+
+Paper's shape: irrevocable views have higher latency than revocable
+ones; using the TxListContract brings irrevocable latency close to
+revocable; the baseline's latency soars as clients increase.
+"""
+
+from repro.bench import runners
+
+
+def _series(rows, label):
+    return {r["clients"]: r["latency_ms"] for r in rows if r["series"] == label}
+
+
+def test_fig05(run_once):
+    rows = run_once(runners.figure5)
+    max_clients = max(r["clients"] for r in rows)
+    hr = _series(rows, "HR")
+    hi = _series(rows, "HI")
+    tlc = _series(rows, "HI+TLC")
+    baseline = _series(rows, "baseline-2PC")
+
+    # Irrevocable latency exceeds revocable under load.
+    assert hi[max_clients] > 1.3 * hr[max_clients]
+    # TLC pulls irrevocable latency close to revocable (within 50%).
+    assert tlc[max_clients] < 1.5 * hr[max_clients]
+    # Baseline latency is the worst everywhere and grows with clients.
+    for clients in baseline:
+        assert baseline[clients] > hi[clients]
+    assert baseline[max_clients] > baseline[min(baseline)]

@@ -1,0 +1,30 @@
+"""Fig 6: number of on-chain transactions vs application requests.
+
+Paper's shape (|V| = 10): revocable views and TLC need one on-chain
+transaction per request; irrevocable views need two (invoke + merge);
+the baseline needs 2·|V| view-chain transactions per request.
+"""
+
+from repro.bench import runners
+
+
+def _series(rows, label):
+    return {r["requests"]: r["onchain_txs"] for r in rows if r["series"] == label}
+
+
+def test_fig06(run_once):
+    rows = run_once(runners.figure6)
+    hr = _series(rows, "HR")
+    hi = _series(rows, "HI")
+    tlc = _series(rows, "HI+TLC")
+    baseline = _series(rows, "baseline-2PC")
+
+    for requests, onchain in hr.items():
+        assert onchain == requests  # exactly r
+    for requests, onchain in hi.items():
+        assert onchain == 2 * requests  # exactly 2r
+    for requests, onchain in tlc.items():
+        # r + amortised flush transactions (at least one per run).
+        assert requests <= onchain <= requests + max(2, 0.2 * requests)
+    for requests, onchain in baseline.items():
+        assert onchain == 2 * 10 * requests  # 2·|V|·r with |V| = 10

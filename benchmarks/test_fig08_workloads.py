@@ -1,0 +1,34 @@
+"""Fig 8: WL1 (7 nodes / 7 views) vs WL2 (14 nodes / 14 views).
+
+Paper's shape: the view methods are barely affected by the larger
+workload (view maintenance is mostly off-chain); the baseline drowns in
+cross-chain transactions and reaches a timeout on WL2.
+"""
+
+from repro.bench import runners
+
+
+def _by(rows, series, workload):
+    for row in rows:
+        if row["series"] == series and row["workload"] == workload:
+            return row
+    raise KeyError((series, workload))
+
+
+def test_fig08(run_once):
+    rows = run_once(runners.figure8)
+
+    for series in ("HR", "HI+TLC"):
+        wl1 = _by(rows, series, "WL1")
+        wl2 = _by(rows, series, "WL2")
+        assert not wl2["timed_out"]
+        # Small effect: WL2 throughput within 40% of WL1.
+        assert wl2["tps"] > 0.6 * wl1["tps"], series
+
+    wl1_b = _by(rows, "baseline-2PC", "WL1")
+    wl2_b = _by(rows, "baseline-2PC", "WL2")
+    # The baseline degrades on the larger workload — slower, and/or cut
+    # off by the experiment horizon ("reached a timeout").
+    assert wl2_b["timed_out"] or wl2_b["tps"] < 0.75 * wl1_b["tps"]
+    # And it is far below the view methods on both workloads.
+    assert wl2_b["tps"] < 0.5 * _by(rows, "HR", "WL2")["tps"]

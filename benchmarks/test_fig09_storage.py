@@ -1,0 +1,35 @@
+"""Fig 9: blockchain storage overhead vs number of views (40 requests).
+
+Paper's shape: revocable views use the least space and are flat in the
+view count; TxListContract reduces irrevocable storage; plain
+irrevocable storage grows with views; the baseline is the most wasteful
+(a transaction in n views is duplicated n times — roughly tenfold at
+|V| = 10).
+"""
+
+from repro.bench import runners
+
+
+def _series(rows, label):
+    return {r["views"]: r["storage_kib"] for r in rows if r["series"] == label}
+
+
+def test_fig09(run_once):
+    rows = run_once(runners.figure9)
+    hr = _series(rows, "HR")
+    hi = _series(rows, "HI")
+    tlc = _series(rows, "HI+TLC")
+    baseline = _series(rows, "baseline-2PC")
+    low, high = min(hr), max(hr)
+
+    # Revocable is ~flat: growing 20 views costs well under 2x.
+    assert hr[high] < 2.0 * hr[low]
+    # Irrevocable grows clearly with the number of views.
+    assert hi[high] > 2.0 * hi[low]
+    # At the high end: revocable < TLC < plain irrevocable.
+    assert hr[high] < tlc[high] < hi[high]
+    # The baseline dwarfs the view methods at many views (duplication).
+    assert baseline[high] > 2.5 * hi[high]
+    assert baseline[high] > 8.0 * hr[high]
+    # Baseline grows ~linearly in views.
+    assert baseline[high] > 4.0 * baseline[low]

@@ -1,0 +1,24 @@
+"""Fig 10: scalability when each transaction is in ALL views.
+
+Paper's shape: increasing views 1 → 100 raises latency from ~2.5 s to
+~17 s and drops throughput from ~800 to ~80 TPS, because transactions
+must carry per-view information in their payload, shrinking the number
+of transactions per block.
+"""
+
+from repro.bench import runners
+
+
+def test_fig10(run_once):
+    rows = run_once(runners.figure10)
+    by_views = {r["views"]: r for r in rows}
+    low, high = min(by_views), max(by_views)
+
+    # Throughput collapses by roughly an order of magnitude 1 → 100.
+    ratio = by_views[low]["tps"] / max(by_views[high]["tps"], 1e-9)
+    assert ratio > 5.0, ratio
+    # Latency blows up correspondingly.
+    assert by_views[high]["latency_ms"] > 4.0 * by_views[low]["latency_ms"]
+    # Degradation is monotone in the view count.
+    tps_series = [by_views[v]["tps"] for v in sorted(by_views)]
+    assert all(a >= b * 0.9 for a, b in zip(tps_series, tps_series[1:]))

@@ -1,0 +1,23 @@
+"""Fig 11: scalability when each transaction is in a SINGLE view.
+
+Paper's shape: with one view per transaction, sweeping the number of
+views 1 → 100 barely moves the needle — latency stays ~2.5 s and
+throughput stays in the 600-900 TPS band.
+"""
+
+from repro.bench import runners
+
+
+def test_fig11(run_once):
+    rows = run_once(runners.figure11)
+    by_views = {r["views"]: r for r in rows}
+    low, high = min(by_views), max(by_views)
+
+    # Throughput varies by well under 2x across the whole sweep.
+    tps_values = [r["tps"] for r in rows]
+    assert max(tps_values) < 1.6 * min(tps_values)
+    # Latency is flat (within 50%).
+    lat_values = [r["latency_ms"] for r in rows]
+    assert max(lat_values) < 1.5 * min(lat_values)
+    # And nowhere near the Fig 10 collapse.
+    assert by_views[high]["tps"] > 0.7 * by_views[low]["tps"]

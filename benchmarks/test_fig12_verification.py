@@ -1,0 +1,27 @@
+"""Fig 12: soundness/completeness verification time vs view size.
+
+Paper's shape: both checks grow linearly in the number of transactions;
+soundness is much more costly than completeness because it needs one
+ledger access per transaction, while completeness reads the
+TxListContract's list (§5.4); local computation is a minor term.
+"""
+
+from repro.bench import runners
+
+
+def test_fig12(run_once):
+    rows = run_once(runners.figure12)
+    rows = sorted(rows, key=lambda r: r["transactions"])
+
+    # Soundness dominates completeness at every size.
+    for row in rows:
+        assert row["soundness_ms"] > 2.0 * row["completeness_ms"], row
+        # Ledger-access asymmetry: n accesses vs one list fetch.
+        assert row["sound_ledger_accesses"] == row["transactions"]
+        assert row["complete_ledger_accesses"] == 1
+
+    # Linearity: cost per transaction is stable across sizes (±35%).
+    per_tx = [r["soundness_ms"] / r["transactions"] for r in rows]
+    assert max(per_tx) < 1.35 * min(per_tx)
+    # Completeness also grows with size (local compares), but gently.
+    assert rows[-1]["completeness_ms"] >= rows[0]["completeness_ms"]

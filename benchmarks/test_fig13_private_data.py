@@ -1,0 +1,27 @@
+"""Fig 13: comparison with Fabric's private data collections.
+
+Paper's shape: a raw private data collection, a revocable view layered
+over PDC-style storage, and our revocable hash-based view perform
+within a small margin of each other — the views cost only slightly more
+while adding irrevocability, flexible grant/revoke, and verifiability.
+"""
+
+from repro.bench import runners
+
+
+def test_fig13(run_once):
+    rows = run_once(runners.figure13)
+    by_series = {r["series"]: r for r in rows}
+    pdc = by_series["private-data-collection"]
+    over_pdc = by_series["revocable-view-over-PDC"]
+    hr = by_series["hash-revocable-view"]
+
+    # Only a slight performance decrease for views vs raw PDC.
+    assert hr["tps"] > 0.6 * pdc["tps"]
+    assert over_pdc["tps"] > 0.6 * pdc["tps"]
+    # The raw PDC (no view bookkeeping) is not slower than the views.
+    assert pdc["tps"] >= 0.9 * max(hr["tps"], over_pdc["tps"])
+    # Latencies stay in the same band.
+    assert max(r["latency_ms"] for r in rows) < 2.0 * min(
+        r["latency_ms"] for r in rows
+    )

@@ -1,0 +1,100 @@
+"""Advanced integrity tooling: state proofs and unmaintained views.
+
+Two features for auditors who trust nothing but the consensus itself:
+
+- **Merkle state proofs** (§3, §5.2): an irrevocable view entry served
+  by a peer is proven against the state root the peers agreed on at
+  commit time — a forged entry cannot carry a valid audit path.
+- **Unmaintained views** (§3): instead of trusting a maintained view,
+  evaluate the view definition over the ledger on demand and diff the
+  two; any divergence pinpoints exactly which transactions a view owner
+  added or dropped.
+
+Run with::
+
+    python examples/state_proofs_and_audits.py
+"""
+
+from repro import (
+    Gateway,
+    HashBasedManager,
+    ViewMode,
+    build_network,
+)
+from repro.errors import VerificationError
+from repro.views.predicates import AttributeEquals
+from repro.views.state_proofs import StateProofService, ViewEntryProof
+from repro.views.unmaintained import UnmaintainedView
+
+
+def main() -> None:
+    network = build_network()
+    network.track_state_roots = True  # peers publish agreed state roots
+    owner = network.register_user("owner")
+
+    manager = HashBasedManager(Gateway(network, owner))
+    predicate = AttributeEquals("to", "Vault")
+    manager.create_view("vault", predicate, ViewMode.IRREVOCABLE)
+
+    outcomes = []
+    for i in range(3):
+        outcomes.append(
+            manager.invoke_with_secret(
+                "create_item",
+                {"item": f"bar-{i}", "owner": "Vault"},
+                {"item": f"bar-{i}", "to": "Vault"},
+                f'{{"weight_g": {400 + i}}}'.encode(),
+            )
+        )
+    print(f"{len(outcomes)} transactions committed into the irrevocable view")
+
+    # --- state proofs -----------------------------------------------------
+    service = StateProofService(network)
+    proof = service.prove_entry("vault", outcomes[0].tid)
+    service.verify(proof)
+    print(
+        f"entry for {proof.tid} proven against the state root of block "
+        f"{proof.block_number} ({len(proof.proof.siblings)} siblings)"
+    )
+
+    forged = ViewEntryProof(
+        view=proof.view,
+        tid=proof.tid,
+        entry=b"\x00" * len(proof.entry),
+        block_number=proof.block_number,
+        proof=proof.proof,
+    )
+    try:
+        service.verify(forged)
+    except VerificationError:
+        print("a forged entry fails the same audit path — tampering impossible")
+
+    # --- unmaintained views -------------------------------------------------
+    on_demand = UnmaintainedView("vault-on-demand", predicate)
+    result = on_demand.evaluate(network)
+    print(
+        f"on-demand evaluation scanned {result.transactions_scanned} "
+        f"transactions and found {len(result)} in the view"
+    )
+
+    maintained = set(manager.buffer.get("vault").data)
+    missing, extra = on_demand.diff_against_maintained(network, maintained)
+    assert not missing and not extra
+    print("maintained view matches the on-demand evaluation exactly")
+
+    # Simulate an owner quietly dropping a transaction.
+    dropped = outcomes[1].tid
+    record = manager.buffer.get("vault")
+    record.tids.remove(dropped)
+    del record.data[dropped]
+    missing, extra = on_demand.diff_against_maintained(
+        network, set(record.data)
+    )
+    print(f"after the owner drops {dropped}: diff reports missing={sorted(missing)}")
+    assert missing == {dropped}
+
+    print("audit toolkit demo complete")
+
+
+if __name__ == "__main__":
+    main()

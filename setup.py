@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e .`` code path on offline machines whose
+setuptools predates built-in bdist_wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""LedgerView: access-control views on a simulated Hyperledger Fabric.
+
+A faithful Python reproduction of *"LedgerView: Access-Control Views on
+Hyperledger Fabric"* (Ruan, Kanza, Ooi, Srivastava — SIGMOD 2022),
+including the substrate it runs on: a from-scratch crypto layer, a
+discrete-event Fabric network simulator, the four view methods
+(EI/ER/HI/HR), RBAC, verifiable soundness/completeness, the
+TxListContract, the cross-chain 2PC baseline, and the supply-chain
+workload generator used in the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import build_network, EncryptionBasedManager, ViewMode
+>>> from repro.views.predicates import AttributeEquals
+>>> net = build_network()
+>>> owner = net.register_user("alice")
+>>> from repro.fabric.network import Gateway
+>>> manager = EncryptionBasedManager(Gateway(net, owner))
+>>> view = manager.create_view(
+...     "to-warehouse-1", AttributeEquals("to", "Warehouse 1"),
+...     ViewMode.REVOCABLE)
+
+See ``examples/quickstart.py`` for the full grant -> query -> verify ->
+revoke walk-through.
+"""
+
+from repro.fabric.config import (
+    MULTI_REGION,
+    SINGLE_REGION,
+    LatencyModel,
+    NetworkConfig,
+    benchmark_config,
+)
+from repro.fabric.identity import MembershipServiceProvider, User
+from repro.fabric.network import FabricNetwork, Gateway
+from repro.sim import Environment
+from repro.views import (
+    EncryptionBasedManager,
+    HashBasedManager,
+    RBACAuthority,
+    ViewManager,
+    ViewMode,
+    ViewReader,
+    ViewVerifier,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_network",
+    "Environment",
+    "FabricNetwork",
+    "Gateway",
+    "NetworkConfig",
+    "LatencyModel",
+    "SINGLE_REGION",
+    "MULTI_REGION",
+    "benchmark_config",
+    "MembershipServiceProvider",
+    "User",
+    "ViewMode",
+    "ViewManager",
+    "ViewReader",
+    "ViewVerifier",
+    "EncryptionBasedManager",
+    "HashBasedManager",
+    "RBACAuthority",
+]
+
+
+def build_network(
+    config: NetworkConfig | None = None,
+    env: Environment | None = None,
+    chain_name: str = "main",
+    install_standard_contracts: bool = True,
+) -> FabricNetwork:
+    """Create a ready-to-use simulated Fabric network.
+
+    Installs the standard LedgerView chaincodes (supply chain, notary,
+    view storage, TxList, RBAC) unless told otherwise.
+    """
+    network = FabricNetwork(
+        env or Environment(), config=config, chain_name=chain_name
+    )
+    if install_standard_contracts:
+        from repro.views.notary import NotaryContract
+        from repro.views.rbac import RBACContract
+        from repro.views.storage_contract import ViewStorageContract
+        from repro.views.txlist_contract import TxListContract
+        from repro.workload.contract import SupplyChainContract
+
+        network.install_chaincode(SupplyChainContract())
+        network.install_chaincode(NotaryContract())
+        network.install_chaincode(ViewStorageContract())
+        network.install_chaincode(TxListContract())
+        network.install_chaincode(RBACContract())
+    return network

@@ -1,0 +1,20 @@
+"""Cross-chain 2PC baseline (paper §6.1).
+
+The comparison system: every view lives on its own *view blockchain*,
+accessible only to that view's users, and a two-phase-commit protocol
+(in the style of AHL) keeps the view chains consistent with the main
+chain.  A request whose transaction belongs to ``|V|`` views costs
+``2·|V|`` view-chain transactions (Prepare + Commit on each), which is
+what makes the baseline lose to LedgerView on throughput, latency, and
+storage across the paper's experiments.
+"""
+
+from repro.baseline.multichain import CrossChainDeployment, CrossChainResult
+from repro.baseline.twopc import CoordinatorContract, ShardContract
+
+__all__ = [
+    "CrossChainDeployment",
+    "CrossChainResult",
+    "CoordinatorContract",
+    "ShardContract",
+]

@@ -1,0 +1,25 @@
+"""Benchmark harness: client fleets, measurement, and per-figure runners.
+
+Everything the paper measures (Figs 4-13) is regenerated from here:
+:mod:`repro.bench.harness` runs concurrent client fleets against
+LedgerView or the cross-chain baseline inside the discrete-event
+simulation; :mod:`repro.bench.runners` packages one entry point per
+figure; :mod:`repro.bench.report` prints the same series the paper
+plots.
+"""
+
+from repro.bench.harness import (
+    RunResult,
+    run_baseline_workload,
+    run_view_scaling,
+    run_view_workload,
+)
+from repro.bench.report import print_series
+
+__all__ = [
+    "RunResult",
+    "run_view_workload",
+    "run_baseline_workload",
+    "run_view_scaling",
+    "print_series",
+]

@@ -1,0 +1,49 @@
+"""Command-line entry point for regenerating the paper's figures.
+
+Usage::
+
+    python -m repro.bench fig4            # one figure
+    python -m repro.bench fig10 fig11     # several
+    python -m repro.bench all             # everything (Figs 4-13)
+    REPRO_BENCH_SCALE=0.25 python -m repro.bench all   # quick pass
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import runners
+
+FIGURES = {
+    "fig4": runners.figure4,
+    "fig5": runners.figure5,
+    "fig6": runners.figure6,
+    "fig7": runners.figure7,
+    "fig8": runners.figure8,
+    "fig9": runners.figure9,
+    "fig10": runners.figure10,
+    "fig11": runners.figure11,
+    "fig12": runners.figure12,
+    "fig13": runners.figure13,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or any(a in ("-h", "--help") for a in args):
+        print(__doc__)
+        print("figures:", ", ".join(FIGURES), "| 'all' runs everything")
+        return 0
+    selected = list(FIGURES) if "all" in args else args
+    unknown = [a for a in selected if a not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print("expected:", ", ".join(FIGURES), file=sys.stderr)
+        return 2
+    for name in selected:
+        FIGURES[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

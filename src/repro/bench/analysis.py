@@ -1,0 +1,119 @@
+"""Post-run analysis of benchmark series.
+
+Small numeric helpers the reports use to talk about *shapes* the way
+the paper does: plateaus, crossover points, degradation factors, and
+terminal sparklines for eyeballing a sweep without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """Render a sequence as a unicode sparkline (``▁▂▃▄▅▆▇█``).
+
+    >>> sparkline([1, 2, 3, 4])
+    '▁▃▆█'
+    """
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high == low:
+        return _SPARK_GLYPHS[0] * len(values)
+    scale = (len(_SPARK_GLYPHS) - 1) / (high - low)
+    return "".join(
+        _SPARK_GLYPHS[round((value - low) * scale)] for value in values
+    )
+
+
+def degradation_factor(values: list[float]) -> float:
+    """First-to-last ratio of a series — "drops by a factor of N".
+
+    >>> degradation_factor([800, 400, 80])
+    10.0
+    """
+    if len(values) < 2:
+        raise ValueError("need at least two points")
+    if values[-1] == 0:
+        return float("inf")
+    return values[0] / values[-1]
+
+
+def is_flat(values: list[float], tolerance: float = 0.5) -> bool:
+    """Whether a series stays within ``±tolerance`` of its mean.
+
+    The paper's "has only a small effect" claims (Fig 11) translate to
+    flatness at a generous tolerance.
+    """
+    if not values:
+        raise ValueError("empty series")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return all(v == 0 for v in values)
+    return all(abs(v - mean) / mean <= tolerance for v in values)
+
+
+def knee_point(xs: list[float], ys: list[float]) -> float:
+    """X position where a rising series flattens out (the plateau knee).
+
+    Uses the maximum-distance-to-chord heuristic: the knee is the point
+    farthest from the straight line between the first and last samples.
+
+    >>> knee_point([1, 2, 3, 4, 5], [10, 50, 80, 85, 88])
+    3
+    """
+    if len(xs) != len(ys) or len(xs) < 3:
+        raise ValueError("need at least three aligned points")
+    x0, y0, x1, y1 = xs[0], ys[0], xs[-1], ys[-1]
+    span_x, span_y = x1 - x0, y1 - y0
+    norm = (span_x**2 + span_y**2) ** 0.5
+    if norm == 0:
+        return xs[0]
+    best_x, best_distance = xs[0], -1.0
+    for x, y in zip(xs, ys):
+        distance = abs(span_x * (y0 - y) - (x0 - x) * span_y) / norm
+        if distance > best_distance:
+            best_x, best_distance = x, distance
+    return best_x
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """Where series ``a`` overtakes series ``b`` (or never does)."""
+
+    x: float | None
+    a_wins_everywhere: bool
+    b_wins_everywhere: bool
+
+
+def crossover(
+    xs: list[float], a: list[float], b: list[float]
+) -> Crossover:
+    """Find the first x where series ``a`` rises above series ``b``.
+
+    The paper's comparisons are full-domination claims ("much higher
+    throughput than the baseline"); a crossover mid-sweep would be a
+    shape violation worth flagging.
+    """
+    if not (len(xs) == len(a) == len(b)) or not xs:
+        raise ValueError("series must be aligned and non-empty")
+    a_above = [ai > bi for ai, bi in zip(a, b)]
+    if all(a_above):
+        return Crossover(x=None, a_wins_everywhere=True, b_wins_everywhere=False)
+    if not any(a_above):
+        return Crossover(x=None, a_wins_everywhere=False, b_wins_everywhere=True)
+    for x, above in zip(xs, a_above):
+        if above:
+            return Crossover(x=x, a_wins_everywhere=False, b_wins_everywhere=False)
+    raise AssertionError("unreachable")
+
+
+def series_of(rows: list[dict], label: str, x_key: str, y_key: str) -> tuple[list, list]:
+    """Extract an (xs, ys) pair for one labelled series from report rows."""
+    points = sorted(
+        ((row[x_key], row[y_key]) for row in rows if row.get("series") == label),
+    )
+    return [p[0] for p in points], [p[1] for p in points]

@@ -1,0 +1,204 @@
+"""AES block cipher (FIPS-197) implemented from scratch in pure Python.
+
+Supports AES-128, AES-192 and AES-256.  This implementation favours
+clarity over speed: it is used by the reproduction's simulated network,
+where time is simulated rather than measured, so pure-Python throughput
+is irrelevant.  Correctness is pinned by the FIPS-197 Appendix C test
+vectors in ``tests/crypto/test_aes.py``.
+
+Only the raw 16-byte block transform lives here; modes of operation are
+in :mod:`repro.crypto.modes`.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+
+_VALID_KEY_SIZES = (16, 24, 32)
+
+# --- S-box construction -------------------------------------------------
+# Built programmatically from the GF(2^8) multiplicative inverse and the
+# FIPS-197 affine transform, rather than pasted as a 256-entry table, so
+# the derivation is auditable.
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        carry = a & 0x80
+        a = (a << 1) & 0xFF
+        if carry:
+            a ^= 0x1B
+        b >>= 1
+    return result
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    # Multiplicative inverses via exponentiation tables over generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = _gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    def inverse(v: int) -> int:
+        if v == 0:
+            return 0
+        return exp[255 - log[v]]
+
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = inverse(value)
+        # Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        transformed = inv
+        for shift in range(1, 5):
+            transformed ^= ((inv << shift) | (inv >> (8 - shift))) & 0xFF
+        sbox[value] = transformed ^ 0x63
+    inv_sbox = bytearray(256)
+    for value, substituted in enumerate(sbox):
+        inv_sbox[substituted] = value
+    return bytes(sbox), bytes(inv_sbox)
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+# Precomputed GF multiplication tables for MixColumns / InvMixColumns.
+_MUL2 = bytes(_gf_mul(i, 2) for i in range(256))
+_MUL3 = bytes(_gf_mul(i, 3) for i in range(256))
+_MUL9 = bytes(_gf_mul(i, 9) for i in range(256))
+_MUL11 = bytes(_gf_mul(i, 11) for i in range(256))
+_MUL13 = bytes(_gf_mul(i, 13) for i in range(256))
+_MUL14 = bytes(_gf_mul(i, 14) for i in range(256))
+
+
+def _expand_key(key: bytes) -> list[list[int]]:
+    """Expand the cipher key into the round-key schedule (FIPS-197 §5.2).
+
+    Returns a list of 4-byte words (as lists of ints); 4 words per round
+    key, ``rounds + 1`` round keys in total.
+    """
+    nk = len(key) // 4
+    rounds = {4: 10, 6: 12, 8: 14}[nk]
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+    for i in range(nk, 4 * (rounds + 1)):
+        word = list(words[i - 1])
+        if i % nk == 0:
+            word = word[1:] + word[:1]  # RotWord
+            word = [_SBOX[b] for b in word]  # SubWord
+            word[0] ^= _RCON[i // nk - 1]
+        elif nk > 6 and i % nk == 4:
+            word = [_SBOX[b] for b in word]
+        words.append([words[i - nk][j] ^ word[j] for j in range(4)])
+    return words
+
+
+class AES:
+    """Raw AES block transform for a fixed key.
+
+    Parameters
+    ----------
+    key:
+        16, 24, or 32 bytes for AES-128/192/256 respectively.
+    """
+
+    def __init__(self, key: bytes):
+        key = bytes(key)
+        if len(key) not in _VALID_KEY_SIZES:
+            raise ValueError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        words = _expand_key(key)
+        # Flatten each group of 4 words into one 16-byte round key.
+        self._round_keys = [
+            bytes(b for word in words[4 * r : 4 * r + 4] for b in word)
+            for r in range(self._rounds + 1)
+        ]
+
+    @property
+    def rounds(self) -> int:
+        """Number of cipher rounds (10/12/14)."""
+        return self._rounds
+
+    # State layout: FIPS-197 stores the state column-major; we keep the
+    # 16-byte block in input order and index accordingly. Byte i of the
+    # block is state[row=i%4][col=i//4].
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("AES operates on exactly 16-byte blocks")
+        state = bytearray(x ^ k for x, k in zip(block, self._round_keys[0]))
+        for rnd in range(1, self._rounds):
+            state = self._sub_shift(state)
+            state = self._mix_columns(state)
+            key = self._round_keys[rnd]
+            state = bytearray(x ^ k for x, k in zip(state, key))
+        state = self._sub_shift(state)
+        key = self._round_keys[self._rounds]
+        return bytes(x ^ k for x, k in zip(state, key))
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("AES operates on exactly 16-byte blocks")
+        key = self._round_keys[self._rounds]
+        state = bytearray(x ^ k for x, k in zip(block, key))
+        for rnd in range(self._rounds - 1, 0, -1):
+            state = self._inv_shift_sub(state)
+            key = self._round_keys[rnd]
+            state = bytearray(x ^ k for x, k in zip(state, key))
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_sub(state)
+        return bytes(x ^ k for x, k in zip(state, self._round_keys[0]))
+
+    @staticmethod
+    def _sub_shift(state: bytearray) -> bytearray:
+        """Combined SubBytes + ShiftRows."""
+        out = bytearray(16)
+        for col in range(4):
+            for row in range(4):
+                # ShiftRows: row r is rotated left by r columns.
+                src_col = (col + row) % 4
+                out[4 * col + row] = _SBOX[state[4 * src_col + row]]
+        return out
+
+    @staticmethod
+    def _inv_shift_sub(state: bytearray) -> bytearray:
+        """Combined InvShiftRows + InvSubBytes."""
+        out = bytearray(16)
+        for col in range(4):
+            for row in range(4):
+                src_col = (col - row) % 4
+                out[4 * col + row] = _INV_SBOX[state[4 * src_col + row]]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: bytearray) -> bytearray:
+        out = bytearray(16)
+        for col in range(4):
+            a0, a1, a2, a3 = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3
+            out[4 * col + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3
+            out[4 * col + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3]
+            out[4 * col + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3]
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: bytearray) -> bytearray:
+        out = bytearray(16)
+        for col in range(4):
+            a0, a1, a2, a3 = state[4 * col : 4 * col + 4]
+            out[4 * col + 0] = _MUL14[a0] ^ _MUL11[a1] ^ _MUL13[a2] ^ _MUL9[a3]
+            out[4 * col + 1] = _MUL9[a0] ^ _MUL14[a1] ^ _MUL11[a2] ^ _MUL13[a3]
+            out[4 * col + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
+            out[4 * col + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
+        return out

@@ -1,0 +1,138 @@
+"""Merkle trees for state digests and integrity proofs.
+
+The paper (§3, §5.2) keeps smart-contract state — including view data —
+in the peers' local databases and stores only the Merkle root of the
+state in each block header.  A Merkle audit path then proves that a
+particular state entry is covered by the on-chain digest.
+
+The construction is the standard binary hash tree with domain
+separation between leaves and interior nodes (``0x00 || value`` for
+leaves, ``0x01 || left || right`` for nodes) to rule out second-preimage
+tricks across levels.  Odd nodes are promoted unchanged (Bitcoin-style
+duplication is avoided because it admits trivial malleability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import sha256
+from repro.errors import MerkleProofError
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+#: Root digest of an empty tree — hash of a distinguished constant so it
+#: cannot collide with any real leaf or node hash.
+EMPTY_ROOT = sha256(b"\x02empty-merkle-tree")
+
+
+def leaf_hash(value: bytes) -> bytes:
+    """Hash a leaf value with leaf domain separation."""
+    return sha256(_LEAF_PREFIX + bytes(value))
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Hash two child digests with interior-node domain separation."""
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An audit path from a leaf to the root.
+
+    Attributes
+    ----------
+    leaf_index:
+        Position of the proven leaf in the tree.
+    siblings:
+        ``(digest, is_left)`` pairs bottom-up; ``is_left`` says whether
+        the sibling sits to the left of the running hash.
+    """
+
+    leaf_index: int
+    siblings: tuple[tuple[bytes, bool], ...]
+
+    def verify(self, value: bytes, root: bytes) -> bool:
+        """Check that ``value`` at ``leaf_index`` is covered by ``root``."""
+        current = leaf_hash(value)
+        for sibling, is_left in self.siblings:
+            if is_left:
+                current = node_hash(sibling, current)
+            else:
+                current = node_hash(current, sibling)
+        return current == root
+
+
+class MerkleTree:
+    """A Merkle tree over an ordered list of byte-string leaves."""
+
+    def __init__(self, leaves: list[bytes] | None = None):
+        self._leaves: list[bytes] = [bytes(v) for v in (leaves or [])]
+        self._levels: list[list[bytes]] | None = None
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def append(self, value: bytes) -> None:
+        """Add a leaf; invalidates any cached structure."""
+        self._leaves.append(bytes(value))
+        self._levels = None
+
+    def _build(self) -> list[list[bytes]]:
+        if self._levels is not None:
+            return self._levels
+        if not self._leaves:
+            self._levels = [[EMPTY_ROOT]]
+            return self._levels
+        level = [leaf_hash(v) for v in self._leaves]
+        levels = [level]
+        while len(level) > 1:
+            parents = []
+            for i in range(0, len(level) - 1, 2):
+                parents.append(node_hash(level[i], level[i + 1]))
+            if len(level) % 2:
+                parents.append(level[-1])  # odd node promoted unchanged
+            level = parents
+            levels.append(level)
+        self._levels = levels
+        return levels
+
+    def root(self) -> bytes:
+        """The 32-byte root digest (``EMPTY_ROOT`` for an empty tree)."""
+        return self._build()[-1][0]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Build an audit path for the leaf at ``index``.
+
+        Raises
+        ------
+        MerkleProofError
+            If ``index`` is out of range.
+        """
+        if not 0 <= index < len(self._leaves):
+            raise MerkleProofError(
+                f"leaf index {index} out of range for {len(self._leaves)} leaves"
+            )
+        levels = self._build()
+        siblings: list[tuple[bytes, bool]] = []
+        position = index
+        for level in levels[:-1]:
+            if position % 2 == 0:
+                sibling_index = position + 1
+                if sibling_index < len(level):
+                    siblings.append((level[sibling_index], False))
+                # No sibling: node was promoted, path contributes nothing.
+            else:
+                siblings.append((level[position - 1], True))
+            position //= 2
+        return MerkleProof(leaf_index=index, siblings=tuple(siblings))
+
+    def verify(self, index: int, value: bytes) -> bool:
+        """Convenience: prove and verify ``value`` at ``index`` in one call."""
+        return self.prove(index).verify(bytes(value), self.root())
+
+
+def root_of(leaves: list[bytes]) -> bytes:
+    """One-shot root computation without keeping the tree around."""
+    return MerkleTree(leaves).root()

@@ -1,0 +1,93 @@
+"""Modes of operation: CTR keystream and an authenticated envelope.
+
+The paper's methods encrypt variable-length secret parts and key lists
+with a symmetric key (``enc(., K)``).  We realise ``enc`` as
+**AES-CTR + HMAC-SHA256 in encrypt-then-MAC composition** — an
+authenticated encryption scheme, so a reader can always detect
+tampering of served view data (paper §4.7, case 2).
+
+Wire format of a sealed message::
+
+    nonce (16) || ciphertext (len(plaintext)) || tag (32)
+
+The MAC covers ``nonce || ciphertext`` under a MAC subkey derived from
+the master key, keeping encryption and authentication keys independent.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.crypto.aes import AES, BLOCK_SIZE
+from repro.crypto.hashing import hmac_sha256, sha256
+from repro.errors import DecryptionError
+
+NONCE_SIZE = BLOCK_SIZE
+TAG_SIZE = 32
+
+#: Fixed overhead added to every ciphertext (nonce + tag).
+CIPHERTEXT_OVERHEAD = NONCE_SIZE + TAG_SIZE
+
+
+def _derive_subkeys(key: bytes) -> tuple[bytes, bytes]:
+    """Split a master key into independent encryption and MAC subkeys."""
+    enc_key = sha256(b"ledgerview/enc" + key)[: len(key)]
+    mac_key = sha256(b"ledgerview/mac" + key)
+    return enc_key, mac_key
+
+
+def _ctr_keystream_xor(cipher: AES, nonce: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with the AES-CTR keystream for ``nonce``.
+
+    The 16-byte nonce is treated as a big-endian counter block and
+    incremented per block, as in NIST SP 800-38A.
+    """
+    counter = int.from_bytes(nonce, "big")
+    out = bytearray(len(data))
+    for offset in range(0, len(data), BLOCK_SIZE):
+        block = cipher.encrypt_block(counter.to_bytes(BLOCK_SIZE, "big"))
+        counter = (counter + 1) % (1 << 128)
+        chunk = data[offset : offset + BLOCK_SIZE]
+        out[offset : offset + len(chunk)] = bytes(
+            a ^ b for a, b in zip(chunk, block)
+        )
+    return bytes(out)
+
+
+def encrypt(key: bytes, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+    """Authenticated-encrypt ``plaintext`` under ``key``.
+
+    A fresh random nonce is drawn unless one is supplied (supplying a
+    nonce is only intended for deterministic tests).
+    """
+    if nonce is None:
+        nonce = secrets.token_bytes(NONCE_SIZE)
+    if len(nonce) != NONCE_SIZE:
+        raise ValueError(f"nonce must be {NONCE_SIZE} bytes")
+    enc_key, mac_key = _derive_subkeys(bytes(key))
+    cipher = AES(enc_key)
+    ciphertext = _ctr_keystream_xor(cipher, nonce, bytes(plaintext))
+    tag = hmac_sha256(mac_key, nonce + ciphertext)
+    return nonce + ciphertext + tag
+
+
+def decrypt(key: bytes, sealed: bytes) -> bytes:
+    """Verify and decrypt a message produced by :func:`encrypt`.
+
+    Raises
+    ------
+    DecryptionError
+        If the message is malformed or the authentication tag does not
+        verify (wrong key or tampered ciphertext).
+    """
+    sealed = bytes(sealed)
+    if len(sealed) < CIPHERTEXT_OVERHEAD:
+        raise DecryptionError("ciphertext too short to contain nonce and tag")
+    nonce = sealed[:NONCE_SIZE]
+    tag = sealed[-TAG_SIZE:]
+    ciphertext = sealed[NONCE_SIZE:-TAG_SIZE]
+    enc_key, mac_key = _derive_subkeys(bytes(key))
+    expected_tag = hmac_sha256(mac_key, nonce + ciphertext)
+    if not secrets.compare_digest(tag, expected_tag):
+        raise DecryptionError("authentication tag mismatch (wrong key or tampering)")
+    return _ctr_keystream_xor(AES(enc_key), nonce, ciphertext)

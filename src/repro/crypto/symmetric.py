@@ -1,0 +1,60 @@
+"""Symmetric keys as used throughout the paper's protocols.
+
+Every transaction with a secret part gets a fresh :class:`SymmetricKey`
+(the per-transaction key ``K_ij`` of §4.1); every view gets a view key
+``K_V``; revocation rotates ``K_V`` to a fresh key (§4.2, §4.4).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+from repro.crypto import modes
+
+DEFAULT_KEY_SIZE = 16  # AES-128 by default; 32 selects AES-256.
+
+
+@dataclass(frozen=True)
+class SymmetricKey:
+    """An AES key with authenticated encrypt/decrypt operations.
+
+    Instances are immutable and hashable so they can serve as dict keys
+    in key-management maps (e.g. ``ViewKeys`` in the view buffer).
+    """
+
+    material: bytes = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.material) not in (16, 24, 32):
+            raise ValueError(
+                f"key material must be 16/24/32 bytes, got {len(self.material)}"
+            )
+
+    @classmethod
+    def generate(cls, size: int = DEFAULT_KEY_SIZE) -> "SymmetricKey":
+        """Draw a fresh random key of ``size`` bytes."""
+        return cls(secrets.token_bytes(size))
+
+    @classmethod
+    def from_bytes(cls, material: bytes) -> "SymmetricKey":
+        """Wrap existing key material (e.g. received via an envelope)."""
+        return cls(bytes(material))
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        """Authenticated-encrypt ``plaintext`` (AES-CTR + HMAC)."""
+        return modes.encrypt(self.material, plaintext)
+
+    def decrypt(self, sealed: bytes) -> bytes:
+        """Verify and decrypt; raises :class:`~repro.errors.DecryptionError`."""
+        return modes.decrypt(self.material, sealed)
+
+    def to_bytes(self) -> bytes:
+        """Export raw key material (for sealing inside an envelope)."""
+        return self.material
+
+    def fingerprint(self) -> str:
+        """Short non-reversible identifier for logging and audit trails."""
+        from repro.crypto.hashing import sha256_hex
+
+        return sha256_hex(self.material)[:16]

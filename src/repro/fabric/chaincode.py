@@ -1,0 +1,170 @@
+"""Chaincode (smart contracts) and the transaction execution context.
+
+Chaincode functions execute during the *endorsement* phase against the
+endorsing peer's committed state.  All reads and writes go through a
+:class:`TxContext`, which records them into a read set (key → version
+observed) and a write set (key → new value).  The write set is applied
+at *commit* time only if the read set still matches the peer's state —
+Fabric's MVCC validation (paper §5.1).
+
+Keys are namespaced per chaincode (``"<cc>~<key>"``) so contracts
+cannot trample each other's state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ChaincodeError
+from repro.ledger.statedb import StateDatabase, Version
+
+
+def namespaced(chaincode: str, key: str) -> str:
+    """Compose the state-database key for a chaincode-local key."""
+    return f"{chaincode}~{key}"
+
+
+class TxContext:
+    """Execution context handed to chaincode functions.
+
+    Records the read set and buffers the write set; reads observe the
+    write buffer first (read-your-writes within a transaction).
+    """
+
+    def __init__(self, chaincode: str, statedb: StateDatabase, tid: str, creator: str):
+        self.chaincode = chaincode
+        self.tid = tid
+        self.creator = creator
+        self._statedb = statedb
+        self.read_set: dict[str, Version | None] = {}
+        self.write_set: dict[str, Any] = {}
+
+    def get_state(self, key: str) -> Any | None:
+        """Read a chaincode-local key, recording it in the read set."""
+        full_key = namespaced(self.chaincode, key)
+        if full_key in self.write_set:
+            return self.write_set[full_key]
+        entry = self._statedb.get_with_version(full_key)
+        if full_key not in self.read_set:
+            self.read_set[full_key] = entry.version if entry else None
+        return entry.value if entry else None
+
+    def put_state(self, key: str, value: Any) -> None:
+        """Buffer a write to a chaincode-local key."""
+        self.write_set[namespaced(self.chaincode, key)] = value
+
+    def select(
+        self, selector: dict[str, Any], prefix: str = "", limit: int | None = None
+    ) -> list[tuple[str, Any]]:
+        """CouchDB-style rich query over this chaincode's state.
+
+        Like Fabric's ``GetQueryResult``: results are *not* added to the
+        read set (rich queries have no phantom protection at commit),
+        so they belong in read-only queries or in logic that tolerates
+        stale reads.
+        """
+        from repro.ledger.selectors import select as _select
+
+        full_prefix = namespaced(self.chaincode, prefix)
+        results = []
+        for full_key, value in _select(
+            self._statedb, selector, prefix=full_prefix, limit=limit
+        ):
+            results.append((full_key[len(self.chaincode) + 1 :], value))
+        return results
+
+    def scan_prefix(self, prefix: str) -> list[tuple[str, Any]]:
+        """Range read over chaincode-local keys with ``prefix``.
+
+        Every returned key is added to the read set (phantom reads are
+        out of scope, matching Fabric's behaviour for range queries).
+        """
+        full_prefix = namespaced(self.chaincode, prefix)
+        results = []
+        for full_key, value in self._statedb.scan_prefix(full_prefix):
+            if full_key not in self.read_set:
+                entry = self._statedb.get_with_version(full_key)
+                self.read_set[full_key] = entry.version if entry else None
+            local_key = full_key[len(self.chaincode) + 1 :]
+            results.append((local_key, value))
+        # Include keys written by this transaction under the prefix.
+        for full_key, value in self.write_set.items():
+            if full_key.startswith(full_prefix):
+                local_key = full_key[len(self.chaincode) + 1 :]
+                if all(existing != local_key for existing, _ in results):
+                    results.append((local_key, value))
+        results.sort(key=lambda pair: pair[0])
+        return results
+
+
+class Chaincode:
+    """Base class for smart contracts.
+
+    Subclasses register invocable functions either by defining methods
+    named ``fn_<name>`` or by calling :meth:`register`.
+    """
+
+    #: Chaincode name; used as the state namespace and invocation target.
+    name: str = "chaincode"
+
+    def __init__(self):
+        self._functions: dict[str, Callable[..., Any]] = {}
+        for attr in dir(self):
+            if attr.startswith("fn_"):
+                self._functions[attr[3:]] = getattr(self, attr)
+
+    def register(self, fn_name: str, fn: Callable[..., Any]) -> None:
+        """Register an invocable function under ``fn_name``."""
+        self._functions[fn_name] = fn
+
+    @property
+    def functions(self) -> list[str]:
+        """Names of invocable functions, sorted."""
+        return sorted(self._functions)
+
+    def invoke(self, ctx: TxContext, fn: str, args: dict[str, Any]) -> Any:
+        """Dispatch an invocation to the named function.
+
+        Raises
+        ------
+        ChaincodeError
+            If the function does not exist or itself raises.
+        """
+        handler = self._functions.get(fn)
+        if handler is None:
+            raise ChaincodeError(
+                f"chaincode {self.name!r} has no function {fn!r} "
+                f"(available: {', '.join(self.functions)})"
+            )
+        try:
+            return handler(ctx, **args)
+        except ChaincodeError:
+            raise
+        except Exception as exc:
+            raise ChaincodeError(
+                f"chaincode {self.name}.{fn} failed: {exc}"
+            ) from exc
+
+
+class ChaincodeRegistry:
+    """The set of chaincodes installed on a channel."""
+
+    def __init__(self):
+        self._chaincodes: dict[str, Chaincode] = {}
+
+    def install(self, chaincode: Chaincode) -> None:
+        if chaincode.name in self._chaincodes:
+            raise ChaincodeError(f"chaincode {chaincode.name!r} already installed")
+        self._chaincodes[chaincode.name] = chaincode
+
+    def get(self, name: str) -> Chaincode:
+        chaincode = self._chaincodes.get(name)
+        if chaincode is None:
+            raise ChaincodeError(f"chaincode {name!r} is not installed")
+        return chaincode
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._chaincodes
+
+    def names(self) -> list[str]:
+        return sorted(self._chaincodes)

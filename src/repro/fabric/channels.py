@@ -1,0 +1,144 @@
+"""Fabric channels, for the paper's §2 comparison.
+
+A channel is a separate ledger with its own member set: transactions on
+a channel are visible only to its members.  The paper contrasts
+channels with views on three axes, all observable with this module:
+
+1. *a transaction can be included in several views but only in one
+   channel* — :meth:`ChannelService.submit` commits to exactly one
+   ledger, whereas a LedgerView transaction joins every view whose
+   predicate it satisfies;
+2. *membership changes are heavyweight* — adding a member is a channel
+   reconfiguration that ships the whole ledger to the new peer, not a
+   key exchange;
+3. *no attribute-based access rules* — membership is all-or-nothing per
+   channel; there is no per-record predicate.
+
+The implementation reuses :class:`FabricNetwork` as the per-channel
+substrate, matching how real Fabric channels are separate chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AccessDeniedError, LedgerViewError
+from repro.fabric.config import NetworkConfig
+from repro.fabric.endorser import Proposal
+from repro.fabric.network import CommitNotice, FabricNetwork
+from repro.sim import Environment
+
+
+@dataclass
+class Channel:
+    """One channel: a ledger plus its member set."""
+
+    name: str
+    network: FabricNetwork
+    members: set[str] = field(default_factory=set)
+    #: Number of reconfiguration events (member additions/removals).
+    reconfigurations: int = 0
+
+
+class ChannelService:
+    """Manages a set of channels over one simulation environment."""
+
+    def __init__(self, env: Environment, config: NetworkConfig | None = None):
+        self.env = env
+        self.config = config or NetworkConfig()
+        self._channels: dict[str, Channel] = {}
+
+    def create_channel(self, name: str, members: set[str]) -> Channel:
+        """Stand up a channel with an initial member set."""
+        if name in self._channels:
+            raise LedgerViewError(f"channel {name!r} already exists")
+        network = FabricNetwork(self.env, self.config, chain_name=f"ch-{name}")
+        from repro.views.notary import NotaryContract
+        from repro.workload.contract import SupplyChainContract
+
+        network.install_chaincode(SupplyChainContract())
+        network.install_chaincode(NotaryContract())
+        channel = Channel(name=name, network=network, members=set(members))
+        self._channels[name] = channel
+        return channel
+
+    def channel(self, name: str) -> Channel:
+        channel = self._channels.get(name)
+        if channel is None:
+            raise LedgerViewError(f"unknown channel {name!r}")
+        return channel
+
+    # -- membership (the heavyweight path the paper criticises) -----------
+
+    def add_member(self, channel_name: str, user_id: str) -> int:
+        """Add a member: a reconfiguration that ships the whole ledger.
+
+        Returns the number of bytes the new member must fetch — the
+        channel's full history, since channels have no way to disclose
+        a subset of past records.
+        """
+        channel = self.channel(channel_name)
+        channel.members.add(user_id)
+        channel.reconfigurations += 1
+        return channel.network.reference_peer.chain.total_bytes()
+
+    def remove_member(self, channel_name: str, user_id: str) -> None:
+        """Remove a member (reconfiguration).
+
+        Note what this does *not* do: the removed member already holds a
+        full copy of the ledger — there is no key to rotate, so past
+        data cannot be made inaccessible (contrast with ER/HR views).
+        """
+        channel = self.channel(channel_name)
+        if user_id not in channel.members:
+            raise AccessDeniedError(
+                f"{user_id!r} is not a member of channel {channel_name!r}"
+            )
+        channel.members.discard(user_id)
+        channel.reconfigurations += 1
+
+    # -- transactions -------------------------------------------------------------
+
+    def submit(
+        self, channel_name: str, user, fn: str, args: dict, public: dict,
+        payload: bytes = b"",
+    ) -> CommitNotice:
+        """Commit a transaction to exactly ONE channel.
+
+        The signature deliberately takes a single channel name: this is
+        the structural limitation the paper highlights — a record that
+        concerns a manufacturer, a warehouse, and a delivery service
+        cannot live on all three parties' channels at once without
+        duplicating it.
+        """
+        channel = self.channel(channel_name)
+        if user.user_id not in channel.members:
+            raise AccessDeniedError(
+                f"{user.user_id!r} is not a member of channel {channel_name!r}"
+            )
+        proposal = Proposal(
+            chaincode="supply" if fn in ("create_item", "transfer") else "notary",
+            fn=fn,
+            args=args,
+            public=public,
+            concealed=payload,
+            creator=user.user_id,
+        )
+        return channel.network.submit_sync(proposal)
+
+    def read_transaction(self, channel_name: str, user, tid: str):
+        """Members read the channel ledger; non-members are refused."""
+        channel = self.channel(channel_name)
+        if user.user_id not in channel.members:
+            raise AccessDeniedError(
+                f"{user.user_id!r} may not read channel {channel_name!r}"
+            )
+        return channel.network.get_transaction(tid)
+
+    def channels_of(self, user_id: str) -> list[str]:
+        """Channels a user belongs to."""
+        return sorted(
+            name
+            for name, channel in self._channels.items()
+            if user_id in channel.members
+        )

@@ -1,0 +1,105 @@
+"""Identities: users, peers, and the membership service provider.
+
+Every user ``u`` owns an RSA keypair ``(PubK_u, PrivK_u)`` (paper §3).
+The membership service provider (MSP) plays the role of Fabric's
+certificate authority: it registers identities and lets anyone resolve
+a user id to a public key — which is exactly what the view methods need
+to disseminate view keys (``enc(K_V, PubK_u)``).
+
+Key generation for large simulated populations is expensive in pure
+Python, so the MSP supports a ``key_bits`` knob; tests and benchmarks
+use smaller moduli than a production deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from repro.errors import AccessControlError
+
+
+@dataclass(frozen=True)
+class User:
+    """A registered identity (client, view owner, view reader, or peer)."""
+
+    user_id: str
+    keypair: RSAKeyPair = field(repr=False)
+    organization: str = "org1"
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.keypair.public
+
+    def sign(self, message: bytes) -> bytes:
+        """Sign with the user's private key."""
+        return self.keypair.private.sign(message)
+
+    def decrypt(self, envelope: bytes) -> bytes:
+        """Open an envelope sealed for this user."""
+        from repro.crypto.envelope import open_sealed
+
+        return open_sealed(self.keypair.private, envelope)
+
+
+class MembershipServiceProvider:
+    """Registry of identities, standing in for Fabric's MSP/CA."""
+
+    def __init__(self, key_bits: int = 1024):
+        self.key_bits = key_bits
+        self._users: dict[str, User] = {}
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._users
+
+    def register(self, user_id: str, organization: str = "org1") -> User:
+        """Create and register a new identity with a fresh keypair."""
+        if user_id in self._users:
+            raise AccessControlError(f"user id {user_id!r} already registered")
+        user = User(
+            user_id=user_id,
+            keypair=generate_keypair(self.key_bits),
+            organization=organization,
+        )
+        self._users[user_id] = user
+        return user
+
+    def get(self, user_id: str) -> User:
+        """Resolve an id to its full identity.
+
+        Raises
+        ------
+        AccessControlError
+            If the id is unknown.
+        """
+        user = self._users.get(user_id)
+        if user is None:
+            raise AccessControlError(f"unknown user {user_id!r}")
+        return user
+
+    def public_key_of(self, user_id: str) -> RSAPublicKey:
+        """Public key lookup — the only information other parties need."""
+        return self.get(user_id).public_key
+
+    def reissue(self, user_id: str) -> User:
+        """Replace an identity's keypair with a fresh one.
+
+        Used for *role* identities (paper §4.6): when the member set of
+        a role changes, a new role keypair is created and distributed to
+        the remaining members.
+        """
+        previous = self.get(user_id)
+        replacement = User(
+            user_id=user_id,
+            keypair=generate_keypair(self.key_bits),
+            organization=previous.organization,
+        )
+        self._users[user_id] = replacement
+        return replacement
+
+    def user_ids(self) -> list[str]:
+        """All registered ids, sorted for determinism."""
+        return sorted(self._users)

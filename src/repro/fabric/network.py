@@ -1,0 +1,438 @@
+"""The simulated Fabric network: wiring, timing, and the client gateway.
+
+One :class:`FabricNetwork` is a channel: a set of peers (each with its
+own ledger copy, state database and chaincodes), one ordering service,
+and the latency/service-time model from :class:`NetworkConfig`.
+Several networks can share a single simulation environment — that is
+how the cross-chain 2PC baseline runs a main chain plus one blockchain
+per view (paper §6.1).
+
+Functional behaviour (chaincode effects, validation, crypto) executes
+for real; only *durations* are simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import LedgerError
+from repro.fabric.chaincode import Chaincode, ChaincodeRegistry, TxContext
+from repro.fabric.config import NetworkConfig
+from repro.fabric.endorser import Proposal, assemble_transaction
+from repro.fabric.identity import MembershipServiceProvider, User
+from repro.fabric.orderer import BlockCutter, OrderingService
+from repro.fabric.peer import Peer, ValidationCode
+from repro.ledger.transaction import Transaction
+from repro.sim import Counter, Environment, Event, Resource, Store, TimeSeries
+
+
+@dataclass
+class CommitNotice:
+    """What a submitter learns when its transaction commits."""
+
+    tid: str
+    code: ValidationCode
+    block_number: int
+    response: Any = None
+
+
+@dataclass
+class NetworkMetrics:
+    """Counters and series one network accumulates during a run."""
+
+    committed_requests: Counter
+    latencies_ms: TimeSeries
+    onchain_txs: Counter
+    invalid_txs: Counter
+
+    @classmethod
+    def fresh(cls) -> "NetworkMetrics":
+        return cls(
+            committed_requests=Counter("committed"),
+            latencies_ms=TimeSeries("latency_ms"),
+            onchain_txs=Counter("onchain"),
+            invalid_txs=Counter("invalid"),
+        )
+
+
+class FabricNetwork:
+    """A simulated Fabric channel."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: NetworkConfig | None = None,
+        msp: MembershipServiceProvider | None = None,
+        chain_name: str = "main",
+    ):
+        self.env = env
+        self.config = config or NetworkConfig()
+        self.msp = msp or MembershipServiceProvider(key_bits=self.config.key_bits)
+        self.chain_name = chain_name
+        self.registry = ChaincodeRegistry()
+        self.metrics = NetworkMetrics.fresh()
+
+        self.peers: list[Peer] = []
+        self._peer_cpus: list[Resource] = []
+        self._endorse_cpus: list[Resource] = []
+        for i in range(self.config.peer_count):
+            peer_id = f"{chain_name}-peer{i}"
+            identity = self.msp.register(peer_id, organization=f"org{i + 1}")
+            peer = Peer(
+                peer_id=peer_id,
+                identity=identity,
+                registry=self.registry,
+                chain_name=chain_name,
+                real_signatures=self.config.real_signatures,
+            )
+            self.peers.append(peer)
+            self._peer_cpus.append(Resource(env, capacity=1))
+            self._endorse_cpus.append(Resource(env, capacity=4))
+
+        self._peer_keys = {p.peer_id: p.identity.public_key for p in self.peers}
+        self._peer_secrets = {p.peer_id: p.mac_secret for p in self.peers}
+
+        self.ordering = OrderingService(self.config)
+        self._cutter = BlockCutter(self.config)
+        #: Real Raft among the orderers (optional; see config.use_raft).
+        self.raft = None
+        if self.config.use_raft:
+            from repro.fabric.raft import RaftCluster
+
+            self.raft = RaftCluster(
+                env,
+                node_count=self.config.orderer_count,
+                rtt_ms=self.config.latency.orderer_to_orderer,
+            )
+        self._order_inbox: Store = Store(env)
+        self._arrival: Event = env.event()
+        self._commit_events: dict[str, Event] = {}
+        self._responses: dict[str, Any] = {}
+        #: Post-commit canonical state roots per block (all peers agree);
+        #: populated only when track_state_roots is enabled.
+        self.state_roots: dict[int, bytes] = {}
+        self.track_state_roots = False
+        #: Block-event listeners, called as ``listener(block, result)``
+        #: after the reference peer commits each block (Fabric's event
+        #: service).  Listener errors propagate — a broken listener is a
+        #: programming error, not something to swallow.
+        self._block_listeners: list = []
+
+        env.process(self._pump())
+        env.process(self._cut_loop())
+
+    # -- administration ------------------------------------------------------
+
+    def install_chaincode(self, chaincode: Chaincode) -> None:
+        """Install a contract on every peer of the channel."""
+        self.registry.install(chaincode)
+
+    def register_user(self, user_id: str, organization: str = "org1") -> User:
+        """Register a client identity with the channel's MSP."""
+        return self.msp.register(user_id, organization)
+
+    @property
+    def reference_peer(self) -> Peer:
+        """The peer used for client reads and commit notifications."""
+        return self.peers[0]
+
+    # -- timing helpers ------------------------------------------------------
+
+    def _endorse_service_ms(self, payload_bytes: int) -> float:
+        cfg = self.config
+        return cfg.endorse_base_ms + cfg.payload_delay_ms(
+            payload_bytes, cfg.endorse_per_kib_ms
+        )
+
+    def _validate_service_ms(self, tx: Transaction) -> float:
+        cfg = self.config
+        cost = cfg.validate_tx_ms + cfg.payload_delay_ms(
+            tx.size_bytes, cfg.validate_per_kib_ms
+        )
+        view_entries = tx.nonsecret.get("public", {}).get("views")
+        if view_entries:
+            cost += cfg.view_entry_ms * len(view_entries)
+        if tx.nonsecret.get("contract_write"):
+            cost *= cfg.contract_write_factor
+        return cost
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, proposal: Proposal) -> Event:
+        """Run the full endorse → order → commit flow for ``proposal``.
+
+        Returns the process completion event; its value is a
+        :class:`CommitNotice`.  Endorsement or chaincode failures fail
+        the event with the underlying exception.
+        """
+        return self.env.process(self._submit_process(proposal))
+
+    def _submit_process(self, proposal: Proposal):
+        env = self.env
+        latency = self.config.latency
+        started = env.now
+
+        # --- endorsement phase ---
+        yield env.timeout(latency.client_to_peer)
+        endorsing = self.peers[: self.config.endorsement_policy]
+        responses = []
+        payload_size = len(proposal.concealed) + 256  # args + headers estimate
+        for peer, cpu in zip(endorsing, self._endorse_cpus):
+            request = cpu.request()
+            yield request
+            try:
+                yield env.timeout(self._endorse_service_ms(payload_size))
+                responses.append(peer.endorse(proposal))
+            finally:
+                cpu.release(request)
+        yield env.timeout(latency.client_to_peer)
+
+        tx = assemble_transaction(proposal, responses)
+        self._responses[tx.tid] = responses[0].response
+
+        # --- ordering phase ---
+        commit_event = env.event()
+        self._commit_events[tx.tid] = commit_event
+        yield env.timeout(latency.client_to_orderer)
+        yield self._order_inbox.put(tx)
+
+        notice: CommitNotice = yield commit_event
+        notice.response = self._responses.pop(tx.tid, None)
+        self.metrics.committed_requests.increment()
+        self.metrics.latencies_ms.record(env.now, env.now - started)
+        return notice
+
+    def submit_sync(self, proposal: Proposal) -> CommitNotice:
+        """Submit and drive the simulation until the commit completes.
+
+        Convenience for examples/tests where wall-clock ordering of
+        operations matters more than concurrency.
+        """
+        event = self.submit(proposal)
+        return self.env.run(until=event)
+
+    def invoke_sync(
+        self,
+        user: User,
+        chaincode: str,
+        fn: str,
+        args: dict[str, Any] | None = None,
+        public: dict[str, Any] | None = None,
+        concealed: bytes = b"",
+        salt: bytes = b"",
+        contract_write: bool = False,
+        kind: str = "invoke",
+    ) -> CommitNotice:
+        """One-call synchronous chaincode invocation."""
+        proposal = Proposal(
+            chaincode=chaincode,
+            fn=fn,
+            args=args or {},
+            public=public or {},
+            concealed=concealed,
+            salt=salt,
+            creator=user.user_id,
+            contract_write=contract_write,
+            kind=kind,
+        )
+        return self.submit_sync(proposal)
+
+    # -- queries (no ordering; local read at the reference peer) -------------
+
+    def query(
+        self,
+        chaincode: str,
+        fn: str,
+        args: dict[str, Any] | None = None,
+        creator: str = "",
+    ) -> Any:
+        """Execute a read-only chaincode function against committed state.
+
+        Write sets produced by the function are discarded — Fabric
+        queries never reach the orderer.
+        """
+        peer = self.reference_peer
+        contract = self.registry.get(chaincode)
+        ctx = TxContext(
+            chaincode=chaincode,
+            statedb=peer.statedb,
+            tid="query",
+            creator=creator,
+        )
+        return contract.invoke(ctx, fn, args or {})
+
+    def get_transaction(self, tid: str) -> Transaction:
+        """Fetch a committed transaction from the reference peer's ledger."""
+        return self.reference_peer.chain.get_transaction(tid)
+
+    # -- ordering service processes ---------------------------------------------
+
+    def _pump(self):
+        """Move submitted transactions into the block cutter."""
+        while True:
+            tx = yield self._order_inbox.get()
+            self._cutter.add(tx)
+            arrival = self._arrival
+            self._arrival = self.env.event()
+            arrival.succeed()
+
+    def _cut_loop(self):
+        """Cut blocks on count/bytes thresholds or the batch timeout."""
+        env = self.env
+        while True:
+            while not self._cutter.has_pending:
+                yield self._arrival
+            deadline = env.now + self.config.batch_timeout_ms
+            reason = None
+            while reason is None:
+                reason = self._cutter.should_cut()
+                if reason:
+                    break
+                if env.now >= deadline:
+                    reason = "timeout"
+                    break
+                yield env.any_of(
+                    [self._arrival, env.timeout(deadline - env.now)]
+                )
+            while self._cutter.has_pending:
+                decision = self._cutter.cut(reason)
+                if self.raft is not None:
+                    # Replicate the batch through the ordering service's
+                    # Raft group before the block becomes final.
+                    digest = [tx.tid for tx in decision.transactions]
+                    yield self.raft.replicate(digest)
+                else:
+                    yield env.timeout(self.config.ordering_consensus_ms)
+                block = self.ordering.build_block(decision, timestamp=env.now)
+                self.metrics.onchain_txs.increment(len(block.transactions))
+                for index, peer in enumerate(self.peers):
+                    env.process(self._deliver(index, peer, block))
+                if self._cutter.should_cut() is None:
+                    break
+                reason = self._cutter.should_cut()
+
+    def _deliver(self, index: int, peer: Peer, block):
+        """Ship one block to one peer; validate, commit, notify clients."""
+        env = self.env
+        yield env.timeout(self.config.latency.orderer_to_peer)
+        cpu = self._peer_cpus[index]
+        request = cpu.request()
+        yield request
+        try:
+            service = self.config.commit_block_overhead_ms + sum(
+                self._validate_service_ms(tx) for tx in block.transactions
+            )
+            yield env.timeout(service)
+            result = peer.validate_and_commit(
+                block,
+                self._peer_keys,
+                self._peer_secrets,
+                policy=self.config.endorsement_policy,
+            )
+        finally:
+            cpu.release(request)
+        if peer is self.reference_peer:
+            if self.track_state_roots:
+                self.state_roots[block.number] = peer.current_state_root()
+            for listener in self._block_listeners:
+                listener(block, result)
+            yield env.timeout(self.config.latency.client_to_peer)
+            for tid, code in result.codes.items():
+                if code is not ValidationCode.VALID:
+                    self.metrics.invalid_txs.increment()
+                event = self._commit_events.pop(tid, None)
+                if event is not None:
+                    event.succeed(
+                        CommitNotice(
+                            tid=tid, code=code, block_number=block.number
+                        )
+                    )
+
+    # -- events -------------------------------------------------------------------
+
+    def on_block(self, listener) -> None:
+        """Subscribe to committed blocks (Fabric's block event service).
+
+        ``listener(block, commit_result)`` runs after the reference peer
+        validates and commits each block, before client notifications.
+        """
+        self._block_listeners.append(listener)
+
+    def remove_block_listener(self, listener) -> None:
+        """Unsubscribe a previously registered block listener."""
+        self._block_listeners.remove(listener)
+
+    # -- integrity --------------------------------------------------------------
+
+    def verify_convergence(self) -> None:
+        """Assert all peers hold identical chains and state.
+
+        Raises
+        ------
+        LedgerError
+            If any two peers diverge — would indicate a simulator bug or
+            injected tampering.
+        """
+        reference = self.reference_peer
+        reference.chain.verify_integrity()
+        for peer in self.peers[1:]:
+            if peer.chain.height != reference.chain.height:
+                raise LedgerError(
+                    f"peer {peer.peer_id} height {peer.chain.height} != "
+                    f"{reference.chain.height}"
+                )
+            if peer.chain.tip_hash != reference.chain.tip_hash:
+                raise LedgerError(f"peer {peer.peer_id} tip hash diverged")
+            if peer.statedb.snapshot() != reference.statedb.snapshot():
+                raise LedgerError(f"peer {peer.peer_id} state diverged")
+
+    def total_storage_bytes(self) -> int:
+        """Ledger plus world-state footprint at the reference peer."""
+        peer = self.reference_peer
+        return peer.chain.total_bytes() + peer.statedb.size_bytes()
+
+
+class Gateway:
+    """A client-side handle binding a user identity to a network.
+
+    Mirrors the Fabric Gateway SDK surface: ``invoke`` for ordered
+    transactions, ``query`` for local reads.
+    """
+
+    def __init__(self, network: FabricNetwork, user: User):
+        self.network = network
+        self.user = user
+
+    def invoke(
+        self,
+        chaincode: str,
+        fn: str,
+        args: dict[str, Any] | None = None,
+        **proposal_fields: Any,
+    ) -> CommitNotice:
+        """Synchronous invoke as this user."""
+        return self.network.invoke_sync(
+            self.user, chaincode, fn, args=args, **proposal_fields
+        )
+
+    def submit_async(
+        self,
+        chaincode: str,
+        fn: str,
+        args: dict[str, Any] | None = None,
+        **proposal_fields: Any,
+    ) -> Event:
+        """Asynchronous invoke; returns the commit event."""
+        proposal = Proposal(
+            chaincode=chaincode,
+            fn=fn,
+            args=args or {},
+            creator=self.user.user_id,
+            **proposal_fields,
+        )
+        return self.network.submit(proposal)
+
+    def query(self, chaincode: str, fn: str, args: dict[str, Any] | None = None) -> Any:
+        """Local read-only chaincode execution."""
+        return self.network.query(chaincode, fn, args, creator=self.user.user_id)

@@ -1,0 +1,193 @@
+"""Peers: endorsement execution and validate-and-commit.
+
+A peer holds its own copy of the blockchain, a local state database,
+and the installed chaincodes.  This module is purely *functional* —
+service times and queueing live in :mod:`repro.fabric.network`, which
+wraps these operations in simulation processes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.hashing import hmac_sha256
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import ChaincodeRegistry, TxContext
+from repro.fabric.endorser import (
+    Proposal,
+    ProposalResponse,
+    parse_rwset,
+    simulated_signature,
+)
+from repro.fabric.identity import User
+from repro.ledger.block import Block
+from repro.ledger.chain import Blockchain
+from repro.ledger.merkle_state import state_root
+from repro.ledger.statedb import StateDatabase, Version
+from repro.ledger.transaction import Transaction
+
+
+class ValidationCode(enum.Enum):
+    """Outcome of per-transaction validation at commit time."""
+
+    VALID = "valid"
+    MVCC_CONFLICT = "mvcc_conflict"
+    ENDORSEMENT_POLICY_FAILURE = "endorsement_policy_failure"
+    BAD_CHAINCODE = "bad_chaincode"
+
+
+@dataclass
+class CommitResult:
+    """Per-block commit outcome: validation code for each transaction."""
+
+    block_number: int
+    codes: dict[str, ValidationCode]
+
+    @property
+    def valid_count(self) -> int:
+        return sum(1 for c in self.codes.values() if c is ValidationCode.VALID)
+
+    @property
+    def invalid_count(self) -> int:
+        return len(self.codes) - self.valid_count
+
+
+class Peer:
+    """One blockchain peer with its ledger, state, and chaincodes."""
+
+    def __init__(
+        self,
+        peer_id: str,
+        identity: User,
+        registry: ChaincodeRegistry,
+        chain_name: str = "main",
+        real_signatures: bool = True,
+    ):
+        self.peer_id = peer_id
+        self.identity = identity
+        self.registry = registry
+        self.chain = Blockchain(chain_name)
+        self.statedb = StateDatabase()
+        self.real_signatures = real_signatures
+        #: MAC secret for simulated signatures; shared via the network's
+        #: trust map so other peers can verify.
+        self.mac_secret = hmac_sha256(b"peer-secret", peer_id.encode())
+        #: Validation codes for every transaction this peer committed.
+        self.validation_codes: dict[str, ValidationCode] = {}
+
+    # -- endorsement -------------------------------------------------------
+
+    def endorse(self, proposal: Proposal) -> ProposalResponse:
+        """Simulate the proposal against committed state and sign the result.
+
+        Raises
+        ------
+        ChaincodeError
+            If the chaincode or function is missing, or execution fails.
+        """
+        chaincode = self.registry.get(proposal.chaincode)
+        ctx = TxContext(
+            chaincode=proposal.chaincode,
+            statedb=self.statedb,
+            tid=proposal.tid,
+            creator=proposal.creator,
+        )
+        response = chaincode.invoke(ctx, proposal.fn, proposal.args)
+        payload = proposal.signing_payload(ctx.read_set, ctx.write_set)
+        if self.real_signatures:
+            signature = self.identity.sign(payload)
+        else:
+            signature = simulated_signature(self.mac_secret, payload)
+        return ProposalResponse(
+            peer_id=self.peer_id,
+            read_set=dict(ctx.read_set),
+            write_set=dict(ctx.write_set),
+            response=response,
+            signature=signature,
+        )
+
+    # -- validation and commit ----------------------------------------------
+
+    def _verify_endorsements(
+        self,
+        tx: Transaction,
+        peer_keys: dict[str, object],
+        peer_secrets: dict[str, bytes],
+        policy: int,
+    ) -> bool:
+        """Check the endorsement policy: ``policy`` valid peer signatures."""
+        endorsements = tx.nonsecret.get("endorsements", [])
+        read_set, write_set = parse_rwset(tx)
+        proposal_like = Proposal(
+            chaincode=tx.nonsecret.get("cc", ""),
+            fn=tx.nonsecret.get("fn", ""),
+            tid=tx.tid,
+        )
+        payload = proposal_like.signing_payload(read_set, write_set)
+        valid = 0
+        for peer_id, signature_hex in endorsements:
+            signature = bytes.fromhex(signature_hex)
+            if self.real_signatures:
+                public_key = peer_keys.get(peer_id)
+                if public_key is None:
+                    continue
+                try:
+                    public_key.verify(payload, signature)  # type: ignore[attr-defined]
+                except Exception:
+                    continue
+                valid += 1
+            else:
+                secret = peer_secrets.get(peer_id)
+                if secret is None:
+                    continue
+                if simulated_signature(secret, payload) == signature:
+                    valid += 1
+        return valid >= policy
+
+    def validate_and_commit(
+        self,
+        block: Block,
+        peer_keys: dict[str, object],
+        peer_secrets: dict[str, bytes],
+        policy: int = 1,
+    ) -> CommitResult:
+        """Validate every transaction in ``block`` and commit the block.
+
+        Follows Fabric semantics: invalid transactions stay in the block
+        (and in storage) but their write sets are not applied.
+        """
+        codes: dict[str, ValidationCode] = {}
+        # Fabric validates transactions in block order, with each valid
+        # transaction's writes visible to the MVCC checks of the ones
+        # after it — two conflicting reads in one block invalidate the
+        # second transaction.
+        for position, tx in enumerate(block.transactions):
+            if not self._verify_endorsements(tx, peer_keys, peer_secrets, policy):
+                codes[tx.tid] = ValidationCode.ENDORSEMENT_POLICY_FAILURE
+                continue
+            read_set, write_set = parse_rwset(tx)
+            conflict = False
+            for key, version in read_set.items():
+                if self.statedb.version_of(key) != version:
+                    conflict = True
+                    break
+            if conflict:
+                codes[tx.tid] = ValidationCode.MVCC_CONFLICT
+                continue
+            codes[tx.tid] = ValidationCode.VALID
+            version = Version(block=block.number, position=position)
+            for key, value in write_set.items():
+                self.statedb.put(key, value, version)
+        self.chain.append(block)
+        self.validation_codes.update(codes)
+        return CommitResult(block_number=block.number, codes=codes)
+
+    def current_state_root(self) -> bytes:
+        """Merkle root of this peer's world state."""
+        return state_root(self.statedb)
+
+    def endorsement_failed(self, tid: str) -> bool:
+        """Whether this peer marked ``tid`` invalid at commit."""
+        code = self.validation_codes.get(tid)
+        return code is not None and code is not ValidationCode.VALID

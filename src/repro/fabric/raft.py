@@ -1,0 +1,258 @@
+"""Raft consensus among the ordering nodes.
+
+The paper's deployment "opt[s] to use Raft as the consensus protocol of
+orderers" (§6, Experimental setup).  The default network model charges
+a fixed consensus delay per block; this module provides the real
+protocol for deployments that want it (``NetworkConfig.use_raft``) and
+for fault-injection tests: leader election with randomized-but-seeded
+timeouts, heartbeats, majority log replication, and crash/recovery.
+
+The simulation style matches the rest of the codebase: nodes are
+processes on the shared :class:`~repro.sim.Environment`; message delays
+come from the latency model.  The protocol is the Raft core (Ongaro &
+Ousterhout §5) specialised to the ordering use case:
+
+- log entries are opaque payloads (block digests),
+- reads never go through the log (orderers only replicate),
+- configuration changes are out of scope (fixed membership, like a
+  Fabric ordering-service deployment).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Event
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+@dataclass
+class LogEntry:
+    """One replicated entry: the term it was created in and a payload."""
+
+    term: int
+    payload: Any
+    #: Events to fire when THIS entry commits (identity-based, so a
+    #: retried payload appended as a fresh entry cannot be confused
+    #: with an abandoned one on a dead leader's log).
+    waiters: list = field(default_factory=list)
+
+
+@dataclass
+class _NodeState:
+    """Volatile + persistent state of one Raft node."""
+
+    node_id: int
+    role: str = FOLLOWER
+    current_term: int = 0
+    voted_for: int | None = None
+    log: list[LogEntry] = field(default_factory=list)
+    commit_index: int = -1
+    crashed: bool = False
+    #: Deadline (sim time) at which a follower starts an election.
+    election_deadline: float = 0.0
+
+
+class RaftCluster:
+    """A fixed-membership Raft group replicating opaque payloads.
+
+    Parameters
+    ----------
+    env:
+        Shared simulation environment.
+    node_count:
+        Cluster size (the paper uses 3 orderers).
+    rtt_ms:
+        One-way message delay between orderers.
+    heartbeat_ms / election_timeout_ms:
+        Raft timers.  Election timeouts are drawn per node from a
+        seeded RNG, so runs are deterministic.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_count: int = 3,
+        rtt_ms: float = 1.0,
+        heartbeat_ms: float = 50.0,
+        election_timeout_ms: tuple[float, float] = (150.0, 300.0),
+        seed: int = 1,
+    ):
+        if node_count < 1:
+            raise SimulationError("raft needs at least one node")
+        self.env = env
+        self.rtt_ms = rtt_ms
+        self.heartbeat_ms = heartbeat_ms
+        self._timeout_range = election_timeout_ms
+        self._rng = random.Random(seed)
+        self.nodes = [_NodeState(node_id=i) for i in range(node_count)]
+        self._majority = node_count // 2 + 1
+        #: Election statistics (observable by tests).
+        self.elections_held = 0
+        for node in self.nodes:
+            self._reset_election_deadline(node)
+            env.process(self._node_loop(node))
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def leader(self) -> _NodeState | None:
+        """The current leader, if one is up."""
+        for node in self.nodes:
+            if node.role == LEADER and not node.crashed:
+                return node
+        return None
+
+    def replicate(self, payload: Any) -> Event:
+        """Append a payload through the leader; fires when committed.
+
+        The returned event's value is the committed log index.  If no
+        leader is currently known, the call waits (retrying internally)
+        until one emerges — mirroring how a Fabric orderer buffers
+        transactions across leadership changes.
+        """
+        event = self.env.event()
+        self.env.process(self._replicate_process(payload, event))
+        return event
+
+    def crash(self, node_id: int) -> None:
+        """Take a node down (it stops participating)."""
+        self.nodes[node_id].crashed = True
+
+    def recover(self, node_id: int) -> None:
+        """Bring a crashed node back as a follower."""
+        node = self.nodes[node_id]
+        node.crashed = False
+        node.role = FOLLOWER
+        self._reset_election_deadline(node)
+
+    def committed_payloads(self, node_id: int | None = None) -> list[Any]:
+        """Committed log as seen by one node (default: the leader)."""
+        node = self.nodes[node_id] if node_id is not None else (self.leader or self.nodes[0])
+        return [entry.payload for entry in node.log[: node.commit_index + 1]]
+
+    # -- internals ------------------------------------------------------------
+
+    def _reset_election_deadline(self, node: _NodeState) -> None:
+        low, high = self._timeout_range
+        node.election_deadline = self.env.now + self._rng.uniform(low, high)
+
+    def _alive(self) -> list[_NodeState]:
+        return [n for n in self.nodes if not n.crashed]
+
+    def _node_loop(self, node: _NodeState):
+        """Follower/candidate timer loop; leaders run the heartbeat loop."""
+        env = self.env
+        while True:
+            if node.crashed or node.role == LEADER:
+                yield env.timeout(self.heartbeat_ms / 2)
+                continue
+            if env.now >= node.election_deadline:
+                yield from self._run_election(node)
+            else:
+                yield env.timeout(
+                    max(node.election_deadline - env.now, 0.1)
+                )
+
+    def _run_election(self, node: _NodeState):
+        env = self.env
+        node.role = CANDIDATE
+        node.current_term += 1
+        node.voted_for = node.node_id
+        self.elections_held += 1
+        term = node.current_term
+        votes = 1
+        # Request votes: one RTT to each peer.
+        yield env.timeout(self.rtt_ms * 2)
+        for peer in self._alive():
+            if peer is node:
+                continue
+            if peer.current_term > term:
+                continue  # peer is ahead: no vote
+            up_to_date = len(node.log) >= len(peer.log)
+            if up_to_date and (peer.current_term < term or peer.voted_for is None):
+                peer.current_term = term
+                peer.voted_for = node.node_id
+                if peer.role == LEADER:
+                    peer.role = FOLLOWER
+                votes += 1
+        if node.crashed:
+            return
+        if votes >= self._majority and node.role == CANDIDATE:
+            node.role = LEADER
+            # Bring peers' logs up to date immediately (simplified
+            # AppendEntries catch-up).
+            yield from self._broadcast_append(node)
+            self.env.process(self._leader_loop(node))
+        else:
+            node.role = FOLLOWER
+            self._reset_election_deadline(node)
+
+    def _leader_loop(self, leader: _NodeState):
+        env = self.env
+        while leader.role == LEADER and not leader.crashed:
+            yield env.timeout(self.heartbeat_ms)
+            if leader.crashed or leader.role != LEADER:
+                return
+            yield from self._broadcast_append(leader)
+
+    def _broadcast_append(self, leader: _NodeState):
+        """Replicate the leader's log to every live follower; advance
+        the commit index on majority acknowledgement."""
+        env = self.env
+        yield env.timeout(self.rtt_ms)  # fan-out
+        acks = 1
+        for peer in self._alive():
+            if peer is leader:
+                continue
+            if peer.current_term > leader.current_term:
+                leader.role = FOLLOWER
+                self._reset_election_deadline(leader)
+                return
+            peer.current_term = leader.current_term
+            peer.role = FOLLOWER
+            peer.voted_for = leader.node_id
+            self._reset_election_deadline(peer)
+            # Simplified log reconciliation: followers adopt the
+            # leader's log (safe here because only leaders append).
+            peer.log = list(leader.log)
+            acks += 1
+        yield env.timeout(self.rtt_ms)  # acks back
+        if acks >= self._majority:
+            new_commit = len(leader.log) - 1
+            if new_commit > leader.commit_index:
+                for index in range(leader.commit_index + 1, new_commit + 1):
+                    entry = leader.log[index]
+                    waiters, entry.waiters = entry.waiters, []
+                    for event in waiters:
+                        event.succeed(index)
+                leader.commit_index = new_commit
+            for peer in self._alive():
+                peer.commit_index = max(peer.commit_index, leader.commit_index)
+
+    def _replicate_process(self, payload: Any, done: Event):
+        env = self.env
+        while True:
+            leader = self.leader
+            if leader is None:
+                yield env.timeout(self.heartbeat_ms)
+                continue
+            entry = LogEntry(term=leader.current_term, payload=payload)
+            leader.log.append(entry)
+            waiter = env.event()
+            entry.waiters.append(waiter)
+            committed = yield env.any_of(
+                [waiter, env.timeout(self._timeout_range[1] * 2)]
+            )
+            if waiter.triggered:
+                done.succeed(committed)
+                return
+            # Leader may have crashed before committing: drop the
+            # uncommitted entry from the dead leader's log copy is not
+            # needed (it is not on the new leader's log) — retry.

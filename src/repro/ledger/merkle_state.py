@@ -1,0 +1,64 @@
+"""Merkle digests over the world state.
+
+The consensus among peers is on the state digest in each block header
+(paper §3, §5.2): the entire contract state is arranged as the leaves
+of a Merkle tree and only the root travels on chain.  This module
+computes that root deterministically from a :class:`StateDatabase` and
+produces membership proofs for individual state entries, which is what
+lets a view reader verify ViewStorage contents against the ledger
+without trusting the serving peer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.errors import MerkleProofError
+from repro.ledger.statedb import StateDatabase
+
+
+def _encode_entry(key: str, value: Any) -> bytes:
+    """Canonical leaf encoding of one state entry."""
+    if isinstance(value, (bytes, bytearray)):
+        encoded_value = "hex:" + bytes(value).hex()
+    else:
+        encoded_value = json.dumps(value, sort_keys=True, default=str)
+    return json.dumps([key, encoded_value], separators=(",", ":")).encode()
+
+
+class StateDigest:
+    """Merkle tree over the sorted entries of a state database."""
+
+    def __init__(self, statedb: StateDatabase):
+        self._keys = statedb.keys()  # sorted
+        self._leaves = [_encode_entry(k, statedb.get(k)) for k in self._keys]
+        self._tree = MerkleTree(self._leaves)
+
+    def root(self) -> bytes:
+        """The 32-byte state root for a block header."""
+        return self._tree.root()
+
+    def prove(self, key: str) -> MerkleProof:
+        """Membership proof for ``key``'s current entry.
+
+        Raises
+        ------
+        MerkleProofError
+            If the key is not present in the digested state.
+        """
+        try:
+            index = self._keys.index(key)
+        except ValueError as exc:
+            raise MerkleProofError(f"key {key!r} not in state digest") from exc
+        return self._tree.prove(index)
+
+    def verify(self, key: str, value: Any, proof: MerkleProof, root: bytes) -> bool:
+        """Check that ``(key, value)`` is covered by ``root`` via ``proof``."""
+        return proof.verify(_encode_entry(key, value), root)
+
+
+def state_root(statedb: StateDatabase) -> bytes:
+    """One-shot state-root computation."""
+    return StateDigest(statedb).root()

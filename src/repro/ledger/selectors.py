@@ -1,0 +1,128 @@
+"""CouchDB-style rich queries over the world state.
+
+Fabric deployments that choose CouchDB as the state database get JSON
+*selector* queries (Mongo-style declarative filters) in addition to key
+range scans (paper §3: "LevelDB or CouchDB are used for storing the
+state database and answering queries posed to the blockchain").  This
+module implements the selector subset Fabric documents:
+
+- equality: ``{"field": value}`` or ``{"field": {"$eq": value}}``
+- comparisons: ``$gt``, ``$gte``, ``$lt``, ``$lte``, ``$ne``
+- membership: ``$in``, ``$nin``
+- existence: ``$exists``
+- regex: ``$regex``
+- boolean composition: ``$and``, ``$or``, ``$not``
+- dotted paths into nested documents: ``{"owner.org": "org1"}``
+
+Like Fabric, selector queries are *not* re-validated at commit time
+(no phantom protection) — they are a read/query facility.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator, Mapping
+
+from repro.errors import LedgerError
+from repro.ledger.statedb import StateDatabase
+
+_OPERATORS = {
+    "$eq": lambda actual, expected: actual == expected,
+    "$ne": lambda actual, expected: actual != expected,
+    "$gt": lambda actual, expected: _ordered(actual, expected) and actual > expected,
+    "$gte": lambda actual, expected: _ordered(actual, expected) and actual >= expected,
+    "$lt": lambda actual, expected: _ordered(actual, expected) and actual < expected,
+    "$lte": lambda actual, expected: _ordered(actual, expected) and actual <= expected,
+    "$in": lambda actual, expected: actual in expected,
+    "$nin": lambda actual, expected: actual not in expected,
+}
+
+
+def _ordered(actual: Any, expected: Any) -> bool:
+    """Whether the two values are comparable (CouchDB never errors)."""
+    try:
+        actual < expected  # noqa: B015 — probing comparability
+        return True
+    except TypeError:
+        return False
+
+
+def _resolve_path(document: Any, path: str) -> tuple[bool, Any]:
+    """Follow a dotted path; returns (exists, value)."""
+    current = document
+    for segment in path.split("."):
+        if isinstance(current, Mapping) and segment in current:
+            current = current[segment]
+        else:
+            return False, None
+    return True, current
+
+
+def matches_selector(document: Any, selector: Mapping[str, Any]) -> bool:
+    """Evaluate a selector against one state value.
+
+    Raises
+    ------
+    LedgerError
+        For unknown ``$``-operators (silent typos are query bugs).
+    """
+    for key, condition in selector.items():
+        if key == "$and":
+            if not all(matches_selector(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches_selector(document, sub) for sub in condition):
+                return False
+        elif key == "$not":
+            if matches_selector(document, condition):
+                return False
+        elif key.startswith("$"):
+            raise LedgerError(f"unknown top-level selector operator {key!r}")
+        else:
+            exists, value = _resolve_path(document, key)
+            if not _field_matches(exists, value, condition):
+                return False
+    return True
+
+
+def _field_matches(exists: bool, value: Any, condition: Any) -> bool:
+    if isinstance(condition, Mapping) and any(
+        k.startswith("$") for k in condition
+    ):
+        for operator, operand in condition.items():
+            if operator == "$exists":
+                if bool(operand) != exists:
+                    return False
+            elif operator == "$regex":
+                if not exists or not isinstance(value, str):
+                    return False
+                if re.search(operand, value) is None:
+                    return False
+            elif operator in _OPERATORS:
+                if not exists or not _OPERATORS[operator](value, operand):
+                    return False
+            else:
+                raise LedgerError(f"unknown selector operator {operator!r}")
+        return True
+    # Plain value: equality (requires existence).
+    return exists and value == condition
+
+
+def select(
+    statedb: StateDatabase,
+    selector: Mapping[str, Any],
+    prefix: str = "",
+    limit: int | None = None,
+) -> Iterator[tuple[str, Any]]:
+    """Yield ``(key, value)`` state entries matching ``selector``.
+
+    ``prefix`` narrows the scan (e.g. one chaincode's namespace);
+    ``limit`` caps the result count (CouchDB's ``limit``).
+    """
+    produced = 0
+    for key, value in statedb.scan_prefix(prefix):
+        if matches_selector(value, selector):
+            yield key, value
+            produced += 1
+            if limit is not None and produced >= limit:
+                return

@@ -1,0 +1,115 @@
+"""Versioned key-value world state (the LevelDB stand-in).
+
+Fabric peers keep contract state in a local database; transaction
+validation uses multi-version concurrency control — each value carries
+the version (block number, position in block) of the transaction that
+wrote it, and a transaction is invalidated if any key it read has since
+changed (paper §5.1's validation phase).
+
+Keys are namespaced ``"<chaincode>~<key>"`` by the chaincode layer;
+this module treats keys as opaque strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """MVCC version stamp: position of the writing transaction."""
+
+    block: int
+    position: int
+
+    @classmethod
+    def genesis(cls) -> "Version":
+        return cls(block=0, position=0)
+
+
+@dataclass(frozen=True)
+class StateEntry:
+    """A value together with its MVCC version."""
+
+    value: Any
+    version: Version
+
+
+class StateDatabase:
+    """In-memory versioned KV store with prefix scans and byte accounting."""
+
+    def __init__(self):
+        self._data: dict[str, StateEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str) -> Any | None:
+        """Current value for ``key`` (None when absent)."""
+        entry = self._data.get(key)
+        return entry.value if entry is not None else None
+
+    def get_with_version(self, key: str) -> StateEntry | None:
+        """Value plus version, for read-set construction."""
+        return self._data.get(key)
+
+    def version_of(self, key: str) -> Version | None:
+        """Version only (None when absent)."""
+        entry = self._data.get(key)
+        return entry.version if entry is not None else None
+
+    def put(self, key: str, value: Any, version: Version) -> None:
+        """Write ``value`` at ``version`` (a committed transaction's stamp)."""
+        self._data[key] = StateEntry(value=value, version=version)
+
+    def delete(self, key: str) -> None:
+        """Remove a key (no tombstone is kept; ledger history remains)."""
+        self._data.pop(key, None)
+
+    def scan_prefix(self, prefix: str) -> Iterator[tuple[str, Any]]:
+        """Yield ``(key, value)`` for keys starting with ``prefix``.
+
+        Iteration order is sorted by key, mirroring LevelDB's ordered
+        iteration, so results are deterministic.
+        """
+        for key in sorted(self._data):
+            if key.startswith(prefix):
+                yield key, self._data[key].value
+
+    def keys(self) -> list[str]:
+        """All keys, sorted."""
+        return sorted(self._data)
+
+    def size_bytes(self) -> int:
+        """Approximate storage footprint of the current state.
+
+        Uses canonical serialized sizes of keys and values; used for the
+        storage-overhead experiment (Fig 9).
+        """
+        import json
+
+        total = 0
+        for key, entry in self._data.items():
+            total += len(key.encode("utf-8"))
+            value = entry.value
+            if isinstance(value, bytes):
+                total += len(value)
+            else:
+                total += len(
+                    json.dumps(value, sort_keys=True, default=_bytes_hex).encode()
+                )
+        return total
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain dict copy of current values (for tests and digests)."""
+        return {key: entry.value for key, entry in self._data.items()}
+
+
+def _bytes_hex(value: Any) -> str:
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value).hex()
+    return str(value)

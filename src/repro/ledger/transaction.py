@@ -1,0 +1,122 @@
+"""Transactions: identifier, non-secret part, concealed secret part.
+
+The paper models a transaction as a 3-tuple ``(tid, t[N], t[S])`` where
+``t[N]`` is visible to everyone (and usable by consensus and by view
+predicates) while ``t[S]`` is concealed — stored either encrypted (EI/ER)
+or as a salted hash (HI/HR).  This module is method-agnostic: the
+``concealed`` field simply carries whatever bytes the view manager
+produced for the secret part, plus an optional ``salt`` for the
+hash-based methods.
+
+Serialization is canonical (sorted-key JSON with hex-encoded byte
+fields) so digests and byte-size accounting are deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import sha256, sha256_hex
+
+_tid_counter = itertools.count(1)
+_tid_lock = threading.Lock()
+
+
+def fresh_tid(prefix: str = "tx") -> str:
+    """Mint a process-unique transaction identifier."""
+    with _tid_lock:
+        return f"{prefix}-{next(_tid_counter):08d}"
+
+
+def _canonical_json(value: Any) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), default=str)
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One ledger transaction.
+
+    Attributes
+    ----------
+    tid:
+        Unique transaction identifier.
+    kind:
+        Discriminator for the transaction's role (``"invoke"``,
+        ``"view-merge"``, ``"txlist-flush"``, ``"2pc-prepare"``, ...).
+        Part of the non-secret data.
+    nonsecret:
+        The public attributes ``t[N]`` — a JSON-able mapping.  View
+        predicates are evaluated over this part only.
+    concealed:
+        The on-chain representation of the secret part ``t[S]``:
+        ciphertext for encryption-based methods, a 32-byte salted hash
+        for hash-based methods, or empty when there is no secret.
+    salt:
+        The public salt ``s`` for hash-based concealment (empty
+        otherwise).
+    creator:
+        Identifier of the submitting user (public information).
+    """
+
+    tid: str
+    kind: str = "invoke"
+    nonsecret: dict[str, Any] = field(default_factory=dict)
+    concealed: bytes = b""
+    salt: bytes = b""
+    creator: str = ""
+
+    def serialize(self) -> bytes:
+        """Canonical byte encoding (stable across runs)."""
+        body = {
+            "tid": self.tid,
+            "kind": self.kind,
+            "nonsecret": self.nonsecret,
+            "concealed": self.concealed.hex(),
+            "salt": self.salt.hex(),
+            "creator": self.creator,
+        }
+        return _canonical_json(body).encode("utf-8")
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "Transaction":
+        """Inverse of :meth:`serialize`."""
+        body = json.loads(raw.decode("utf-8"))
+        return cls(
+            tid=body["tid"],
+            kind=body["kind"],
+            nonsecret=body["nonsecret"],
+            concealed=bytes.fromhex(body["concealed"]),
+            salt=bytes.fromhex(body["salt"]),
+            creator=body["creator"],
+        )
+
+    def digest(self) -> bytes:
+        """SHA-256 over the canonical encoding."""
+        return sha256(self.serialize())
+
+    def digest_hex(self) -> str:
+        """Hex form of :meth:`digest` (handy in assertions and logs)."""
+        return sha256_hex(self.serialize())
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size — the unit of storage accounting and of the
+        orderer's byte-based block cutting."""
+        return len(self.serialize())
+
+    def with_nonsecret(self, **updates: Any) -> "Transaction":
+        """Copy with some non-secret attributes replaced (txs are frozen)."""
+        merged = dict(self.nonsecret)
+        merged.update(updates)
+        return Transaction(
+            tid=self.tid,
+            kind=self.kind,
+            nonsecret=merged,
+            concealed=self.concealed,
+            salt=self.salt,
+            creator=self.creator,
+        )

@@ -1,0 +1,186 @@
+"""Shared-resource primitives for the simulation kernel.
+
+- :class:`Resource` — a server pool with FIFO queueing (models CPU slots
+  on peers/orderers, 2PC coordinator locks, ...).
+- :class:`Store` — an unbounded (or bounded) FIFO item buffer (models
+  message queues between network components).
+- :class:`Container` — a continuous-level reservoir (not used by the
+  Fabric model directly but part of the standard kernel surface).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with a FIFO wait queue.
+
+    Usage from a process::
+
+        request = resource.request()
+        yield request
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(request)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of servers currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a server."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that fires when a server is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Hand a server back; wakes the longest-waiting request if any."""
+        if not request.triggered:
+            # Request never granted (still queued): cancel it.
+            try:
+                self._waiting.remove(request)
+            except ValueError as exc:
+                raise SimulationError("release of unknown request") from exc
+            return
+        if self._waiting:
+            self._waiting.popleft().succeed()
+        else:
+            self._in_use -= 1
+            if self._in_use < 0:
+                raise SimulationError("resource released more times than acquired")
+
+
+class Store:
+    """A FIFO buffer of Python objects with blocking get/put."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> list[Any]:
+        """Snapshot of buffered items (oldest first)."""
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` is accepted into the buffer."""
+        event = Event(self.env)
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Event that fires with the oldest available item as its value."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            if self._putters:
+                put_event, item = self._putters.popleft()
+                self._items.append(item)
+                put_event.succeed()
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Container:
+    """A continuous-level reservoir supporting blocking put/get of amounts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        initial: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= initial <= capacity:
+            raise SimulationError("initial level must lie within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = initial
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current fill level."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Event firing once ``amount`` has been added."""
+        if amount <= 0:
+            raise SimulationError("put amount must be positive")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Event firing once ``amount`` has been withdrawn."""
+        if amount <= 0:
+            raise SimulationError("get amount must be positive")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        """Fulfil queued puts/gets in FIFO order while possible."""
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.popleft()
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._level -= amount
+                    self._getters.popleft()
+                    event.succeed()
+                    progressed = True

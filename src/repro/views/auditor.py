@@ -1,0 +1,142 @@
+"""Continuous view auditing from block events.
+
+A :class:`ViewAuditor` subscribes to the network's block event service
+and maintains, entirely client-side and from *public* information, the
+set of transactions each registered view definition should contain —
+live, without scanning the ledger on every check.  It is the streaming
+counterpart of the one-shot completeness test in
+:mod:`repro.views.verification`: a reader (or a watchdog process) keeps
+an auditor running and can, at any time, diff a view owner's served
+contents against the expectation.
+
+Because the auditor only sees non-secret parts, it covers the paper's
+completeness case (§4.7 case 3) and the "foreign transaction" half of
+soundness (case 1); concealment checks (case 2) still need the served
+secrets and live in the read path / :class:`ViewVerifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DuplicateViewError, ViewNotFoundError
+from repro.fabric.network import FabricNetwork
+from repro.fabric.peer import ValidationCode
+from repro.views.predicates import Predicate
+
+
+@dataclass
+class AuditReport:
+    """Outcome of diffing served view contents against the expectation."""
+
+    view: str
+    as_of_block: int
+    missing: list[str] = field(default_factory=list)
+    foreign: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing and not self.foreign
+
+
+class ViewAuditor:
+    """Streams committed blocks into per-view expected transaction sets."""
+
+    def __init__(self, network: FabricNetwork):
+        self.network = network
+        self._definitions: dict[str, Predicate] = {}
+        self._expected: dict[str, list[str]] = {}
+        #: Explicit grants beyond the predicates ((view, tid) pairs that
+        #: arrive out of band, e.g. historical-access grants).
+        self._extra: dict[str, set[str]] = {}
+        self._last_block = -1
+        network.on_block(self._on_block)
+
+    def close(self) -> None:
+        """Unsubscribe from the network's block events."""
+        self.network.remove_block_listener(self._on_block)
+
+    # -- registration ------------------------------------------------------
+
+    def watch(self, view: str, predicate: Predicate) -> None:
+        """Start auditing a view definition.
+
+        Transactions committed *before* registration are backfilled from
+        the ledger, so the expectation is complete from block zero.
+        """
+        if view in self._definitions:
+            raise DuplicateViewError(f"already auditing view {view!r}")
+        self._definitions[view] = predicate
+        self._expected[view] = []
+        self._extra[view] = set()
+        # Backfill everything already on the chain; live events cover
+        # the rest.  (Blocks in flight between the chain tip and the
+        # event stream cannot exist: events fire at commit time.)
+        chain = self.network.reference_peer.chain
+        horizon = max(self._last_block, chain.height - 1)
+        for block in chain:
+            if block.number > horizon:
+                break
+            self._scan_block(block, only_view=view)
+        self._last_block = horizon
+
+    def grant(self, view: str, tid: str) -> None:
+        """Record an out-of-band grant (e.g. historical access, §6.2)."""
+        self._require(view)
+        if tid not in self._extra[view] and tid not in set(self._expected[view]):
+            self._extra[view].add(tid)
+            self._expected[view].append(tid)
+
+    def _require(self, view: str) -> None:
+        if view not in self._definitions:
+            raise ViewNotFoundError(f"not auditing view {view!r}")
+
+    # -- event handling -------------------------------------------------------
+
+    def _on_block(self, block, result) -> None:
+        valid = {
+            tid
+            for tid, code in result.codes.items()
+            if code is ValidationCode.VALID
+        }
+        self._scan_block(block, valid_tids=valid)
+        self._last_block = block.number
+
+    def _scan_block(self, block, only_view: str | None = None, valid_tids=None):
+        for tx in block.transactions:
+            if tx.kind != "invoke":
+                continue
+            if valid_tids is not None and tx.tid not in valid_tids:
+                continue
+            public = tx.nonsecret.get("public", {})
+            views = (
+                [only_view] if only_view is not None else list(self._definitions)
+            )
+            for view in views:
+                predicate = self._definitions[view]
+                if predicate.matches(public):
+                    bucket = self._expected[view]
+                    if tx.tid not in self._extra[view] and tx.tid not in bucket:
+                        bucket.append(tx.tid)
+
+    # -- queries ------------------------------------------------------------------
+
+    def expected(self, view: str) -> list[str]:
+        """Transactions the view should contain, in commit order."""
+        self._require(view)
+        return list(self._expected[view])
+
+    def audit(self, view: str, served_tids: set[str]) -> AuditReport:
+        """Diff served contents against the live expectation.
+
+        ``missing`` — expected but not served (completeness violation);
+        ``foreign`` — served but not expected (soundness case 1).
+        """
+        self._require(view)
+        expected = set(self._expected[view])
+        return AuditReport(
+            view=view,
+            as_of_block=self._last_block,
+            missing=sorted(expected - served_tids),
+            foreign=sorted(served_tids - expected),
+        )

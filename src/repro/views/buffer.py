@@ -1,0 +1,77 @@
+"""ViewBuffer: the view owner's off-chain bookkeeping (paper §5.3).
+
+Holds, per view: the current view key ``K_V`` and its rotation count,
+the ordered transaction-id list ``V_ids``, the per-transaction data the
+manager needs to serve queries (transaction keys for encryption-based
+views, secret plaintexts for hash-based views), and the current access
+list used for revocable grant/revoke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.symmetric import SymmetricKey
+from repro.errors import DuplicateViewError, ViewNotFoundError
+from repro.views.predicates import Predicate
+from repro.views.types import ViewMode
+
+
+@dataclass
+class ViewRecord:
+    """Owner-side state of one view."""
+
+    name: str
+    predicate: Predicate
+    mode: ViewMode
+    key: SymmetricKey = field(repr=False)
+    #: Incremented on every revocation-driven key rotation.
+    key_version: int = 0
+    #: ``V_ids`` — transaction ids in insertion order.
+    tids: list[str] = field(default_factory=list)
+    #: Method-specific per-transaction data (keys or plaintexts).
+    data: dict[str, Any] = field(default_factory=dict, repr=False)
+    #: Currently authorized principals: user or role id → public key.
+    authorized: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    @property
+    def is_revocable(self) -> bool:
+        return self.mode is ViewMode.REVOCABLE
+
+    def contains(self, tid: str) -> bool:
+        return tid in self.data
+
+
+class ViewBuffer:
+    """All views managed by one view owner."""
+
+    def __init__(self):
+        self._views: dict[str, ViewRecord] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def add(self, record: ViewRecord) -> None:
+        if record.name in self._views:
+            raise DuplicateViewError(f"view {record.name!r} already exists")
+        self._views[record.name] = record
+
+    def get(self, name: str) -> ViewRecord:
+        record = self._views.get(name)
+        if record is None:
+            raise ViewNotFoundError(f"no view named {name!r}")
+        return record
+
+    def names(self) -> list[str]:
+        return sorted(self._views)
+
+    def all_views(self) -> list[ViewRecord]:
+        return [self._views[name] for name in self.names()]
+
+    def matching(self, nonsecret: dict[str, Any]) -> list[ViewRecord]:
+        """Views whose predicate accepts ``t[N]`` (insertion-stable order)."""
+        return [v for v in self._views.values() if v.predicate.matches(nonsecret)]

@@ -1,0 +1,361 @@
+"""A datalog engine for recursive view definitions.
+
+The paper (§3) defines lineage-following views with recursive datalog
+rules, e.g. *all transactions that are part of a delivery chain ending
+at Warehouse 1*::
+
+    p1(T, F, "Warehouse 1") :- delivery(T, F, "Warehouse 1").
+    p1(T, X, Y)             :- delivery(T, X, Y), p1(T2, Y, Z).
+    p(T)                    :- p1(T, X, Y).
+
+This module implements positive datalog with recursion, evaluated
+bottom-up with **semi-naive** iteration, plus a small parser for the
+conventional rule syntax.  :class:`DatalogViewQuery` adapts a program
+to the ledger: transactions are turned into extensional facts and the
+query predicate's first column yields the transaction ids of the view.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.errors import LedgerViewError
+
+
+class DatalogError(LedgerViewError):
+    """Malformed datalog program (parse error, unsafe rule, arity clash)."""
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A datalog variable (conventionally upper-case in rule syntax)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Term = Any  # a Variable or a constant
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(term, term, ...)``."""
+
+    predicate: str
+    terms: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[Variable]:
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body_1, ..., body_n`` (facts have an empty body)."""
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+
+    def validate(self) -> None:
+        """Safety: every head variable must occur in the body.
+
+        Raises
+        ------
+        DatalogError
+            For unsafe rules (they would denote infinite relations).
+        """
+        body_vars: set[Variable] = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        unsafe = self.head.variables() - body_vars
+        if unsafe and self.body:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise DatalogError(f"unsafe rule: head variables {names} not in body")
+        if unsafe and not self.body:
+            raise DatalogError("facts must be ground (no variables)")
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(repr(a) for a in self.body)}."
+
+
+Bindings = dict[Variable, Any]
+
+
+def _match_atom(
+    atom: Atom, fact: tuple[Any, ...], bindings: Bindings
+) -> Bindings | None:
+    """Unify ``atom`` with a ground ``fact`` under existing bindings."""
+    if len(fact) != atom.arity:
+        return None
+    result = dict(bindings)
+    for term, value in zip(atom.terms, fact):
+        if isinstance(term, Variable):
+            bound = result.get(term, _UNBOUND)
+            if bound is _UNBOUND:
+                result[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return result
+
+
+_UNBOUND = object()
+
+
+class Program:
+    """A set of datalog rules with semi-naive bottom-up evaluation."""
+
+    def __init__(self, rules: Iterable[Rule]):
+        self.rules = list(rules)
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            rule.validate()
+            for atom in (rule.head, *rule.body):
+                known = arities.get(atom.predicate)
+                if known is None:
+                    arities[atom.predicate] = atom.arity
+                elif known != atom.arity:
+                    raise DatalogError(
+                        f"predicate {atom.predicate!r} used with arities "
+                        f"{known} and {atom.arity}"
+                    )
+        self.idb_predicates = {rule.head.predicate for rule in self.rules if rule.body}
+
+    def evaluate(
+        self, edb: dict[str, set[tuple[Any, ...]]]
+    ) -> dict[str, set[tuple[Any, ...]]]:
+        """Compute the least fixpoint over extensional facts ``edb``.
+
+        Semi-naive iteration: each round only joins against the *delta*
+        (facts new in the previous round), so evaluation is linear in
+        the number of derivable facts for linear rules.
+        """
+        facts: dict[str, set[tuple[Any, ...]]] = {
+            name: set(values) for name, values in edb.items()
+        }
+        # Ground facts written directly in the program join the EDB.
+        for rule in self.rules:
+            if not rule.body:
+                facts.setdefault(rule.head.predicate, set()).add(rule.head.terms)
+
+        delta: dict[str, set[tuple[Any, ...]]] = {
+            name: set(values) for name, values in facts.items()
+        }
+        recursive_rules = [rule for rule in self.rules if rule.body]
+        while any(delta.values()):
+            new_delta: dict[str, set[tuple[Any, ...]]] = {}
+            for rule in recursive_rules:
+                for derived in self._apply_rule(rule, facts, delta):
+                    existing = facts.setdefault(rule.head.predicate, set())
+                    if derived not in existing:
+                        existing.add(derived)
+                        new_delta.setdefault(rule.head.predicate, set()).add(derived)
+            delta = new_delta
+        return facts
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        facts: dict[str, set[tuple[Any, ...]]],
+        delta: dict[str, set[tuple[Any, ...]]],
+    ) -> set[tuple[Any, ...]]:
+        """All new head facts derivable with ≥1 body atom matched in delta."""
+        derived: set[tuple[Any, ...]] = set()
+        for delta_position in range(len(rule.body)):
+            if not delta.get(rule.body[delta_position].predicate):
+                continue
+            partials: list[Bindings] = [{}]
+            dead = False
+            for position, atom in enumerate(rule.body):
+                source = (
+                    delta[atom.predicate]
+                    if position == delta_position
+                    else facts.get(atom.predicate, set())
+                )
+                next_partials: list[Bindings] = []
+                for bindings in partials:
+                    for fact in source:
+                        extended = _match_atom(atom, fact, bindings)
+                        if extended is not None:
+                            next_partials.append(extended)
+                partials = next_partials
+                if not partials:
+                    dead = True
+                    break
+            if dead:
+                continue
+            for bindings in partials:
+                derived.add(
+                    tuple(
+                        bindings[t] if isinstance(t, Variable) else t
+                        for t in rule.head.terms
+                    )
+                )
+        return derived
+
+
+# --- parser -----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>"[^"]*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>:-|[(),.])
+  | (?P<ws>\s+|%[^\n]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise DatalogError(f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+    return tokens
+
+
+def _parse_term(token: str) -> Term:
+    if token.startswith('"'):
+        return token[1:-1]
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    if re.fullmatch(r"-?\d+\.\d+", token):
+        return float(token)
+    if token[0].isupper() or token[0] == "_":
+        return Variable(token)
+    return token  # lower-case identifier: a symbolic constant
+
+
+def parse_program(text: str) -> Program:
+    """Parse conventional datalog syntax into a :class:`Program`.
+
+    Variables start with an upper-case letter or underscore; constants
+    are quoted strings, numbers, or lower-case identifiers.  ``%``
+    starts a line comment.
+
+    >>> program = parse_program('''
+    ...     path(X, Y) :- edge(X, Y).
+    ...     path(X, Z) :- edge(X, Y), path(Y, Z).
+    ... ''')
+    >>> sorted(program.evaluate({"edge": {(1, 2), (2, 3)}})["path"])
+    [(1, 2), (1, 3), (2, 3)]
+    """
+    tokens = _tokenize(text)
+    rules: list[Rule] = []
+    position = 0
+
+    def expect(token: str) -> None:
+        nonlocal position
+        if position >= len(tokens) or tokens[position] != token:
+            found = tokens[position] if position < len(tokens) else "<eof>"
+            raise DatalogError(f"expected {token!r}, found {found!r}")
+        position += 1
+
+    def parse_atom() -> Atom:
+        nonlocal position
+        if position >= len(tokens):
+            raise DatalogError("expected predicate name, found <eof>")
+        name = tokens[position]
+        if not re.fullmatch(r"[a-z_][A-Za-z0-9_]*", name):
+            raise DatalogError(f"invalid predicate name {name!r}")
+        position += 1
+        expect("(")
+        terms: list[Term] = []
+        while True:
+            terms.append(_parse_term(tokens[position]))
+            position += 1
+            if tokens[position] == ",":
+                position += 1
+                continue
+            break
+        expect(")")
+        return Atom(predicate=name, terms=tuple(terms))
+
+    while position < len(tokens):
+        head = parse_atom()
+        body: list[Atom] = []
+        if position < len(tokens) and tokens[position] == ":-":
+            position += 1
+            while True:
+                body.append(parse_atom())
+                if position < len(tokens) and tokens[position] == ",":
+                    position += 1
+                    continue
+                break
+        expect(".")
+        rules.append(Rule(head=head, body=tuple(body)))
+    return Program(rules)
+
+
+# --- ledger adaptation --------------------------------------------------------
+
+
+class DatalogViewQuery:
+    """A view defined by a datalog program over ledger facts.
+
+    Parameters
+    ----------
+    program:
+        The datalog program (or its source text).
+    query:
+        Name of the answer predicate; its **first column** must hold
+        transaction ids.
+    extract_facts:
+        Maps one transaction to extensional facts, as
+        ``[(predicate, (value, ...)), ...]``.  The default emits
+        ``delivery(tid, from, to)`` from supply-chain transfers.
+    """
+
+    def __init__(
+        self,
+        program: Program | str,
+        query: str,
+        extract_facts: Callable[[Any], list[tuple[str, tuple[Any, ...]]]] | None = None,
+    ):
+        self.program = parse_program(program) if isinstance(program, str) else program
+        self.query = query
+        self.extract_facts = extract_facts or _default_extract
+
+    def evaluate(self, transactions: Iterable[Any]) -> set[str]:
+        """Transaction ids in the view, over the given ledger slice."""
+        edb: dict[str, set[tuple[Any, ...]]] = {}
+        for tx in transactions:
+            for predicate, fact in self.extract_facts(tx):
+                edb.setdefault(predicate, set()).add(fact)
+        results = self.program.evaluate(edb)
+        return {fact[0] for fact in results.get(self.query, set())}
+
+
+def _default_extract(tx: Any) -> list[tuple[str, tuple[Any, ...]]]:
+    """EDB facts for supply-chain transfers: ``delivery(tid, from, to)``."""
+    public = tx.nonsecret.get("public", tx.nonsecret)
+    sender = public.get("from")
+    receiver = public.get("to")
+    if sender is None or receiver is None:
+        return []
+    item = public.get("item")
+    facts = [("delivery", (tx.tid, sender, receiver))]
+    if item is not None:
+        facts.append(("item_delivery", (tx.tid, item, sender, receiver)))
+    return facts

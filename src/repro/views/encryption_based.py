@@ -1,0 +1,58 @@
+"""Encryption-based view manager: methods EI (§4.1) and ER (§4.2).
+
+Every transaction's secret part is encrypted under a fresh symmetric
+key ``K_ij`` and the ciphertext is stored on chain.  A view is, in
+essence, a key list: ``enc([tid_i, K_i], K_V)``.  For irrevocable
+views the encrypted key list lives in the ViewStorage contract; for
+revocable views the owner keeps the keys and serves them on request,
+encrypted under the current (rotatable) ``K_V``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.crypto.symmetric import SymmetricKey
+from repro.views.buffer import ViewRecord
+from repro.views.manager import ViewManager
+from repro.views.secret import ProcessedSecret
+from repro.views.types import Concealment
+
+
+class EncryptionBasedManager(ViewManager):
+    """View manager for the encryption-based methods (EI / ER)."""
+
+    concealment = Concealment.ENCRYPTION
+
+    def process_secret(self, secret: bytes) -> ProcessedSecret:
+        """Encrypt ``t[S]`` under a fresh per-transaction key ``K_ij``."""
+        tx_key = SymmetricKey.generate()
+        return ProcessedSecret(
+            concealed=tx_key.encrypt(bytes(secret)),
+            salt=b"",
+            tx_key=tx_key,
+            plaintext=b"",
+        )
+
+    def view_entry(
+        self, record: ViewRecord, tid: str, processed: ProcessedSecret
+    ) -> bytes:
+        """``enc((tid, K_i), K_V)`` — one element of the view's key list."""
+        body = json.dumps(
+            {"tid": tid, "key": processed.tx_key.to_bytes().hex()}
+        ).encode()
+        return record.key.encrypt(body)
+
+    def _buffered_data(self, processed: ProcessedSecret) -> Any:
+        return {"key": processed.tx_key.to_bytes()}
+
+    def _processed_from_buffer(
+        self, record: ViewRecord, tid: str
+    ) -> ProcessedSecret:
+        data = record.data[tid]
+        return ProcessedSecret(
+            concealed=b"",
+            tx_key=SymmetricKey.from_bytes(data["key"]),
+        )
+

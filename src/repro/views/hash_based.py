@@ -1,0 +1,58 @@
+"""Hash-based view manager: methods HI (§4.3) and HR (§4.4).
+
+Only ``h(t[S] || s)`` is stored on chain — the secret itself stays with
+the view owner.  A view entry is ``enc((tid, t[S]), K_V)``: for
+irrevocable views these entries go into the ViewStorage contract; for
+revocable views the owner serves them on request under the current
+``K_V``.  Readers validate every served secret against the salted hash
+on the ledger.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.crypto.hashing import random_salt, salted_hash
+from repro.views.buffer import ViewRecord
+from repro.views.manager import ViewManager
+from repro.views.secret import ProcessedSecret
+from repro.views.types import Concealment
+
+
+class HashBasedManager(ViewManager):
+    """View manager for the hash-based methods (HI / HR)."""
+
+    concealment = Concealment.HASH
+
+    def process_secret(self, secret: bytes) -> ProcessedSecret:
+        """Store ``h(t[S] || s)`` on chain; keep ``t[S]`` with the owner."""
+        salt = random_salt()
+        return ProcessedSecret(
+            concealed=salted_hash(bytes(secret), salt),
+            salt=salt,
+            tx_key=None,
+            plaintext=bytes(secret),
+        )
+
+    def view_entry(
+        self, record: ViewRecord, tid: str, processed: ProcessedSecret
+    ) -> bytes:
+        """``enc((tid, t[S]), K_V)`` — the revealed secret, view-keyed."""
+        body = json.dumps(
+            {"tid": tid, "secret": processed.plaintext.hex()}
+        ).encode()
+        return record.key.encrypt(body)
+
+    def _buffered_data(self, processed: ProcessedSecret) -> Any:
+        return {"secret": processed.plaintext, "salt": processed.salt}
+
+    def _processed_from_buffer(
+        self, record: ViewRecord, tid: str
+    ) -> ProcessedSecret:
+        data = record.data[tid]
+        return ProcessedSecret(
+            concealed=b"",
+            salt=data["salt"],
+            plaintext=data["secret"],
+        )

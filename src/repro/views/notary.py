@@ -1,0 +1,25 @@
+"""Notary chaincode: anchor data-only transactions on the ledger.
+
+Some LedgerView transactions exist purely to be immutable records —
+access-dissemination transactions (``V_access`` lists of sealed view
+keys) and the supply-chain transfer records themselves ride in the
+transaction body, not in contract state.  Fabric still requires every
+ordered transaction to be endorsed through a chaincode, so this
+contract provides a ``record`` function with no state effects.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.chaincode import Chaincode, TxContext
+
+CHAINCODE_NAME = "notary"
+
+
+class NotaryContract(Chaincode):
+    """A chaincode whose only job is to endorse data-only transactions."""
+
+    name = CHAINCODE_NAME
+
+    def fn_record(self, ctx: TxContext) -> str:
+        """Endorse the transaction; all payload lives in the tx body."""
+        return "recorded"

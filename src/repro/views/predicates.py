@@ -1,0 +1,237 @@
+"""View-definition predicates over the non-secret part of transactions.
+
+A view definition is a predicate ``P_V`` over ``t[N]``; the view is the
+set of transactions whose non-secret part satisfies it (paper §3).
+Predicates here are *serializable*: each one round-trips through a JSON
+descriptor, because the TxListContract stores view definitions on chain
+and re-evaluates them inside chaincode (§5.4).
+
+Composite predicates (:class:`AllOf`, :class:`AnyOf`, :class:`Not`)
+form an arbitrary boolean algebra over attribute tests, and
+:class:`DatalogPredicate` (in :mod:`repro.views.datalog`) adds the
+recursive, lineage-following definitions of §3.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+
+class Predicate(ABC):
+    """Boolean test over a transaction's non-secret attributes."""
+
+    @abstractmethod
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        """Evaluate the predicate over ``t[N]``."""
+
+    @abstractmethod
+    def descriptor(self) -> dict[str, Any]:
+        """JSON-able description that :func:`predicate_from_descriptor`
+        turns back into an equivalent predicate."""
+
+    def __and__(self, other: "Predicate") -> "AllOf":
+        return AllOf([self, other])
+
+    def __or__(self, other: "Predicate") -> "AnyOf":
+        return AnyOf([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class Everything(Predicate):
+    """Matches every transaction (a view of the whole ledger)."""
+
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        return True
+
+    def descriptor(self) -> dict[str, Any]:
+        return {"op": "true"}
+
+    def __repr__(self) -> str:
+        return "Everything()"
+
+
+class AttributeEquals(Predicate):
+    """``t[N][attribute] == value`` (e.g. ``to == "Warehouse 1"``)."""
+
+    def __init__(self, attribute: str, value: Any):
+        self.attribute = attribute
+        self.value = value
+
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        return nonsecret.get(self.attribute) == self.value
+
+    def descriptor(self) -> dict[str, Any]:
+        return {"op": "eq", "attr": self.attribute, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"AttributeEquals({self.attribute!r}, {self.value!r})"
+
+
+class AttributeIn(Predicate):
+    """``t[N][attribute] ∈ values``."""
+
+    def __init__(self, attribute: str, values: list[Any]):
+        self.attribute = attribute
+        self.values = list(values)
+
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        return nonsecret.get(self.attribute) in self.values
+
+    def descriptor(self) -> dict[str, Any]:
+        return {"op": "in", "attr": self.attribute, "values": self.values}
+
+    def __repr__(self) -> str:
+        return f"AttributeIn({self.attribute!r}, {self.values!r})"
+
+
+class AttributeCompare(Predicate):
+    """Ordered comparison ``t[N][attribute] <op> bound`` for lt/le/gt/ge.
+
+    Missing attributes never match.  Used for time-windowed views, e.g.
+    transactions before a block timestamp.
+    """
+
+    _OPS = {
+        "lt": lambda a, b: a < b,
+        "le": lambda a, b: a <= b,
+        "gt": lambda a, b: a > b,
+        "ge": lambda a, b: a >= b,
+    }
+
+    def __init__(self, attribute: str, op: str, bound: Any):
+        if op not in self._OPS:
+            raise ValueError(f"unknown comparison {op!r}; expected lt/le/gt/ge")
+        self.attribute = attribute
+        self.op = op
+        self.bound = bound
+
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        value = nonsecret.get(self.attribute)
+        if value is None:
+            return False
+        try:
+            return self._OPS[self.op](value, self.bound)
+        except TypeError:
+            return False
+
+    def descriptor(self) -> dict[str, Any]:
+        return {
+            "op": "cmp",
+            "attr": self.attribute,
+            "cmp": self.op,
+            "bound": self.bound,
+        }
+
+    def __repr__(self) -> str:
+        return f"AttributeCompare({self.attribute!r}, {self.op!r}, {self.bound!r})"
+
+
+class AllOf(Predicate):
+    """Conjunction of sub-predicates."""
+
+    def __init__(self, parts: list[Predicate]):
+        self.parts = list(parts)
+
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        return all(part.matches(nonsecret) for part in self.parts)
+
+    def descriptor(self) -> dict[str, Any]:
+        return {"op": "and", "parts": [part.descriptor() for part in self.parts]}
+
+    def __repr__(self) -> str:
+        return f"AllOf({self.parts!r})"
+
+
+class AnyOf(Predicate):
+    """Disjunction of sub-predicates (a union of datalog rules)."""
+
+    def __init__(self, parts: list[Predicate]):
+        self.parts = list(parts)
+
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        return any(part.matches(nonsecret) for part in self.parts)
+
+    def descriptor(self) -> dict[str, Any]:
+        return {"op": "or", "parts": [part.descriptor() for part in self.parts]}
+
+    def __repr__(self) -> str:
+        return f"AnyOf({self.parts!r})"
+
+
+class Not(Predicate):
+    """Negation of a sub-predicate."""
+
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        return not self.inner.matches(nonsecret)
+
+    def descriptor(self) -> dict[str, Any]:
+        return {"op": "not", "inner": self.inner.descriptor()}
+
+    def __repr__(self) -> str:
+        return f"Not({self.inner!r})"
+
+
+class ParticipantPredicate(Predicate):
+    """Matches transactions a supply-chain entity participated in.
+
+    The workload generator (paper §6.2) grants each node access to every
+    transfer it sent, received, or — via the per-item access list in the
+    transaction's non-secret part — handled earlier in the item's
+    lineage.  The generator materialises that list as ``t[N]["access"]``
+    and this predicate tests membership.
+    """
+
+    def __init__(self, entity: str):
+        self.entity = entity
+
+    def matches(self, nonsecret: Mapping[str, Any]) -> bool:
+        if nonsecret.get("from") == self.entity:
+            return True
+        if nonsecret.get("to") == self.entity:
+            return True
+        return self.entity in nonsecret.get("access", [])
+
+    def descriptor(self) -> dict[str, Any]:
+        return {"op": "participant", "entity": self.entity}
+
+    def __repr__(self) -> str:
+        return f"ParticipantPredicate({self.entity!r})"
+
+
+def predicate_from_descriptor(descriptor: Mapping[str, Any]) -> Predicate:
+    """Rebuild a predicate from its JSON descriptor.
+
+    This is how the TxListContract evaluates view definitions that were
+    registered on chain.
+
+    Raises
+    ------
+    ValueError
+        If the descriptor's ``op`` is unknown.
+    """
+    op = descriptor.get("op")
+    if op == "true":
+        return Everything()
+    if op == "eq":
+        return AttributeEquals(descriptor["attr"], descriptor["value"])
+    if op == "in":
+        return AttributeIn(descriptor["attr"], descriptor["values"])
+    if op == "cmp":
+        return AttributeCompare(
+            descriptor["attr"], descriptor["cmp"], descriptor["bound"]
+        )
+    if op == "and":
+        return AllOf([predicate_from_descriptor(p) for p in descriptor["parts"]])
+    if op == "or":
+        return AnyOf([predicate_from_descriptor(p) for p in descriptor["parts"]])
+    if op == "not":
+        return Not(predicate_from_descriptor(descriptor["inner"]))
+    if op == "participant":
+        return ParticipantPredicate(descriptor["entity"])
+    raise ValueError(f"unknown predicate descriptor op {op!r}")

@@ -1,0 +1,50 @@
+"""The WithSecret interface: partitioning transactions into public and
+secret parts, and processing the secret for on-chain concealment.
+
+Each view-manager subclass implements :meth:`SecretProcessor.process`
+(the paper's ``ProcessSecret``): encryption-based managers generate a
+fresh per-transaction key ``K_ij`` and store ciphertext on chain;
+hash-based managers draw a salt and store ``h(t[S] || s)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.crypto.symmetric import SymmetricKey
+
+
+@dataclass(frozen=True)
+class ProcessedSecret:
+    """Everything produced by processing one transaction's secret part.
+
+    Attributes
+    ----------
+    concealed:
+        Bytes stored on chain in place of ``t[S]`` (ciphertext or hash).
+    salt:
+        Public salt, non-empty only for hash-based concealment.
+    tx_key:
+        The per-transaction symmetric key (encryption-based methods).
+    plaintext:
+        The raw secret — retained by the view owner for hash-based
+        methods, where the chain stores only a digest.
+    """
+
+    concealed: bytes
+    salt: bytes = b""
+    tx_key: SymmetricKey | None = field(default=None, repr=False)
+    plaintext: bytes = field(default=b"", repr=False)
+
+
+class SecretProcessor(ABC):
+    """Strategy interface for concealing secret parts (``WithSecret``)."""
+
+    @abstractmethod
+    def process(self, secret: bytes) -> ProcessedSecret:
+        """Conceal ``secret`` for on-chain storage."""
+
+    @abstractmethod
+    def verify_concealment(self, processed: ProcessedSecret, onchain: bytes) -> bool:
+        """Check that an on-chain value matches the processed secret."""

@@ -1,0 +1,88 @@
+"""ViewStorage: the on-chain contract holding irrevocable view data.
+
+For irrevocable views the encrypted view data itself lives in contract
+state (paper §5.3): ``enc([tid_i, K_i], K_V)`` entries for EI,
+``enc((tid_i, t_i[S]), K_V)`` entries for HI.  Immutability of the
+ledger plus the peers' consensus on contract state is what makes the
+grant irrevocable and the data tamper-evident.
+
+State layout (chaincode-local keys)::
+
+    meta~<view>          — creation record {owner, concealment}
+    data~<view>~<tid>    — one encrypted entry per transaction
+
+``merge`` writes only fresh per-transaction keys and performs no reads
+of existing entries, so concurrent merges to the same view never
+trigger MVCC conflicts (this mirrors the paper's Merge, which only
+"incorporates missing key-value pairs").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import Chaincode, TxContext
+
+CHAINCODE_NAME = "viewstorage"
+
+
+class ViewStorageContract(Chaincode):
+    """On-chain storage for irrevocable view data (``Init`` / ``Merge``)."""
+
+    name = CHAINCODE_NAME
+
+    def fn_init(self, ctx: TxContext, view: str, concealment: str = "") -> dict:
+        """Create an empty view data map (paper's ``Init``)."""
+        meta_key = f"meta~{view}"
+        if ctx.get_state(meta_key) is not None:
+            raise ChaincodeError(f"view {view!r} already initialised")
+        record = {"owner": ctx.creator, "concealment": concealment}
+        ctx.put_state(meta_key, record)
+        return record
+
+    def fn_merge(self, ctx: TxContext, view: str, entries: dict[str, Any]) -> int:
+        """Add encrypted entries for new transactions (paper's ``Merge``).
+
+        ``entries`` maps transaction id → encrypted entry bytes.  Writes
+        are blind (no read of existing entries) to stay conflict-free;
+        re-merging an existing tid simply overwrites the identical value.
+        """
+        if not entries:
+            raise ChaincodeError("merge called with no entries")
+        for tid, entry in entries.items():
+            ctx.put_state(f"data~{view}~{tid}", entry)
+        return len(entries)
+
+    def fn_merge_many(
+        self, ctx: TxContext, merges: dict[str, dict[str, Any]]
+    ) -> int:
+        """Merge entries into several views in one transaction.
+
+        One application request whose transaction joins *k* views costs
+        a single extra on-chain transaction, not *k* (Fig 6 shows 2
+        on-chain transactions per request for irrevocable views).
+        """
+        total = 0
+        for view, entries in merges.items():
+            for tid, entry in entries.items():
+                ctx.put_state(f"data~{view}~{tid}", entry)
+                total += 1
+        return total
+
+    def fn_get_meta(self, ctx: TxContext, view: str) -> dict | None:
+        """Read a view's creation record (query only)."""
+        return ctx.get_state(f"meta~{view}")
+
+    def fn_get_view(self, ctx: TxContext, view: str) -> dict[str, Any]:
+        """Read all encrypted entries of a view (query only)."""
+        prefix = f"data~{view}~"
+        result: dict[str, Any] = {}
+        for key, value in ctx.scan_prefix(prefix):
+            tid = key[len(prefix):]
+            result[tid] = value
+        return result
+
+    def fn_get_entry(self, ctx: TxContext, view: str, tid: str) -> Any | None:
+        """Read one transaction's encrypted entry (query only)."""
+        return ctx.get_state(f"data~{view}~{tid}")

@@ -1,0 +1,237 @@
+"""TxListContract (TLC): per-view transaction-id lists (paper §5.4).
+
+Completeness verification needs, for every view, the full list of
+transaction ids that *should* be in it.  Transactions cannot be added
+to the views themselves by chaincode (that would hand view keys to the
+peers), so a separate contract maintains only the id lists: view
+definitions are registered on chain as predicate descriptors, and for
+each inserted transaction the contract assigns its id to every view
+whose predicate its non-secret part satisfies.
+
+To cope with the low update rate of blockchains, updates are batched:
+an off-chain :class:`TxListService` accumulates (tid, t[N]) pairs and
+writes them to the ledger every ``flush_interval_ms`` in one flush
+transaction (the paper uses 30-second intervals).  Completeness can be
+tested as of the latest flush time.
+
+State layout::
+
+    def~<view>               — predicate descriptor
+    seg~<view>~<seq>         — one list segment per flush: [tid, ...]
+    vdata~<view>~<tid>       — (optional) irrevocable view entries
+                                carried along with a flush
+    last_flush               — timestamp covered by completeness tests
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import Chaincode, TxContext
+from repro.views.predicates import predicate_from_descriptor
+
+CHAINCODE_NAME = "txlist"
+
+
+class TxListContract(Chaincode):
+    """On-chain per-view transaction-id lists with batched updates."""
+
+    name = CHAINCODE_NAME
+
+    def fn_register_view(
+        self, ctx: TxContext, view: str, descriptor: dict[str, Any]
+    ) -> None:
+        """Register a view definition (its predicate descriptor)."""
+        key = f"def~{view}"
+        if ctx.get_state(key) is not None:
+            raise ChaincodeError(f"view {view!r} already registered with TLC")
+        # Validate the descriptor is well-formed before storing it.
+        predicate_from_descriptor(descriptor)
+        ctx.put_state(key, descriptor)
+
+    def fn_flush(
+        self,
+        ctx: TxContext,
+        seq: int,
+        updates: list[list[Any]],
+        timestamp: float,
+        view_data: dict[str, dict[str, Any]] | None = None,
+        extra: list[list[str]] | None = None,
+    ) -> dict[str, int]:
+        """Write one batch of accumulated updates.
+
+        ``updates`` is a list of ``[tid, nonsecret]`` pairs.  The
+        contract re-evaluates every registered predicate on chain, so a
+        malicious owner cannot silently omit a transaction from a list
+        while still recording it (completeness, §4.7 case 3).
+
+        ``extra`` carries explicit ``[view, tid]`` assignments for
+        access grants that extend beyond the static predicate — the
+        supply-chain workload's historical-access grants, where a
+        receiving node gains access to an item's earlier transfers.
+
+        ``view_data`` optionally carries irrevocable view entries
+        (tid → encrypted entry per view), letting TLC-managed
+        deployments avoid the separate per-request merge transaction.
+        """
+        definitions = {}
+        for key, descriptor in ctx.scan_prefix("def~"):
+            definitions[key[len("def~"):]] = predicate_from_descriptor(descriptor)
+        assigned: dict[str, list[str]] = {}
+        for tid, nonsecret in updates:
+            for view, predicate in definitions.items():
+                if predicate.matches(nonsecret):
+                    assigned.setdefault(view, []).append(tid)
+        for view, tid in extra or []:
+            bucket = assigned.setdefault(view, [])
+            if tid not in bucket:
+                bucket.append(tid)
+        for view, tids in assigned.items():
+            ctx.put_state(f"seg~{view}~{seq:010d}", tids)
+        for view, entries in (view_data or {}).items():
+            for tid, entry in entries.items():
+                ctx.put_state(f"vdata~{view}~{tid}", entry)
+        ctx.put_state("last_flush", timestamp)
+        return {view: len(tids) for view, tids in assigned.items()}
+
+    def fn_get_list(self, ctx: TxContext, view: str) -> list[str]:
+        """Full transaction-id list for a view (query only).
+
+        Deduplicated, first occurrence wins — an id can appear both via
+        a predicate match and an explicit grant.
+        """
+        tids: list[str] = []
+        seen: set[str] = set()
+        for _key, segment in ctx.scan_prefix(f"seg~{view}~"):
+            for tid in segment:
+                if tid not in seen:
+                    seen.add(tid)
+                    tids.append(tid)
+        return tids
+
+    def fn_get_view_data(self, ctx: TxContext, view: str) -> dict[str, Any]:
+        """Irrevocable entries carried along with flushes (query only)."""
+        prefix = f"vdata~{view}~"
+        return {
+            key[len(prefix):]: value for key, value in ctx.scan_prefix(prefix)
+        }
+
+    def fn_last_flush(self, ctx: TxContext) -> float | None:
+        """Timestamp through which completeness can be tested."""
+        return ctx.get_state("last_flush")
+
+
+class TxListService:
+    """Owner-side batching of TLC updates (the paper's 30 s intervals).
+
+    ``record`` buffers one transaction; ``maybe_flush`` writes a flush
+    transaction when the interval elapsed.  Time comes from the
+    simulation environment through the gateway's network.
+    """
+
+    def __init__(self, gateway, flush_interval_ms: float = 30_000.0):
+        self.gateway = gateway
+        self.flush_interval_ms = flush_interval_ms
+        self._pending: list[list[Any]] = []
+        self._pending_view_data: dict[str, dict[str, Any]] = {}
+        self._pending_extra: list[list[str]] = []
+        self._seq = 0
+        self._last_flush_at = self._now()
+        self.flush_count = 0
+
+    def _now(self) -> float:
+        return self.gateway.network.env.now
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def register_view(self, view: str, descriptor: dict[str, Any]) -> None:
+        """Put the view definition on chain (one-time, per view)."""
+        self.gateway.invoke(
+            CHAINCODE_NAME,
+            "register_view",
+            {"view": view, "descriptor": descriptor},
+        )
+
+    def record(
+        self,
+        tid: str,
+        nonsecret: dict[str, Any],
+        view_data: dict[str, dict[str, Any]] | None = None,
+        extra_assignments: list[tuple[str, str]] | None = None,
+    ) -> None:
+        """Buffer one committed transaction for the next flush.
+
+        ``extra_assignments`` are explicit ``(view, tid)`` pairs for
+        grants beyond the static predicates (historical access).
+        """
+        self._pending.append([tid, nonsecret])
+        for view, entries in (view_data or {}).items():
+            self._pending_view_data.setdefault(view, {}).update(entries)
+        for view, granted_tid in extra_assignments or []:
+            self._pending_extra.append([view, granted_tid])
+
+    def due(self) -> bool:
+        """Whether the flush interval has elapsed with pending updates."""
+        if not self._pending:
+            return False
+        return self._now() - self._last_flush_at >= self.flush_interval_ms
+
+    def build_flush_proposal(self):
+        """Drain the buffer into a flush :class:`Proposal`.
+
+        Used by asynchronous callers that submit the proposal themselves
+        (the buffer is drained immediately so concurrent invocations do
+        not double-flush).  Returns ``None`` when nothing is pending.
+        """
+        from repro.fabric.endorser import Proposal
+
+        if not self._pending and not self._pending_extra:
+            return None
+        batch, self._pending = self._pending, []
+        view_data, self._pending_view_data = self._pending_view_data, {}
+        extra, self._pending_extra = self._pending_extra, []
+        self._seq += 1
+        self._last_flush_at = self._now()
+        self.flush_count += 1
+        return Proposal(
+            chaincode=CHAINCODE_NAME,
+            fn="flush",
+            args={
+                "seq": self._seq,
+                "updates": batch,
+                "timestamp": self._now(),
+                "view_data": view_data,
+                "extra": extra,
+            },
+            creator=self.gateway.user.user_id,
+            contract_write=True,
+            kind="txlist-flush",
+        )
+
+    def flush(self) -> int:
+        """Write all buffered updates in one on-chain transaction.
+
+        Returns the number of flushed updates (0 when nothing pending).
+        """
+        pending = len(self._pending)
+        proposal = self.build_flush_proposal()
+        if proposal is None:
+            return 0
+        self.gateway.network.submit_sync(proposal)
+        return pending
+
+    def maybe_flush(self) -> int:
+        """Flush if the interval elapsed; returns updates written."""
+        if self.due():
+            return self.flush()
+        return 0
+
+    def get_list(self, view: str) -> list[str]:
+        """Query the on-chain list for a view."""
+        return self.gateway.query(CHAINCODE_NAME, "get_list", {"view": view})
+
+    def last_flush(self) -> float | None:
+        return self.gateway.query(CHAINCODE_NAME, "last_flush")

@@ -1,0 +1,33 @@
+"""Shared enums and small value types for the views package."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ViewMode(enum.Enum):
+    """Whether access to a view can be revoked (paper §3).
+
+    Revocable permissions mirror classical DBMS access control: the
+    view owner serves secrets on request and can rotate the view key.
+    Irrevocable permissions put the (encrypted) view data on the
+    immutable ledger itself, so once a user holds the view key the
+    grant can never be undone — appropriate for warranties, deeds and
+    other must-stay-available records (§4.5).
+    """
+
+    REVOCABLE = "revocable"
+    IRREVOCABLE = "irrevocable"
+
+
+class Concealment(enum.Enum):
+    """How the secret part of a transaction is hidden on chain (§4.5).
+
+    ENCRYPTION stores ``enc(t[S], K)`` — all data stays on chain and
+    only keys must be managed off chain.  HASH stores ``h(t[S] || s)``
+    — fixed-size digests on chain, with the data itself held by the
+    view owner; preferable when secrets are large.
+    """
+
+    ENCRYPTION = "encryption"
+    HASH = "hash"

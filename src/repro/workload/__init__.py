@@ -1,0 +1,24 @@
+"""Supply-chain workload generator (paper §6.2).
+
+Builds supply-chain topologies (dispatching, intermediate, and terminal
+nodes connected by delivery links), generates item flows through them,
+and emits the transfer requests — with public and secret parts, access
+lists, and historical-access grants — that the benchmark harness and
+examples replay against LedgerView.
+"""
+
+from repro.workload.contract import SupplyChainContract
+from repro.workload.generator import SupplyChainWorkload, TransferRequest
+from repro.workload.presets import fig1_topology, wl1_topology, wl2_topology
+from repro.workload.topology import NodeKind, SupplyChainTopology
+
+__all__ = [
+    "SupplyChainContract",
+    "SupplyChainTopology",
+    "NodeKind",
+    "SupplyChainWorkload",
+    "TransferRequest",
+    "fig1_topology",
+    "wl1_topology",
+    "wl2_topology",
+]

@@ -1,0 +1,90 @@
+"""Supply-chain business chaincode.
+
+The on-chain logic behind the workload: items are created by
+dispatching nodes and transferred hop by hop.  The contract enforces
+that only the current holder can forward an item and that an item is
+never forwarded by the same node to two successors (paper §6.2: "an
+item cannot be forwarded by node n_i to more than one following node").
+
+Only *non-secret* attributes reach the contract; the confidential
+shipment details (item type, amount, price) ride in the transaction's
+concealed secret part and never touch chaincode state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import Chaincode, TxContext
+
+CHAINCODE_NAME = "supply"
+
+
+class SupplyChainContract(Chaincode):
+    """Item registry and transfer rules for the supply-chain workload."""
+
+    name = CHAINCODE_NAME
+
+    def fn_create_item(self, ctx: TxContext, item: str, owner: str) -> dict:
+        """Register a new item at a dispatching node."""
+        key = f"item~{item}"
+        if ctx.get_state(key) is not None:
+            raise ChaincodeError(f"item {item!r} already exists")
+        record = {"holder": owner, "hops": 0, "handlers": [owner]}
+        ctx.put_state(key, record)
+        return record
+
+    def fn_transfer(
+        self, ctx: TxContext, item: str, sender: str, receiver: str
+    ) -> dict:
+        """Move an item from its current holder to the next node."""
+        key = f"item~{item}"
+        record = ctx.get_state(key)
+        if record is None:
+            raise ChaincodeError(f"item {item!r} does not exist")
+        if record["holder"] != sender:
+            raise ChaincodeError(
+                f"item {item!r} is held by {record['holder']!r}, "
+                f"not by {sender!r}"
+            )
+        updated = {
+            "holder": receiver,
+            "hops": record["hops"] + 1,
+            "handlers": record["handlers"] + [receiver],
+        }
+        ctx.put_state(key, updated)
+        return updated
+
+    def fn_get_item(self, ctx: TxContext, item: str) -> dict | None:
+        """Current item record (query only)."""
+        return ctx.get_state(f"item~{item}")
+
+    def fn_items_held_by(self, ctx: TxContext, holder: str) -> list[str]:
+        """All items currently held by a node (query only)."""
+        held: list[str] = []
+        for key, record in ctx.scan_prefix("item~"):
+            if record["holder"] == holder:
+                held.append(key[len("item~"):])
+        return held
+
+    def fn_items_handled_by(self, ctx: TxContext, handler: str) -> list[str]:
+        """All items a node ever handled (query only).
+
+        This is the dynamic part of a node's view definition: per
+        Example 1.1, an entity sees every transaction *pertaining to
+        items it processed*, including transfers that happened before it
+        received the item.
+        """
+        handled: list[str] = []
+        for key, record in ctx.scan_prefix("item~"):
+            if handler in record["handlers"]:
+                handled.append(key[len("item~"):])
+        return handled
+
+    def fn_handlers_of(self, ctx: TxContext, item: str) -> list[Any]:
+        """Every node that ever handled an item (query only)."""
+        record = ctx.get_state(f"item~{item}")
+        if record is None:
+            raise ChaincodeError(f"item {item!r} does not exist")
+        return record["handlers"]

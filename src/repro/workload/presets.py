@@ -1,0 +1,100 @@
+"""The paper's workload topologies.
+
+- :func:`fig1_topology` — the illustrative supply chain of Fig 1
+  (2 manufacturers, 3 warehouses, 2 delivery services, 3 shops).
+- :func:`wl1_topology` — workload **WL1** (§6.2): 7 nodes —
+  1 dispatching, 3 intermediate, 3 terminal → 7 views.
+- :func:`wl2_topology` — workload **WL2**: 14 nodes —
+  2 dispatching, 5 intermediate, 7 terminal → 14 views.
+"""
+
+from __future__ import annotations
+
+from repro.workload.topology import NodeKind, SupplyChainTopology
+
+
+def fig1_topology() -> SupplyChainTopology:
+    """The supply chain illustrated in the paper's Fig 1."""
+    topology = SupplyChainTopology(name="fig1")
+    for manufacturer in ("Manufacturer 1", "Manufacturer 2"):
+        topology.add_node(manufacturer, NodeKind.DISPATCHING)
+    for warehouse in ("Warehouse 1", "Warehouse 2", "Warehouse 3"):
+        topology.add_node(warehouse, NodeKind.INTERMEDIATE)
+    for delivery in ("Delivery 1", "Delivery 2"):
+        topology.add_node(delivery, NodeKind.INTERMEDIATE)
+    for shop in ("Shop 1", "Shop 2", "Shop 3"):
+        topology.add_node(shop, NodeKind.TERMINAL)
+
+    topology.add_edge("Manufacturer 1", "Warehouse 1")
+    topology.add_edge("Manufacturer 1", "Warehouse 2")
+    topology.add_edge("Manufacturer 2", "Warehouse 2")
+    topology.add_edge("Manufacturer 2", "Warehouse 3")
+    topology.add_edge("Warehouse 1", "Delivery 1")
+    topology.add_edge("Warehouse 2", "Delivery 1")
+    topology.add_edge("Warehouse 2", "Delivery 2")
+    topology.add_edge("Warehouse 3", "Delivery 2")
+    topology.add_edge("Delivery 1", "Shop 1")
+    topology.add_edge("Delivery 1", "Shop 2")
+    topology.add_edge("Delivery 2", "Shop 2")
+    topology.add_edge("Delivery 2", "Shop 3")
+    topology.validate()
+    return topology
+
+
+def wl1_topology() -> SupplyChainTopology:
+    """WL1: 7 nodes (1 dispatching, 3 intermediate, 3 terminal)."""
+    topology = SupplyChainTopology(name="wl1")
+    topology.add_node("D1", NodeKind.DISPATCHING)
+    for intermediate in ("I1", "I2", "I3"):
+        topology.add_node(intermediate, NodeKind.INTERMEDIATE)
+    for terminal in ("T1", "T2", "T3"):
+        topology.add_node(terminal, NodeKind.TERMINAL)
+
+    topology.add_edge("D1", "I1")
+    topology.add_edge("D1", "I2")
+    topology.add_edge("D1", "I3")
+    topology.add_edge("I1", "T1")
+    topology.add_edge("I1", "T2")
+    topology.add_edge("I2", "T2")
+    topology.add_edge("I2", "T3")
+    topology.add_edge("I3", "T3")
+    topology.add_edge("I3", "T1")
+    topology.validate()
+    return topology
+
+
+def wl2_topology() -> SupplyChainTopology:
+    """WL2: 14 nodes (2 dispatching, 5 intermediate, 7 terminal).
+
+    Intermediates form two layers, so items take longer paths than in
+    WL1 — more handlers per item, hence more views per transaction.
+    """
+    topology = SupplyChainTopology(name="wl2")
+    for dispatcher in ("D1", "D2"):
+        topology.add_node(dispatcher, NodeKind.DISPATCHING)
+    for intermediate in ("I1", "I2", "I3", "I4", "I5"):
+        topology.add_node(intermediate, NodeKind.INTERMEDIATE)
+    for terminal in ("T1", "T2", "T3", "T4", "T5", "T6", "T7"):
+        topology.add_node(terminal, NodeKind.TERMINAL)
+
+    # Layer 1: dispatchers feed I1-I3.
+    topology.add_edge("D1", "I1")
+    topology.add_edge("D1", "I2")
+    topology.add_edge("D2", "I2")
+    topology.add_edge("D2", "I3")
+    # Layer 2: I1-I3 feed I4/I5 (longer paths) and some terminals.
+    topology.add_edge("I1", "I4")
+    topology.add_edge("I2", "I4")
+    topology.add_edge("I2", "I5")
+    topology.add_edge("I3", "I5")
+    topology.add_edge("I1", "T1")
+    topology.add_edge("I3", "T7")
+    # Terminal fan-out.
+    topology.add_edge("I4", "T2")
+    topology.add_edge("I4", "T3")
+    topology.add_edge("I4", "T4")
+    topology.add_edge("I5", "T4")
+    topology.add_edge("I5", "T5")
+    topology.add_edge("I5", "T6")
+    topology.validate()
+    return topology

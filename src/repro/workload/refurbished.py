@@ -1,0 +1,344 @@
+"""The AT&T motivating application: tracking refurbished devices.
+
+From the paper's introduction: refurbished devices are repaired with
+parts taken from disposed devices.  Parts come from many manufacturers,
+are used in devices of different companies, and are transplanted in
+different repair labs — no single entity sees everything, yet
+
+- a *lab* needs the entire history of every part it uses,
+- a *manufacturer* tracks parts it produced (warranty),
+- a *store* needs to know whether a refurbished device contains used
+  parts.
+
+This module provides the on-chain device/part registry
+(:class:`RefurbishedContract`), a generator of refurbishment histories
+(:class:`RefurbishedWorkload`), and the datalog provenance query that
+answers "which transactions touched any part now inside device D"
+(:func:`device_provenance_query`) — the recursive lineage the paper's
+§3 views are designed for.
+
+Event kinds (all recorded as transactions with secret parts):
+
+- ``make_part(part, manufacturer)`` — a part is produced,
+- ``assemble(device, company, parts)`` — a device is built,
+- ``dispose(device, lab)`` — a device is scrapped at a lab; its parts
+  become transplant donors,
+- ``transplant(part, from_device, to_device, lab)`` — a donor part is
+  installed into another device,
+- ``sell(device, store)`` — a (possibly refurbished) device is sold.
+
+The confidential parts (``t[S]``): prices, defect reports, customer
+details.  The non-secret parts carry the entity names the per-entity
+view predicates match on.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ChaincodeError, WorkloadError
+from repro.fabric.chaincode import Chaincode, TxContext
+from repro.views.datalog import DatalogViewQuery
+
+CHAINCODE_NAME = "refurb"
+
+
+class RefurbishedContract(Chaincode):
+    """On-chain registry of devices, parts, and transplants."""
+
+    name = CHAINCODE_NAME
+
+    def fn_make_part(self, ctx: TxContext, part: str, manufacturer: str) -> dict:
+        key = f"part~{part}"
+        if ctx.get_state(key) is not None:
+            raise ChaincodeError(f"part {part!r} already exists")
+        record = {"maker": manufacturer, "device": None, "donors": []}
+        ctx.put_state(key, record)
+        return record
+
+    def fn_assemble(
+        self, ctx: TxContext, device: str, company: str, parts: list[str]
+    ) -> dict:
+        key = f"device~{device}"
+        if ctx.get_state(key) is not None:
+            raise ChaincodeError(f"device {device!r} already exists")
+        for part in parts:
+            part_record = ctx.get_state(f"part~{part}")
+            if part_record is None:
+                raise ChaincodeError(f"part {part!r} does not exist")
+            if part_record["device"] is not None:
+                raise ChaincodeError(
+                    f"part {part!r} already installed in {part_record['device']!r}"
+                )
+            part_record = dict(part_record)
+            part_record["device"] = device
+            ctx.put_state(f"part~{part}", part_record)
+        record = {
+            "company": company,
+            "parts": list(parts),
+            "status": "assembled",
+            "used_parts": 0,
+        }
+        ctx.put_state(key, record)
+        return record
+
+    def fn_dispose(self, ctx: TxContext, device: str, lab: str) -> dict:
+        key = f"device~{device}"
+        record = ctx.get_state(key)
+        if record is None:
+            raise ChaincodeError(f"device {device!r} does not exist")
+        if record["status"] != "assembled":
+            raise ChaincodeError(
+                f"device {device!r} is {record['status']}, cannot dispose"
+            )
+        updated = dict(record)
+        updated["status"] = "disposed"
+        updated["disposed_at"] = lab
+        ctx.put_state(key, updated)
+        return updated
+
+    def fn_transplant(
+        self, ctx: TxContext, part: str, to_device: str, lab: str
+    ) -> dict:
+        part_record = ctx.get_state(f"part~{part}")
+        if part_record is None:
+            raise ChaincodeError(f"part {part!r} does not exist")
+        donor_device = part_record["device"]
+        if donor_device is None:
+            raise ChaincodeError(f"part {part!r} is not installed anywhere")
+        donor = ctx.get_state(f"device~{donor_device}")
+        if donor is None or donor["status"] != "disposed":
+            raise ChaincodeError(
+                f"donor device {donor_device!r} is not disposed"
+            )
+        target = ctx.get_state(f"device~{to_device}")
+        if target is None:
+            raise ChaincodeError(f"device {to_device!r} does not exist")
+        if target["status"] == "disposed":
+            raise ChaincodeError(f"cannot transplant into disposed {to_device!r}")
+
+        part_update = dict(part_record)
+        part_update["device"] = to_device
+        part_update["donors"] = part_record["donors"] + [donor_device]
+        ctx.put_state(f"part~{part}", part_update)
+
+        donor_update = dict(donor)
+        donor_update["parts"] = [p for p in donor["parts"] if p != part]
+        ctx.put_state(f"device~{donor_device}", donor_update)
+
+        target_update = dict(target)
+        target_update["parts"] = target["parts"] + [part]
+        target_update["used_parts"] = target.get("used_parts", 0) + 1
+        ctx.put_state(f"device~{to_device}", target_update)
+        return target_update
+
+    def fn_sell(self, ctx: TxContext, device: str, store: str) -> dict:
+        key = f"device~{device}"
+        record = ctx.get_state(key)
+        if record is None:
+            raise ChaincodeError(f"device {device!r} does not exist")
+        if record["status"] != "assembled":
+            raise ChaincodeError(f"cannot sell a {record['status']} device")
+        updated = dict(record)
+        updated["status"] = "sold"
+        updated["store"] = store
+        ctx.put_state(key, updated)
+        return updated
+
+    # -- queries -----------------------------------------------------------
+
+    def fn_get_device(self, ctx: TxContext, device: str) -> dict | None:
+        return ctx.get_state(f"device~{device}")
+
+    def fn_get_part(self, ctx: TxContext, part: str) -> dict | None:
+        return ctx.get_state(f"part~{part}")
+
+    def fn_contains_used_parts(self, ctx: TxContext, device: str) -> bool:
+        """The store's question: does this device contain donor parts?"""
+        record = ctx.get_state(f"device~{device}")
+        if record is None:
+            raise ChaincodeError(f"device {device!r} does not exist")
+        return record.get("used_parts", 0) > 0
+
+
+@dataclass(frozen=True)
+class RefurbishedEvent:
+    """One generated event in a refurbishment history."""
+
+    index: int
+    fn: str
+    args: dict
+    public: dict
+    secret: bytes
+
+    @property
+    def entities(self) -> list[str]:
+        """Entities with access to this event (its access list)."""
+        return list(self.public.get("access", []))
+
+
+@dataclass
+class RefurbishedWorkload:
+    """Seeded generator of refurbishment histories.
+
+    Produces, per device generation: part manufacture, assembly, some
+    disposals, transplants of donor parts into younger devices, and
+    sales — with access lists covering every entity that must be able
+    to trace the part (manufacturer, assembling company, labs, store).
+    """
+
+    manufacturers: list[str] = field(
+        default_factory=lambda: ["AcmeParts", "BoltWorks"]
+    )
+    companies: list[str] = field(default_factory=lambda: ["PhoneCo", "Tabletron"])
+    labs: list[str] = field(default_factory=lambda: ["Lab-East", "Lab-West"])
+    stores: list[str] = field(default_factory=lambda: ["Store-1", "Store-2"])
+    devices: int = 6
+    parts_per_device: int = 3
+    dispose_fraction: float = 0.34
+    seed: int = 11
+
+    def entities(self) -> list[str]:
+        return self.manufacturers + self.companies + self.labs + self.stores
+
+    def generate(self) -> list[RefurbishedEvent]:
+        """The full event trace (deterministic per seed)."""
+        if self.devices < 2:
+            raise WorkloadError("need at least two devices to transplant between")
+        rng = random.Random(self.seed)
+        events: list[RefurbishedEvent] = []
+        part_maker: dict[str, str] = {}
+        device_parts: dict[str, list[str]] = {}
+        device_access: dict[str, list[str]] = {}
+
+        def emit(fn, args, access, secret_fields):
+            # Deep-copy via JSON: later bookkeeping mutates the live
+            # lists (device parts, access sets) and must not reach into
+            # already-emitted events.
+            args = json.loads(json.dumps(args))
+            secret = json.dumps(secret_fields).encode()
+            public = dict(args)
+            public["event"] = fn
+            public["access"] = list(dict.fromkeys(access))
+            events.append(
+                RefurbishedEvent(
+                    index=len(events),
+                    fn=fn,
+                    args=args,
+                    public=public,
+                    secret=secret,
+                )
+            )
+
+        # Manufacture and assemble.
+        for d in range(self.devices):
+            device = f"dev-{self.seed}-{d:03d}"
+            company = self.companies[d % len(self.companies)]
+            parts = []
+            for p in range(self.parts_per_device):
+                part = f"{device}-part{p}"
+                maker = rng.choice(self.manufacturers)
+                part_maker[part] = maker
+                parts.append(part)
+                emit(
+                    "make_part",
+                    {"part": part, "manufacturer": maker},
+                    access=[maker],
+                    secret_fields={"unit_cost_cents": rng.randint(50, 9000)},
+                )
+            emit(
+                "assemble",
+                {"device": device, "company": company, "parts": parts},
+                access=[company] + [part_maker[p] for p in parts],
+                secret_fields={"bom_cost_cents": rng.randint(5000, 90000)},
+            )
+            device_parts[device] = parts
+            device_access[device] = [company] + [part_maker[p] for p in parts]
+
+        # Dispose the oldest fraction; transplant their parts.
+        all_devices = sorted(device_parts)
+        disposed = all_devices[: max(1, int(len(all_devices) * self.dispose_fraction))]
+        survivors = [d for d in all_devices if d not in disposed]
+        for device in disposed:
+            lab = rng.choice(self.labs)
+            emit(
+                "dispose",
+                {"device": device, "lab": lab},
+                access=device_access[device] + [lab],
+                secret_fields={"salvage_value_cents": rng.randint(0, 4000)},
+            )
+            device_access[device].append(lab)
+            for part in device_parts[device]:
+                target = rng.choice(survivors)
+                emit(
+                    "transplant",
+                    {"part": part, "to_device": target, "lab": lab},
+                    access=(
+                        [lab, part_maker[part]]
+                        + device_access[device]
+                        + device_access[target]
+                    ),
+                    secret_fields={
+                        "labor_cents": rng.randint(500, 15000),
+                        "defect_report": f"refurb-{part}",
+                    },
+                )
+                device_access[target] = list(
+                    dict.fromkeys(
+                        device_access[target] + [lab, part_maker[part]]
+                    )
+                )
+                device_parts[target].append(part)
+
+        # Sell the survivors.
+        for device in survivors:
+            store = rng.choice(self.stores)
+            emit(
+                "sell",
+                {"device": device, "store": store},
+                access=device_access[device] + [store],
+                secret_fields={"sale_price_cents": rng.randint(10000, 150000)},
+            )
+        return events
+
+
+def device_provenance_query(device: str) -> DatalogViewQuery:
+    """Datalog query: every transaction touching any part now traceable
+    to ``device`` — across transplants (the lab's \"entire history of
+    every part it uses\").
+
+    Facts extracted per transaction:
+
+    - ``made(T, part)`` for manufacture,
+    - ``installed(T, part, device)`` for assembly and transplants,
+    - ``touched(T, device)`` for disposals and sales.
+    """
+    program = f"""
+        part_of(P, D)  :- installed(T, P, D).
+        relevant(P)    :- part_of(P, "{device}").
+        in_view(T)     :- made(T, P), relevant(P).
+        in_view(T)     :- installed(T, P, D), relevant(P).
+        in_view(T)     :- touched(T, "{device}").
+    """
+
+    def extract(tx):
+        public = tx.nonsecret.get("public", {})
+        event = public.get("event")
+        if event == "make_part":
+            return [("made", (tx.tid, public["part"]))]
+        if event == "assemble":
+            return [
+                ("installed", (tx.tid, part, public["device"]))
+                for part in public["parts"]
+            ] + [("touched", (tx.tid, public["device"]))]
+        if event == "transplant":
+            return [
+                ("installed", (tx.tid, public["part"], public["to_device"])),
+            ]
+        if event in ("dispose", "sell"):
+            return [("touched", (tx.tid, public["device"]))]
+        return []
+
+    return DatalogViewQuery(program, query="in_view", extract_facts=extract)

@@ -1,0 +1,128 @@
+"""Supply-chain topologies: the graph items flow through (paper §6.2).
+
+Nodes are real-world entities (manufacturers, warehouses, delivery
+services, shops); a directed edge means items can be forwarded along
+it.  Dispatching nodes create items, terminal nodes only receive, and
+every other node forwards what it receives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the supply chain."""
+
+    DISPATCHING = "dispatching"
+    INTERMEDIATE = "intermediate"
+    TERMINAL = "terminal"
+
+
+@dataclass
+class SupplyChainTopology:
+    """A directed graph of supply-chain entities."""
+
+    name: str = "supply-chain"
+    _kinds: dict[str, NodeKind] = field(default_factory=dict)
+    _edges: dict[str, list[str]] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: str, kind: NodeKind) -> "SupplyChainTopology":
+        """Add an entity; returns self for chaining."""
+        if node in self._kinds:
+            raise WorkloadError(f"node {node!r} already in topology")
+        self._kinds[node] = kind
+        self._edges[node] = []
+        return self
+
+    def add_edge(self, source: str, target: str) -> "SupplyChainTopology":
+        """Add a delivery link from ``source`` to ``target``."""
+        for node in (source, target):
+            if node not in self._kinds:
+                raise WorkloadError(f"unknown node {node!r}")
+        if self._kinds[source] is NodeKind.TERMINAL:
+            raise WorkloadError(f"terminal node {source!r} cannot forward items")
+        if self._kinds[target] is NodeKind.DISPATCHING:
+            raise WorkloadError(f"dispatching node {target!r} cannot receive items")
+        if target in self._edges[source]:
+            raise WorkloadError(f"duplicate edge {source!r} -> {target!r}")
+        self._edges[source].append(target)
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        """All node names, insertion-ordered."""
+        return list(self._kinds)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._kinds)
+
+    def kind_of(self, node: str) -> NodeKind:
+        kind = self._kinds.get(node)
+        if kind is None:
+            raise WorkloadError(f"unknown node {node!r}")
+        return kind
+
+    def nodes_of_kind(self, kind: NodeKind) -> list[str]:
+        return [node for node, k in self._kinds.items() if k is kind]
+
+    @property
+    def dispatching_nodes(self) -> list[str]:
+        return self.nodes_of_kind(NodeKind.DISPATCHING)
+
+    @property
+    def terminal_nodes(self) -> list[str]:
+        return self.nodes_of_kind(NodeKind.TERMINAL)
+
+    def successors(self, node: str) -> list[str]:
+        if node not in self._edges:
+            raise WorkloadError(f"unknown node {node!r}")
+        return list(self._edges[node])
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the topology can actually route items end to end.
+
+        Raises
+        ------
+        WorkloadError
+            If there is no dispatching node, a non-terminal node is a
+            dead end, or a cycle makes a walk non-terminating.
+        """
+        if not self.dispatching_nodes:
+            raise WorkloadError("topology has no dispatching node")
+        if not self.terminal_nodes:
+            raise WorkloadError("topology has no terminal node")
+        for node, kind in self._kinds.items():
+            if kind is not NodeKind.TERMINAL and not self._edges[node]:
+                raise WorkloadError(
+                    f"non-terminal node {node!r} has no outgoing edge"
+                )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(node: str, trail: list[str]) -> None:
+            mark = state.get(node)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(trail + [node])
+                raise WorkloadError(f"topology contains a cycle: {cycle}")
+            state[node] = 0
+            for successor in self._edges[node]:
+                visit(successor, trail + [node])
+            state[node] = 1
+
+        for node in self._kinds:
+            visit(node, [])

@@ -1,0 +1,154 @@
+"""Unit tests for the 2PC coordinator and shard chaincodes."""
+
+import pytest
+
+from repro.errors import ChaincodeError
+from repro.baseline.twopc import CoordinatorContract, ShardContract
+from repro.fabric.chaincode import TxContext
+from repro.ledger.statedb import StateDatabase, Version
+
+
+@pytest.fixture
+def statedb():
+    return StateDatabase()
+
+
+def _ctx(statedb, cc):
+    return TxContext(cc, statedb, "t", "coordinator")
+
+
+def _apply(ctx, statedb, position=0):
+    for key, value in ctx.write_set.items():
+        statedb.put(key, value, Version(1, position))
+
+
+class TestCoordinator:
+    def test_begin_and_decide(self, statedb):
+        contract = CoordinatorContract()
+        ctx = _ctx(statedb, "coordinator")
+        contract.invoke(ctx, "begin", {"xid": "x1", "views": ["v1", "v2"]})
+        _apply(ctx, statedb)
+        ctx2 = _ctx(statedb, "coordinator")
+        contract.invoke(ctx2, "decide", {"xid": "x1", "outcome": "committed"})
+        _apply(ctx2, statedb, 1)
+        status = contract.invoke(
+            _ctx(statedb, "coordinator"), "status", {"xid": "x1"}
+        )
+        assert status == {"views": ["v1", "v2"], "state": "committed"}
+
+    def test_double_begin_rejected(self, statedb):
+        contract = CoordinatorContract()
+        ctx = _ctx(statedb, "coordinator")
+        contract.invoke(ctx, "begin", {"xid": "x1", "views": []})
+        _apply(ctx, statedb)
+        with pytest.raises(ChaincodeError, match="already begun"):
+            contract.invoke(
+                _ctx(statedb, "coordinator"), "begin", {"xid": "x1", "views": []}
+            )
+
+    def test_decide_unknown_or_invalid(self, statedb):
+        contract = CoordinatorContract()
+        with pytest.raises(ChaincodeError, match="unknown"):
+            contract.invoke(
+                _ctx(statedb, "coordinator"),
+                "decide",
+                {"xid": "ghost", "outcome": "committed"},
+            )
+        ctx = _ctx(statedb, "coordinator")
+        contract.invoke(ctx, "begin", {"xid": "x1", "views": []})
+        _apply(ctx, statedb)
+        with pytest.raises(ChaincodeError, match="invalid"):
+            contract.invoke(
+                _ctx(statedb, "coordinator"),
+                "decide",
+                {"xid": "x1", "outcome": "maybe"},
+            )
+
+
+class TestShard:
+    def test_prepare_commit_cycle(self, statedb):
+        contract = ShardContract()
+        ctx = _ctx(statedb, "twopc")
+        vote = contract.invoke(
+            ctx,
+            "prepare",
+            {"xid": "x1", "lock_key": "item-1", "payload": {"tid": "t1"}},
+        )
+        assert vote == {"prepared": True}
+        _apply(ctx, statedb)
+        ctx2 = _ctx(statedb, "twopc")
+        assert contract.invoke(ctx2, "commit", {"xid": "x1"}) == {"committed": True}
+        _apply(ctx2, statedb, 1)
+        record = contract.invoke(_ctx(statedb, "twopc"), "get_record", {"xid": "x1"})
+        assert record == {"tid": "t1"}
+        # Lock was released.
+        assert statedb.get("twopc~lock~item-1") is None
+
+    def test_conflicting_prepare_votes_no(self, statedb):
+        contract = ShardContract()
+        ctx = _ctx(statedb, "twopc")
+        contract.invoke(
+            ctx, "prepare", {"xid": "x1", "lock_key": "item-1", "payload": {}}
+        )
+        _apply(ctx, statedb)
+        vote = contract.invoke(
+            _ctx(statedb, "twopc"),
+            "prepare",
+            {"xid": "x2", "lock_key": "item-1", "payload": {}},
+        )
+        assert vote == {"prepared": False, "conflict_with": "x1"}
+
+    def test_prepare_is_reentrant_for_same_xid(self, statedb):
+        contract = ShardContract()
+        ctx = _ctx(statedb, "twopc")
+        contract.invoke(
+            ctx, "prepare", {"xid": "x1", "lock_key": "item-1", "payload": {}}
+        )
+        _apply(ctx, statedb)
+        vote = contract.invoke(
+            _ctx(statedb, "twopc"),
+            "prepare",
+            {"xid": "x1", "lock_key": "item-1", "payload": {}},
+        )
+        assert vote == {"prepared": True}
+
+    def test_commit_unprepared_rejected(self, statedb):
+        with pytest.raises(ChaincodeError, match="unprepared"):
+            ShardContract().invoke(_ctx(statedb, "twopc"), "commit", {"xid": "x9"})
+
+    def test_abort_releases_lock(self, statedb):
+        contract = ShardContract()
+        ctx = _ctx(statedb, "twopc")
+        contract.invoke(
+            ctx, "prepare", {"xid": "x1", "lock_key": "item-1", "payload": {}}
+        )
+        _apply(ctx, statedb)
+        ctx2 = _ctx(statedb, "twopc")
+        assert contract.invoke(ctx2, "abort", {"xid": "x1"}) == {"aborted": True}
+        _apply(ctx2, statedb, 1)
+        vote = contract.invoke(
+            _ctx(statedb, "twopc"),
+            "prepare",
+            {"xid": "x2", "lock_key": "item-1", "payload": {}},
+        )
+        assert vote == {"prepared": True}
+
+    def test_abort_without_prepare_is_noop(self, statedb):
+        assert ShardContract().invoke(
+            _ctx(statedb, "twopc"), "abort", {"xid": "never"}
+        ) == {"aborted": True}
+
+    def test_record_count(self, statedb):
+        contract = ShardContract()
+        for i in range(2):
+            ctx = _ctx(statedb, "twopc")
+            contract.invoke(
+                ctx,
+                "prepare",
+                {"xid": f"x{i}", "lock_key": f"item-{i}", "payload": {"n": i}},
+            )
+            _apply(ctx, statedb, i * 2)
+            ctx2 = _ctx(statedb, "twopc")
+            contract.invoke(ctx2, "commit", {"xid": f"x{i}"})
+            _apply(ctx2, statedb, i * 2 + 1)
+        assert contract.invoke(_ctx(statedb, "twopc"), "record_count", {}) == 2

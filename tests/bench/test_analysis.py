@@ -1,0 +1,85 @@
+"""Tests for the benchmark analysis helpers."""
+
+import pytest
+
+from repro.bench.analysis import (
+    Crossover,
+    crossover,
+    degradation_factor,
+    is_flat,
+    knee_point,
+    series_of,
+    sparkline,
+)
+
+
+def test_sparkline_shape():
+    assert sparkline([1, 2, 3, 4]) == "▁▃▆█"
+    assert sparkline([]) == ""
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+    line = sparkline([800, 400, 200, 80])
+    assert line[0] == "█" and line[-1] == "▁"
+    # Monotone input gives monotone glyphs.
+    glyph_order = "▁▂▃▄▅▆▇█"
+    ranks = [glyph_order.index(g) for g in sparkline([1, 2, 3, 4])]
+    assert ranks == sorted(ranks)
+
+
+def test_degradation_factor():
+    assert degradation_factor([800, 80]) == 10.0
+    assert degradation_factor([10, 0]) == float("inf")
+    with pytest.raises(ValueError):
+        degradation_factor([1])
+
+
+def test_is_flat():
+    assert is_flat([600, 650, 700, 620])
+    assert not is_flat([800, 80])
+    assert is_flat([0, 0])
+    with pytest.raises(ValueError):
+        is_flat([])
+
+
+def test_knee_point_on_plateau_curve():
+    xs = [8, 16, 24, 32, 48, 64]
+    ys = [70, 300, 500, 600, 640, 650]  # rises then plateaus
+    knee = knee_point(xs, ys)
+    assert knee in (24, 32)
+
+
+def test_knee_point_validation():
+    with pytest.raises(ValueError):
+        knee_point([1, 2], [1, 2])
+    assert knee_point([1, 2, 3], [5, 5, 5]) in (1, 2, 3)
+
+
+def test_crossover_domination():
+    xs = [1, 2, 3]
+    result = crossover(xs, [10, 20, 30], [1, 2, 3])
+    assert result == Crossover(x=None, a_wins_everywhere=True, b_wins_everywhere=False)
+    result = crossover(xs, [1, 2, 3], [10, 20, 30])
+    assert result.b_wins_everywhere
+
+
+def test_crossover_midway():
+    result = crossover([1, 2, 3], [1, 5, 9], [4, 4, 4])
+    assert result.x == 2
+
+
+def test_crossover_validation():
+    with pytest.raises(ValueError):
+        crossover([], [], [])
+    with pytest.raises(ValueError):
+        crossover([1], [1, 2], [1])
+
+
+def test_series_extraction():
+    rows = [
+        {"series": "HR", "clients": 16, "tps": 300},
+        {"series": "HR", "clients": 8, "tps": 100},
+        {"series": "HI", "clients": 8, "tps": 50},
+    ]
+    xs, ys = series_of(rows, "HR", "clients", "tps")
+    assert xs == [8, 16]
+    assert ys == [100, 300]
+    assert series_of(rows, "ghost", "clients", "tps") == ([], [])

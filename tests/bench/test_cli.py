@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.bench`` command-line entry point."""
+
+from repro.bench import __main__ as cli
+
+
+def test_help_exits_zero(capsys):
+    assert cli.main(["--help"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out and "all" in out
+
+
+def test_no_args_prints_usage(capsys):
+    assert cli.main([]) == 0
+    assert "figures:" in capsys.readouterr().out
+
+
+def test_unknown_figure_exits_two(capsys):
+    assert cli.main(["fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "fig99" in err
+
+
+def test_selected_figures_run(monkeypatch):
+    calls = []
+    monkeypatch.setitem(cli.FIGURES, "fig4", lambda: calls.append("fig4"))
+    monkeypatch.setitem(cli.FIGURES, "fig5", lambda: calls.append("fig5"))
+    assert cli.main(["fig4", "fig5"]) == 0
+    assert calls == ["fig4", "fig5"]
+
+
+def test_all_runs_everything(monkeypatch):
+    calls = []
+    for name in list(cli.FIGURES):
+        monkeypatch.setitem(
+            cli.FIGURES, name, lambda name=name: calls.append(name)
+        )
+    assert cli.main(["all"]) == 0
+    assert calls == list(cli.FIGURES)

@@ -1,0 +1,52 @@
+"""Shared fixtures: fast network configurations and ready-made actors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_network
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.network import Gateway
+
+
+@pytest.fixture
+def fast_config() -> NetworkConfig:
+    """Single-region, MAC-signature config: fast and deterministic.
+
+    Functional tests care about behaviour, not timing, so the cheap
+    signature stand-in keeps pure-Python RSA off the hot path; the
+    dedicated signature tests exercise the real thing.
+    """
+    return NetworkConfig(
+        latency=SINGLE_REGION,
+        real_signatures=False,
+        batch_timeout_ms=50.0,
+    )
+
+
+@pytest.fixture
+def signed_config() -> NetworkConfig:
+    """Like fast_config but with real RSA endorsement signatures."""
+    return NetworkConfig(
+        latency=SINGLE_REGION,
+        real_signatures=True,
+        batch_timeout_ms=50.0,
+    )
+
+
+@pytest.fixture
+def network(fast_config):
+    """A ready network with all standard chaincodes installed."""
+    return build_network(fast_config)
+
+
+@pytest.fixture
+def owner_gateway(network):
+    """Gateway for a registered view-owner identity."""
+    return Gateway(network, network.register_user("owner"))
+
+
+@pytest.fixture
+def reader_gateway(network):
+    """Gateway for a registered reader identity."""
+    return Gateway(network, network.register_user("reader"))

@@ -1,0 +1,94 @@
+"""AES block-cipher tests, pinned to the FIPS-197 appendix vectors."""
+
+import pytest
+
+from repro.crypto.aes import AES, BLOCK_SIZE, _SBOX, _INV_SBOX
+
+PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+FIPS_VECTORS = [
+    # (key hex, expected ciphertext hex) — FIPS-197 Appendix C.1-C.3
+    (
+        "000102030405060708090a0b0c0d0e0f",
+        "69c4e0d86a7b0430d8cdb78070b4c55a",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f1011121314151617",
+        "dda97ca4864cdfe06eaf70a0ec0d7191",
+    ),
+    (
+        "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        "8ea2b7ca516745bfeafc49904b496089",
+    ),
+]
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", FIPS_VECTORS)
+def test_fips197_encrypt(key_hex, expected_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(PLAINTEXT).hex() == expected_hex
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", FIPS_VECTORS)
+def test_fips197_decrypt(key_hex, expected_hex):
+    cipher = AES(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(expected_hex)) == PLAINTEXT
+
+
+def test_appendix_b_vector():
+    # FIPS-197 Appendix B worked example.
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    assert AES(key).encrypt_block(plaintext).hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
+@pytest.mark.parametrize("key_size,rounds", [(16, 10), (24, 12), (32, 14)])
+def test_round_counts(key_size, rounds):
+    assert AES(b"\x00" * key_size).rounds == rounds
+
+
+@pytest.mark.parametrize("bad_size", [0, 1, 15, 17, 20, 31, 33, 64])
+def test_invalid_key_sizes_rejected(bad_size):
+    with pytest.raises(ValueError):
+        AES(b"\x00" * bad_size)
+
+
+@pytest.mark.parametrize("bad_len", [0, 15, 17, 32])
+def test_block_length_enforced(bad_len):
+    cipher = AES(b"\x00" * 16)
+    with pytest.raises(ValueError):
+        cipher.encrypt_block(b"\x00" * bad_len)
+    with pytest.raises(ValueError):
+        cipher.decrypt_block(b"\x00" * bad_len)
+
+
+def test_sbox_is_a_permutation_with_known_anchors():
+    assert sorted(_SBOX) == list(range(256))
+    # Canonical anchor values from the FIPS-197 S-box table.
+    assert _SBOX[0x00] == 0x63
+    assert _SBOX[0x01] == 0x7C
+    assert _SBOX[0x53] == 0xED
+    assert _SBOX[0xFF] == 0x16
+
+
+def test_inverse_sbox_inverts_sbox():
+    for value in range(256):
+        assert _INV_SBOX[_SBOX[value]] == value
+
+
+def test_encrypt_decrypt_roundtrip_random_blocks():
+    import secrets
+
+    for key_size in (16, 24, 32):
+        key = secrets.token_bytes(key_size)
+        cipher = AES(key)
+        for _ in range(10):
+            block = secrets.token_bytes(BLOCK_SIZE)
+            assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+def test_distinct_keys_give_distinct_ciphertexts():
+    block = b"\x00" * 16
+    a = AES(b"\x01" * 16).encrypt_block(block)
+    b = AES(b"\x02" * 16).encrypt_block(block)
+    assert a != b

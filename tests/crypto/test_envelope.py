@@ -1,0 +1,80 @@
+"""Tests for the hybrid public-key envelope."""
+
+import pytest
+
+from repro.crypto.envelope import open_sealed, seal
+from repro.crypto.rsa import generate_keypair
+from repro.errors import DecryptionError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(1024)
+
+
+@pytest.fixture(scope="module")
+def other():
+    return generate_keypair(1024)
+
+
+def test_small_payload_uses_direct_mode(keypair):
+    sealed = seal(keypair.public, b"tiny")
+    assert sealed[0] == 0x01
+    assert open_sealed(keypair.private, sealed) == b"tiny"
+
+
+def test_large_payload_uses_hybrid_mode(keypair):
+    payload = b"x" * 10_000
+    sealed = seal(keypair.public, payload)
+    assert sealed[0] == 0x02
+    assert open_sealed(keypair.private, sealed) == payload
+
+
+def test_boundary_payload(keypair):
+    at_capacity = b"y" * keypair.public.max_message_size
+    sealed = seal(keypair.public, at_capacity)
+    assert sealed[0] == 0x01
+    assert open_sealed(keypair.private, sealed) == at_capacity
+    over = at_capacity + b"z"
+    sealed_over = seal(keypair.public, over)
+    assert sealed_over[0] == 0x02
+    assert open_sealed(keypair.private, sealed_over) == over
+
+
+def test_wrong_recipient_cannot_open(keypair, other):
+    sealed = seal(keypair.public, b"for keypair only")
+    with pytest.raises(DecryptionError):
+        open_sealed(other.private, sealed)
+
+
+def test_wrong_recipient_cannot_open_hybrid(keypair, other):
+    sealed = seal(keypair.public, b"N" * 5000)
+    with pytest.raises(DecryptionError):
+        open_sealed(other.private, sealed)
+
+
+def test_empty_envelope_rejected(keypair):
+    with pytest.raises(DecryptionError):
+        open_sealed(keypair.private, b"")
+
+
+def test_unknown_mode_rejected(keypair):
+    with pytest.raises(DecryptionError):
+        open_sealed(keypair.private, b"\x09" + b"\x00" * 128)
+
+
+def test_truncated_hybrid_rejected(keypair):
+    sealed = seal(keypair.public, b"x" * 5000)
+    with pytest.raises(DecryptionError):
+        open_sealed(keypair.private, sealed[: keypair.private.byte_size])
+
+
+def test_tampered_hybrid_body_rejected(keypair):
+    sealed = bytearray(seal(keypair.public, b"x" * 5000))
+    sealed[-1] ^= 0x01
+    with pytest.raises(DecryptionError):
+        open_sealed(keypair.private, bytes(sealed))
+
+
+def test_empty_payload(keypair):
+    assert open_sealed(keypair.private, seal(keypair.public, b"")) == b""

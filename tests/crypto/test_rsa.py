@@ -1,0 +1,130 @@
+"""Tests for the from-scratch RSA implementation."""
+
+import pytest
+
+from repro.crypto.rsa import (
+    RSAPrivateKey,
+    _is_probable_prime,
+    _random_prime,
+    generate_keypair,
+)
+from repro.errors import DecryptionError, InvalidKeyError, SignatureError
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(1024)
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return generate_keypair(1024)
+
+
+def test_miller_rabin_on_known_primes_and_composites():
+    primes = [2, 3, 5, 101, 104729, 2**31 - 1]
+    composites = [1, 4, 100, 104730, 2**32 - 1, 561, 41041]  # incl. Carmichael
+    for p in primes:
+        assert _is_probable_prime(p), p
+    for c in composites:
+        assert not _is_probable_prime(c), c
+
+
+def test_random_prime_has_exact_bit_length():
+    for bits in (64, 128, 256):
+        p = _random_prime(bits)
+        assert p.bit_length() == bits
+        assert _is_probable_prime(p)
+
+
+def test_keypair_structure(keypair):
+    assert keypair.public.n == keypair.private.n
+    assert keypair.private.p * keypair.private.q == keypair.private.n
+    assert keypair.public.n.bit_length() in (1023, 1024)
+
+
+def test_private_exponent_inverts_public(keypair):
+    phi = (keypair.private.p - 1) * (keypair.private.q - 1)
+    assert (keypair.private.d * keypair.public.e) % phi == 1
+
+
+def test_minimum_modulus_enforced():
+    with pytest.raises(InvalidKeyError):
+        generate_keypair(256)
+
+
+def test_oaep_roundtrip(keypair):
+    for message in (b"", b"k", b"view-key-material-0123456789abcd"):
+        assert keypair.private.decrypt(keypair.public.encrypt(message)) == message
+
+
+def test_oaep_is_randomised(keypair):
+    assert keypair.public.encrypt(b"m") != keypair.public.encrypt(b"m")
+
+
+def test_oaep_capacity_enforced(keypair):
+    too_big = b"x" * (keypair.public.max_message_size + 1)
+    with pytest.raises(InvalidKeyError):
+        keypair.public.encrypt(too_big)
+
+
+def test_decrypt_with_wrong_key_fails(keypair, other_keypair):
+    ciphertext = keypair.public.encrypt(b"secret")
+    with pytest.raises(DecryptionError):
+        other_keypair.private.decrypt(ciphertext)
+
+
+def test_tampered_ciphertext_fails(keypair):
+    ciphertext = bytearray(keypair.public.encrypt(b"secret"))
+    ciphertext[10] ^= 0x01
+    with pytest.raises(DecryptionError):
+        keypair.private.decrypt(bytes(ciphertext))
+
+
+def test_wrong_length_ciphertext_fails(keypair):
+    with pytest.raises(DecryptionError):
+        keypair.private.decrypt(b"\x00" * 10)
+
+
+def test_sign_verify_roundtrip(keypair):
+    signature = keypair.private.sign(b"message")
+    keypair.public.verify(b"message", signature)  # must not raise
+
+
+def test_signature_is_deterministic(keypair):
+    assert keypair.private.sign(b"m") == keypair.private.sign(b"m")
+
+
+def test_verify_rejects_wrong_message(keypair):
+    signature = keypair.private.sign(b"message")
+    with pytest.raises(SignatureError):
+        keypair.public.verify(b"other", signature)
+
+
+def test_verify_rejects_wrong_signer(keypair, other_keypair):
+    signature = other_keypair.private.sign(b"message")
+    with pytest.raises(SignatureError):
+        keypair.public.verify(b"message", signature)
+
+
+def test_verify_rejects_malformed_signature(keypair):
+    with pytest.raises(SignatureError):
+        keypair.public.verify(b"message", b"\x00" * 5)
+
+
+def test_private_key_serialization_roundtrip(keypair):
+    restored = RSAPrivateKey.from_bytes(keypair.private.to_bytes())
+    assert restored == keypair.private
+    ciphertext = keypair.public.encrypt(b"after restore")
+    assert restored.decrypt(ciphertext) == b"after restore"
+
+
+def test_fingerprint_stable_and_distinct(keypair, other_keypair):
+    assert keypair.public.fingerprint() == keypair.public.fingerprint()
+    assert keypair.public.fingerprint() != other_keypair.public.fingerprint()
+
+
+def test_crt_private_op_matches_plain_pow(keypair):
+    value = 123456789
+    expected = pow(value, keypair.private.d, keypair.private.n)
+    assert keypair.private._private_op(value) == expected

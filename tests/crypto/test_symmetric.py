@@ -1,0 +1,60 @@
+"""Tests for the SymmetricKey wrapper."""
+
+import pytest
+
+from repro.crypto.symmetric import SymmetricKey
+from repro.errors import DecryptionError
+
+
+def test_generate_default_size():
+    key = SymmetricKey.generate()
+    assert len(key.material) == 16
+
+
+@pytest.mark.parametrize("size", [16, 24, 32])
+def test_generate_sizes(size):
+    assert len(SymmetricKey.generate(size).material) == size
+
+
+def test_invalid_material_length_rejected():
+    with pytest.raises(ValueError):
+        SymmetricKey(b"\x00" * 10)
+
+
+def test_roundtrip():
+    key = SymmetricKey.generate()
+    assert key.decrypt(key.encrypt(b"data")) == b"data"
+
+
+def test_wrong_key_raises():
+    a, b = SymmetricKey.generate(), SymmetricKey.generate()
+    with pytest.raises(DecryptionError):
+        b.decrypt(a.encrypt(b"data"))
+
+
+def test_from_bytes_roundtrip_of_material():
+    key = SymmetricKey.generate()
+    clone = SymmetricKey.from_bytes(key.to_bytes())
+    assert clone.decrypt(key.encrypt(b"data")) == b"data"
+
+
+def test_keys_are_hashable_and_comparable():
+    key = SymmetricKey(b"\x01" * 16)
+    same = SymmetricKey(b"\x01" * 16)
+    other = SymmetricKey(b"\x02" * 16)
+    assert key == same
+    assert key != other
+    assert len({key, same, other}) == 2
+
+
+def test_fingerprint_is_stable_and_short():
+    key = SymmetricKey(b"\x03" * 16)
+    assert key.fingerprint() == key.fingerprint()
+    assert len(key.fingerprint()) == 16
+    # The fingerprint must not reveal the material.
+    assert key.material.hex() not in key.fingerprint()
+
+
+def test_repr_hides_material():
+    key = SymmetricKey.generate()
+    assert key.material.hex() not in repr(key)

@@ -1,0 +1,72 @@
+"""Published test vectors: RFC 4231 (HMAC-SHA256) and NIST SHA-256.
+
+These pin the from-scratch implementations to externally specified
+values, independent of the stdlib comparisons elsewhere in the suite.
+"""
+
+import pytest
+
+from repro.crypto.hashing import hmac_sha256, sha256_hex
+
+# NIST FIPS 180-4 examples.
+SHA256_VECTORS = [
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    ),
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+]
+
+# RFC 4231 HMAC-SHA256 test cases 1-4, 6, 7.
+HMAC_VECTORS = [
+    (
+        bytes.fromhex("0b" * 20),
+        b"Hi There",
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+    ),
+    (
+        b"Jefe",
+        b"what do ya want for nothing?",
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843",
+    ),
+    (
+        bytes.fromhex("aa" * 20),
+        bytes.fromhex("dd" * 50),
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe",
+    ),
+    (
+        bytes.fromhex("0102030405060708090a0b0c0d0e0f10111213141516171819"),
+        bytes.fromhex("cd" * 50),
+        "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b",
+    ),
+    (
+        bytes.fromhex("aa" * 131),
+        b"Test Using Larger Than Block-Size Key - Hash Key First",
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+    ),
+    (
+        bytes.fromhex("aa" * 131),
+        b"This is a test using a larger than block-size key and a larger "
+        b"than block-size data. The key needs to be hashed before being "
+        b"used by the HMAC algorithm.",
+        "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", SHA256_VECTORS)
+def test_sha256_nist_vectors(message, expected):
+    assert sha256_hex(message) == expected
+
+
+def test_sha256_million_a():
+    assert (
+        sha256_hex(b"a" * 1_000_000)
+        == "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    )
+
+
+@pytest.mark.parametrize("key,message,expected", HMAC_VECTORS)
+def test_hmac_rfc4231_vectors(key, message, expected):
+    assert hmac_sha256(key, message).hex() == expected

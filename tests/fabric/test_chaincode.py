@@ -1,0 +1,133 @@
+"""Tests for chaincode dispatch and the transaction context."""
+
+import pytest
+
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import Chaincode, ChaincodeRegistry, TxContext, namespaced
+from repro.ledger.statedb import StateDatabase, Version
+
+
+class CounterContract(Chaincode):
+    name = "counter"
+
+    def fn_bump(self, ctx, amount: int = 1):
+        current = ctx.get_state("count") or 0
+        ctx.put_state("count", current + amount)
+        return current + amount
+
+    def fn_peek(self, ctx):
+        return ctx.get_state("count")
+
+    def fn_boom(self, ctx):
+        raise RuntimeError("kaboom")
+
+
+@pytest.fixture
+def statedb():
+    return StateDatabase()
+
+
+def _ctx(statedb, cc="counter"):
+    return TxContext(chaincode=cc, statedb=statedb, tid="t1", creator="alice")
+
+
+def test_function_discovery():
+    contract = CounterContract()
+    assert contract.functions == ["boom", "bump", "peek"]
+
+
+def test_invoke_dispatch_and_write_buffer(statedb):
+    contract = CounterContract()
+    ctx = _ctx(statedb)
+    assert contract.invoke(ctx, "bump", {"amount": 5}) == 5
+    # Writes are buffered, not applied to the database.
+    assert statedb.get(namespaced("counter", "count")) is None
+    assert ctx.write_set == {namespaced("counter", "count"): 5}
+
+
+def test_read_your_writes(statedb):
+    contract = CounterContract()
+    ctx = _ctx(statedb)
+    contract.invoke(ctx, "bump", {})
+    assert contract.invoke(ctx, "bump", {}) == 2  # sees buffered value
+
+
+def test_read_set_records_version(statedb):
+    statedb.put(namespaced("counter", "count"), 10, Version(4, 2))
+    ctx = _ctx(statedb)
+    CounterContract().invoke(ctx, "peek", {})
+    assert ctx.read_set == {namespaced("counter", "count"): Version(4, 2)}
+
+
+def test_read_set_records_absence(statedb):
+    ctx = _ctx(statedb)
+    CounterContract().invoke(ctx, "peek", {})
+    assert ctx.read_set == {namespaced("counter", "count"): None}
+
+
+def test_first_read_version_wins(statedb):
+    """A read following a buffered write must not overwrite the version
+    observed by the first read."""
+    statedb.put(namespaced("counter", "count"), 10, Version(4, 2))
+    ctx = _ctx(statedb)
+    contract = CounterContract()
+    contract.invoke(ctx, "bump", {})  # read v(4,2), write 11
+    contract.invoke(ctx, "peek", {})  # reads the buffer
+    assert ctx.read_set[namespaced("counter", "count")] == Version(4, 2)
+
+
+def test_unknown_function_raises(statedb):
+    with pytest.raises(ChaincodeError, match="no function"):
+        CounterContract().invoke(_ctx(statedb), "nope", {})
+
+
+def test_exception_wrapped_as_chaincode_error(statedb):
+    with pytest.raises(ChaincodeError, match="kaboom"):
+        CounterContract().invoke(_ctx(statedb), "boom", {})
+
+
+def test_namespacing_isolates_contracts(statedb):
+    ctx_a = TxContext("cc_a", statedb, "t", "alice")
+    ctx_a.put_state("key", "a-value")
+    statedb.put(namespaced("cc_a", "key"), "a-value", Version(1, 0))
+    ctx_b = TxContext("cc_b", statedb, "t", "alice")
+    assert ctx_b.get_state("key") is None
+
+
+def test_scan_prefix_includes_buffered_writes(statedb):
+    statedb.put(namespaced("counter", "it~a"), 1, Version(1, 0))
+    ctx = _ctx(statedb)
+    ctx.put_state("it~b", 2)
+    results = ctx.scan_prefix("it~")
+    assert results == [("it~a", 1), ("it~b", 2)]
+
+
+def test_scan_prefix_populates_read_set(statedb):
+    statedb.put(namespaced("counter", "it~a"), 1, Version(2, 3))
+    ctx = _ctx(statedb)
+    ctx.scan_prefix("it~")
+    assert ctx.read_set[namespaced("counter", "it~a")] == Version(2, 3)
+
+
+def test_registry_install_get():
+    registry = ChaincodeRegistry()
+    contract = CounterContract()
+    registry.install(contract)
+    assert registry.get("counter") is contract
+    assert "counter" in registry
+    assert registry.names() == ["counter"]
+
+
+def test_registry_duplicate_and_missing():
+    registry = ChaincodeRegistry()
+    registry.install(CounterContract())
+    with pytest.raises(ChaincodeError):
+        registry.install(CounterContract())
+    with pytest.raises(ChaincodeError):
+        registry.get("ghost")
+
+
+def test_register_dynamic_function(statedb):
+    contract = Chaincode()
+    contract.register("hello", lambda ctx, name: f"hi {name}")
+    assert contract.invoke(_ctx(statedb, "chaincode"), "hello", {"name": "x"}) == "hi x"

@@ -1,0 +1,131 @@
+"""Tests for channels and the channels-vs-views comparison (§2)."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, LedgerViewError
+from repro.fabric.channels import ChannelService
+from repro.fabric.network import Gateway
+from repro.fabric.peer import ValidationCode
+from repro.sim import Environment
+from repro.views.hash_based import HashBasedManager
+from repro.views.predicates import ParticipantPredicate
+from repro.views.types import ViewMode
+
+
+@pytest.fixture
+def service(fast_config):
+    return ChannelService(Environment(), fast_config)
+
+
+@pytest.fixture
+def users(service):
+    channel = service.create_channel("m1-w1", members=set())
+    network = channel.network
+    created = {
+        name: network.register_user(name) for name in ("m1", "w1", "d1")
+    }
+    channel.members.update({"m1", "w1"})
+    return service, channel, created
+
+
+def test_member_submits_and_reads(users):
+    service, channel, people = users
+    notice = service.submit(
+        "m1-w1",
+        people["m1"],
+        "create_item",
+        {"item": "i1", "owner": "m1"},
+        {"item": "i1", "to": "m1"},
+    )
+    assert notice.code is ValidationCode.VALID
+    tx = service.read_transaction("m1-w1", people["w1"], notice.tid)
+    assert tx.tid == notice.tid
+
+
+def test_non_member_cannot_submit_or_read(users):
+    service, channel, people = users
+    with pytest.raises(AccessDeniedError):
+        service.submit(
+            "m1-w1", people["d1"], "create_item",
+            {"item": "x", "owner": "d1"}, {},
+        )
+    notice = service.submit(
+        "m1-w1", people["m1"], "create_item",
+        {"item": "i1", "owner": "m1"}, {"item": "i1"},
+    )
+    with pytest.raises(AccessDeniedError):
+        service.read_transaction("m1-w1", people["d1"], notice.tid)
+
+
+def test_duplicate_and_unknown_channels(service):
+    service.create_channel("a", members=set())
+    with pytest.raises(LedgerViewError):
+        service.create_channel("a", members=set())
+    with pytest.raises(LedgerViewError):
+        service.channel("ghost")
+
+
+def test_adding_member_ships_whole_ledger(users):
+    """The §2 critique: joining a channel means fetching its entire
+    history — no record-level disclosure."""
+    service, channel, people = users
+    for i in range(5):
+        service.submit(
+            "m1-w1", people["m1"], "create_item",
+            {"item": f"i{i}", "owner": "m1"}, {"item": f"i{i}"},
+        )
+    bytes_shipped = service.add_member("m1-w1", "d1")
+    assert bytes_shipped == channel.network.reference_peer.chain.total_bytes()
+    assert bytes_shipped > 0
+    assert channel.reconfigurations == 1
+    assert service.channels_of("d1") == ["m1-w1"]
+
+
+def test_removal_cannot_unshare_history(users):
+    service, channel, people = users
+    service.submit(
+        "m1-w1", people["m1"], "create_item",
+        {"item": "i1", "owner": "m1"}, {"item": "i1"},
+    )
+    service.remove_member("m1-w1", "w1")
+    # The ledger itself is unchanged: w1 already holds a full copy.
+    assert channel.network.reference_peer.chain.transaction_count == 1
+    with pytest.raises(AccessDeniedError):
+        service.remove_member("m1-w1", "w1")
+
+
+def test_one_transaction_one_channel_vs_many_views(fast_config):
+    """The structural difference the paper leads with: the same transfer
+    is visible in three parties' views, but a channel forces a choice
+    (or a copy per channel)."""
+    from repro import build_network
+
+    # Views: one ledger, one transaction, three views contain it.
+    network = build_network(fast_config)
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner))
+    for entity in ("M1", "W1", "D1"):
+        manager.create_view(
+            f"V_{entity}", ParticipantPredicate(entity), ViewMode.REVOCABLE
+        )
+    outcome = manager.invoke_with_secret(
+        "create_item",
+        {"item": "i1", "owner": "M1"},
+        {"item": "i1", "from": None, "to": "M1", "access": ["M1", "W1", "D1"]},
+        b"secret",
+    )
+    assert set(outcome.views) == {"V_M1", "V_W1", "V_D1"}
+    assert network.reference_peer.chain.transaction_count == 1
+
+    # Channels: three pairwise channels need three copies.
+    service = ChannelService(Environment(), fast_config)
+    total_copies = 0
+    for pair in ("m1-w1", "m1-d1", "w1-d1"):
+        channel = service.create_channel(pair, members=set())
+        user = channel.network.register_user(f"submitter-{pair}")
+        channel.members.add(user.user_id)
+        service.submit(
+            pair, user, "create_item", {"item": "i1", "owner": "x"}, {"item": "i1"}
+        )
+        total_copies += channel.network.reference_peer.chain.transaction_count
+    assert total_copies == 3  # duplicated once per channel

@@ -1,0 +1,69 @@
+"""Tests for network configuration and latency models."""
+
+from dataclasses import FrozenInstanceError
+
+import pytest
+
+from repro.fabric.config import (
+    DEFAULT_CONFIG,
+    MULTI_REGION,
+    SINGLE_REGION,
+    LatencyModel,
+    NetworkConfig,
+    benchmark_config,
+)
+
+
+def test_presets_are_ordered_sensibly():
+    assert MULTI_REGION.client_to_peer > SINGLE_REGION.client_to_peer
+    assert MULTI_REGION.orderer_to_peer > SINGLE_REGION.orderer_to_peer
+    # The paper's orderers are co-located: orderer-to-orderer stays small.
+    assert MULTI_REGION.orderer_to_orderer <= SINGLE_REGION.client_to_peer * 2
+
+
+def test_endorsement_round_trip():
+    model = LatencyModel(
+        client_to_peer=10,
+        client_to_orderer=1,
+        orderer_to_peer=1,
+        orderer_to_orderer=1,
+        peer_to_peer=1,
+    )
+    assert model.endorsement_round_trip() == 20
+
+
+def test_payload_delay_scales_per_kib():
+    config = NetworkConfig()
+    assert config.payload_delay_ms(1024, 2.0) == 2.0
+    assert config.payload_delay_ms(512, 2.0) == 1.0
+    assert config.payload_delay_ms(0, 2.0) == 0.0
+
+
+def test_config_is_immutable():
+    with pytest.raises(FrozenInstanceError):
+        DEFAULT_CONFIG.peer_count = 99  # type: ignore[misc]
+
+
+def test_benchmark_config_defaults():
+    config = benchmark_config()
+    assert config.latency is MULTI_REGION
+    assert config.real_signatures is False
+
+
+def test_benchmark_config_overrides():
+    config = benchmark_config(latency=SINGLE_REGION, peer_count=4)
+    assert config.latency is SINGLE_REGION
+    assert config.peer_count == 4
+    assert config.real_signatures is False
+
+
+def test_default_calibration_sanity():
+    """The calibrated constants must keep the documented relationships:
+    validation near 1 ms (≈800 TPS ceiling), contract writes a clear
+    multiple, per-view cost far below per-transaction cost."""
+    c = DEFAULT_CONFIG
+    assert 0.5 <= c.validate_tx_ms <= 2.0
+    assert c.contract_write_factor >= 2.0
+    assert c.view_entry_ms < c.validate_tx_ms
+    assert c.block_max_transactions >= 100
+    assert c.batch_timeout_ms >= 100

@@ -1,0 +1,99 @@
+"""Tests for proposals, endorsement assembly, and the rwset codec."""
+
+import pytest
+
+from repro.errors import EndorsementError
+from repro.fabric.endorser import (
+    Proposal,
+    ProposalResponse,
+    assemble_transaction,
+    decode_value,
+    encode_value,
+    parse_rwset,
+)
+from repro.ledger.statedb import Version
+
+
+def test_value_codec_roundtrip():
+    values = [
+        1,
+        "s",
+        None,
+        True,
+        [1, 2, {"a": b"\x01"}],
+        {"bytes": b"\xff\x00", "nested": {"list": [b"\x02"]}},
+    ]
+    for value in values:
+        assert decode_value(encode_value(value)) == value
+
+
+def test_encoded_bytes_are_json_safe():
+    import json
+
+    encoded = encode_value({"k": b"\x00\x01"})
+    assert json.loads(json.dumps(encoded)) == encoded
+
+
+def _response(peer_id="p0", reads=None, writes=None, sig=b"sig"):
+    return ProposalResponse(
+        peer_id=peer_id,
+        read_set=reads or {"k": Version(1, 0)},
+        write_set=writes or {"k": "v"},
+        response="ok",
+        signature=sig,
+    )
+
+
+def test_assemble_and_parse_roundtrip():
+    proposal = Proposal(chaincode="cc", fn="f", public={"to": "W1"}, creator="alice")
+    tx = assemble_transaction(proposal, [_response()])
+    assert tx.tid == proposal.tid
+    assert tx.nonsecret["cc"] == "cc"
+    assert tx.nonsecret["public"] == {"to": "W1"}
+    reads, writes = parse_rwset(tx)
+    assert reads == {"k": Version(1, 0)}
+    assert writes == {"k": "v"}
+
+
+def test_parse_rwset_none_version():
+    proposal = Proposal(chaincode="cc", fn="f")
+    tx = assemble_transaction(proposal, [_response(reads={"k": None})])
+    reads, _ = parse_rwset(tx)
+    assert reads == {"k": None}
+
+
+def test_assemble_requires_responses():
+    with pytest.raises(EndorsementError, match="no endorsements"):
+        assemble_transaction(Proposal(chaincode="cc", fn="f"), [])
+
+
+def test_assemble_rejects_diverging_endorsements():
+    a = _response(peer_id="p0")
+    b = _response(peer_id="p1", writes={"k": "different"})
+    with pytest.raises(EndorsementError, match="disagree"):
+        assemble_transaction(Proposal(chaincode="cc", fn="f"), [a, b])
+
+
+def test_matching_endorsements_combine():
+    a = _response(peer_id="p0", sig=b"s0")
+    b = _response(peer_id="p1", sig=b"s1")
+    tx = assemble_transaction(Proposal(chaincode="cc", fn="f"), [a, b])
+    endorsements = tx.nonsecret["endorsements"]
+    assert [e[0] for e in endorsements] == ["p0", "p1"]
+
+
+def test_contract_write_flag_propagates():
+    proposal = Proposal(chaincode="cc", fn="f", contract_write=True)
+    tx = assemble_transaction(proposal, [_response()])
+    assert tx.nonsecret["contract_write"] is True
+
+
+def test_signing_payload_sensitive_to_rwset():
+    proposal = Proposal(chaincode="cc", fn="f", tid="fixed-tid")
+    payload1 = proposal.signing_payload({"k": (1, 0)}, {"k": "v"})
+    payload2 = proposal.signing_payload({"k": (1, 0)}, {"k": "w"})
+    assert payload1 != payload2
+
+
+def test_proposal_tids_unique():
+    assert Proposal(chaincode="c", fn="f").tid != Proposal(chaincode="c", fn="f").tid

@@ -1,0 +1,176 @@
+"""Tests for peer endorsement and validate-and-commit (MVCC, policy)."""
+
+import pytest
+
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import Chaincode, ChaincodeRegistry
+from repro.fabric.endorser import Proposal, assemble_transaction
+from repro.fabric.identity import MembershipServiceProvider
+from repro.fabric.peer import Peer, ValidationCode
+from repro.ledger.block import Block
+
+
+class KvContract(Chaincode):
+    name = "kv"
+
+    def fn_set(self, ctx, key, value):
+        ctx.put_state(key, value)
+        return value
+
+    def fn_get(self, ctx, key):
+        return ctx.get_state(key)
+
+    def fn_incr(self, ctx, key):
+        current = ctx.get_state(key) or 0
+        ctx.put_state(key, current + 1)
+        return current + 1
+
+
+@pytest.fixture(scope="module")
+def msp():
+    provider = MembershipServiceProvider(key_bits=1024)
+    provider.register("peer-a")
+    provider.register("peer-b")
+    return provider
+
+
+def _peer(msp, peer_id="peer-a", real_signatures=False):
+    registry = ChaincodeRegistry()
+    registry.install(KvContract())
+    return Peer(
+        peer_id=peer_id,
+        identity=msp.get(peer_id),
+        registry=registry,
+        real_signatures=real_signatures,
+    )
+
+
+def _commit(peer, txs, number=None):
+    block = Block.build(
+        number=number if number is not None else peer.chain.height,
+        previous_hash=peer.chain.tip_hash,
+        transactions=txs,
+        state_root=b"\x00" * 32,
+        timestamp=0.0,
+    )
+    return peer.validate_and_commit(
+        block,
+        {peer.peer_id: peer.identity.public_key},
+        {peer.peer_id: peer.mac_secret},
+        policy=1,
+    )
+
+
+def test_endorse_returns_rwsets(msp):
+    peer = _peer(msp)
+    proposal = Proposal(chaincode="kv", fn="set", args={"key": "k", "value": 7})
+    response = peer.endorse(proposal)
+    assert response.write_set == {"kv~k": 7}
+    assert response.response == 7
+    assert response.read_set == {}
+
+
+def test_endorse_unknown_chaincode_raises(msp):
+    peer = _peer(msp)
+    with pytest.raises(ChaincodeError):
+        peer.endorse(Proposal(chaincode="ghost", fn="x"))
+
+
+def test_commit_applies_valid_writes(msp):
+    peer = _peer(msp)
+    proposal = Proposal(chaincode="kv", fn="set", args={"key": "k", "value": 7})
+    tx = assemble_transaction(proposal, [peer.endorse(proposal)])
+    result = _commit(peer, [tx])
+    assert result.codes[tx.tid] is ValidationCode.VALID
+    assert peer.statedb.get("kv~k") == 7
+    assert peer.chain.height == 1
+
+
+def test_mvcc_conflict_invalidates_second_tx(msp):
+    """Two increments endorsed against the same snapshot: the second is
+    invalidated at commit (classic Fabric read-conflict)."""
+    peer = _peer(msp)
+    p1 = Proposal(chaincode="kv", fn="incr", args={"key": "n"})
+    p2 = Proposal(chaincode="kv", fn="incr", args={"key": "n"})
+    tx1 = assemble_transaction(p1, [peer.endorse(p1)])
+    tx2 = assemble_transaction(p2, [peer.endorse(p2)])
+    result = _commit(peer, [tx1, tx2])
+    assert result.codes[tx1.tid] is ValidationCode.VALID
+    assert result.codes[tx2.tid] is ValidationCode.MVCC_CONFLICT
+    assert result.valid_count == 1
+    assert result.invalid_count == 1
+    assert peer.statedb.get("kv~n") == 1  # second write not applied
+    assert peer.endorsement_failed(tx2.tid)
+    assert not peer.endorsement_failed(tx1.tid)
+
+
+def test_sequential_blocks_no_conflict(msp):
+    peer = _peer(msp)
+    for expected in (1, 2, 3):
+        proposal = Proposal(chaincode="kv", fn="incr", args={"key": "n"})
+        tx = assemble_transaction(proposal, [peer.endorse(proposal)])
+        result = _commit(peer, [tx])
+        assert result.codes[tx.tid] is ValidationCode.VALID
+        assert peer.statedb.get("kv~n") == expected
+
+
+def test_endorsement_policy_failure_with_forged_signature(msp):
+    peer = _peer(msp)
+    proposal = Proposal(chaincode="kv", fn="set", args={"key": "k", "value": 1})
+    response = peer.endorse(proposal)
+    forged = type(response)(
+        peer_id=response.peer_id,
+        read_set=response.read_set,
+        write_set=response.write_set,
+        response=response.response,
+        signature=b"\x00" * 32,
+    )
+    tx = assemble_transaction(proposal, [forged])
+    result = _commit(peer, [tx])
+    assert result.codes[tx.tid] is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+    assert peer.statedb.get("kv~k") is None
+
+
+def test_endorsement_from_unknown_peer_rejected(msp):
+    peer = _peer(msp)
+    proposal = Proposal(chaincode="kv", fn="set", args={"key": "k", "value": 1})
+    response = peer.endorse(proposal)
+    tx = assemble_transaction(proposal, [response])
+    block = Block.build(0, peer.chain.tip_hash, [tx], b"\x00" * 32, 0.0)
+    # Validation map has no entry for the endorsing peer.
+    result = peer.validate_and_commit(block, {}, {}, policy=1)
+    assert result.codes[tx.tid] is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+
+
+def test_real_rsa_signatures_verify(msp):
+    peer = _peer(msp, real_signatures=True)
+    proposal = Proposal(chaincode="kv", fn="set", args={"key": "k", "value": 9})
+    tx = assemble_transaction(proposal, [peer.endorse(proposal)])
+    result = _commit(peer, [tx])
+    assert result.codes[tx.tid] is ValidationCode.VALID
+
+
+def test_tampered_writes_break_real_signature(msp):
+    peer = _peer(msp, real_signatures=True)
+    proposal = Proposal(chaincode="kv", fn="set", args={"key": "k", "value": 9})
+    response = peer.endorse(proposal)
+    # A malicious client rewrites the write set after endorsement.
+    tampered = type(response)(
+        peer_id=response.peer_id,
+        read_set=response.read_set,
+        write_set={"kv~k": 9_999_999},
+        response=response.response,
+        signature=response.signature,
+    )
+    tx = assemble_transaction(proposal, [tampered])
+    result = _commit(peer, [tx])
+    assert result.codes[tx.tid] is ValidationCode.ENDORSEMENT_POLICY_FAILURE
+
+
+def test_state_root_changes_after_commit(msp):
+    peer = _peer(msp)
+    root_before = peer.current_state_root()
+    proposal = Proposal(chaincode="kv", fn="set", args={"key": "k", "value": 1})
+    tx = assemble_transaction(proposal, [peer.endorse(proposal)])
+    _commit(peer, [tx])
+    assert peer.current_state_root() != root_before

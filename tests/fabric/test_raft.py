@@ -1,0 +1,145 @@
+"""Tests for Raft consensus among the ordering nodes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fabric.raft import FOLLOWER, LEADER, RaftCluster
+from repro.sim import Environment
+
+
+def _cluster(env=None, **kwargs):
+    env = env or Environment()
+    params = {"node_count": 3, "heartbeat_ms": 50.0}
+    params.update(kwargs)
+    return env, RaftCluster(env, **params)
+
+
+def test_leader_emerges():
+    env, cluster = _cluster()
+    env.run(until=1_000)
+    leader = cluster.leader
+    assert leader is not None
+    assert leader.current_term >= 1
+    followers = [n for n in cluster.nodes if n is not leader]
+    assert all(n.role == FOLLOWER for n in followers)
+    assert all(n.current_term == leader.current_term for n in followers)
+
+
+def test_single_node_cluster_leads_itself():
+    env, cluster = _cluster(node_count=1)
+    env.run(until=1_000)
+    assert cluster.leader is cluster.nodes[0]
+
+
+def test_invalid_cluster_size():
+    with pytest.raises(SimulationError):
+        RaftCluster(Environment(), node_count=0)
+
+
+def test_replication_reaches_majority_and_commits():
+    env, cluster = _cluster()
+    committed_at = {}
+
+    def client(env):
+        for i in range(4):
+            index = yield cluster.replicate(f"entry-{i}")
+            committed_at[i] = index
+
+    env.process(client(env))
+    env.run(until=5_000)
+    assert committed_at == {0: 0, 1: 1, 2: 2, 3: 3}
+    leader = cluster.leader
+    for node in cluster.nodes:
+        assert cluster.committed_payloads(node.node_id) == [
+            "entry-0", "entry-1", "entry-2", "entry-3",
+        ]
+
+
+def test_leader_crash_triggers_election_and_continuity():
+    env, cluster = _cluster()
+    env.run(until=1_000)
+    first = cluster.leader.node_id
+    done = cluster.replicate("before")
+    env.run(until=done)
+
+    cluster.crash(first)
+    done = cluster.replicate("after")
+    env.run(until=done)
+    second = cluster.leader.node_id
+    assert second != first
+    assert cluster.leader.current_term > 1
+    payloads = cluster.committed_payloads()
+    assert payloads[-1] == "after"
+    assert "before" in payloads
+
+
+def test_minority_cannot_commit():
+    env, cluster = _cluster()
+    env.run(until=1_000)
+    survivors = cluster.leader.node_id
+    for node in cluster.nodes:
+        if node.node_id != survivors:
+            cluster.crash(node.node_id)
+    pending = cluster.replicate("doomed")
+    env.run(until=env.now + 5_000)
+    assert not pending.triggered  # never commits without a majority
+
+
+def test_recovery_restores_majority():
+    env, cluster = _cluster()
+    env.run(until=1_000)
+    leader_id = cluster.leader.node_id
+    others = [n.node_id for n in cluster.nodes if n.node_id != leader_id]
+    for node_id in others:
+        cluster.crash(node_id)
+    pending = cluster.replicate("stalled")
+    env.run(until=env.now + 2_000)
+    assert not pending.triggered
+    cluster.recover(others[0])
+    env.run(until=pending)
+    assert "stalled" in cluster.committed_payloads()
+
+
+def test_terms_are_monotone():
+    env, cluster = _cluster()
+    env.run(until=1_000)
+    term_before = cluster.leader.current_term
+    cluster.crash(cluster.leader.node_id)
+    env.run(until=env.now + 2_000)
+    assert cluster.leader is not None
+    assert cluster.leader.current_term > term_before
+
+
+def test_deterministic_given_seed():
+    env1, c1 = _cluster(seed=7)
+    env1.run(until=2_000)
+    env2, c2 = _cluster(seed=7)
+    env2.run(until=2_000)
+    assert c1.leader.node_id == c2.leader.node_id
+    assert c1.elections_held == c2.elections_held
+
+
+def test_network_with_raft_ordering(fast_config):
+    from dataclasses import replace
+
+    from repro import build_network
+
+    config = replace(fast_config, use_raft=True)
+    network = build_network(config)
+    user = network.register_user("u")
+    for i in range(3):
+        network.invoke_sync(
+            user, "supply", "create_item", {"item": f"i{i}", "owner": "x"}
+        )
+    network.verify_convergence()
+    assert len(network.raft.committed_payloads()) == network.reference_peer.chain.height
+    # Ordering survives a leader crash mid-run.
+    old_leader = network.raft.leader.node_id
+    network.raft.crash(old_leader)
+    notice = network.invoke_sync(
+        user, "supply", "create_item", {"item": "post-crash", "owner": "x"}
+    )
+    from repro.fabric.peer import ValidationCode
+
+    assert notice.code is ValidationCode.VALID
+    assert network.raft.leader.node_id != old_leader

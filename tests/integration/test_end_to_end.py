@@ -1,0 +1,188 @@
+"""Full-system integration: the supply-chain scenario of §6.2 end to end.
+
+One ledger, one hash-based manager with a view per supply-chain node,
+items flowing dispatcher → intermediate → terminal, history grants on
+receipt, per-node readers, lineage queries via datalog, and
+soundness/completeness verification over the result.
+"""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.fabric.network import Gateway
+from repro.fabric.peer import ValidationCode
+from repro.views.datalog import DatalogViewQuery
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import ParticipantPredicate
+from repro.views.types import Concealment, ViewMode
+from repro.views.verification import ViewVerifier
+from repro.workload.generator import SupplyChainWorkload
+from repro.workload.presets import wl1_topology
+
+
+@pytest.fixture
+def world(network):
+    topology = wl1_topology()
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner), use_txlist=True)
+    for node in topology.nodes:
+        manager.create_view(
+            f"V_{node}", ParticipantPredicate(node), ViewMode.REVOCABLE
+        )
+    trace = SupplyChainWorkload(topology, items=6, seed=11).generate()
+    tid_of_index = {}
+    for request in trace:
+        extra = {}
+        if request.history:
+            extra[f"V_{request.receiver}"] = [
+                tid_of_index[h] for h in request.history
+            ]
+        outcome = manager.invoke_with_secret(
+            request.fn, request.args, request.public, request.secret,
+            extra_views=extra,
+        )
+        assert outcome.notice.code is ValidationCode.VALID
+        tid_of_index[request.index] = outcome.tid
+    manager.txlist.flush()
+    return network, topology, manager, trace, tid_of_index
+
+
+def _reader_for(network, name):
+    user = network.register_user(name)
+    return user, ViewReader(user, Gateway(network, user))
+
+
+def test_each_node_view_contains_exactly_its_items_transactions(world):
+    """A node's view holds exactly the transactions of items it handled:
+    transfers it witnessed (access list) plus the historical transfers
+    granted when it received each item (§6.2)."""
+    network, topology, manager, trace, tid_of_index = world
+    handled_items = {node: set() for node in topology.nodes}
+    for request in trace:
+        for node in request.access_list:
+            handled_items[node].add(request.item)
+    for node in topology.nodes:
+        record = manager.buffer.get(f"V_{node}")
+        expected = {
+            tid_of_index[r.index]
+            for r in trace
+            if r.item in handled_items[node]
+        }
+        assert set(record.data) == expected, node
+        # And it agrees with the on-chain item registry.
+        onchain_items = set(
+            network.query("supply", "items_handled_by", {"handler": node})
+        )
+        assert onchain_items == handled_items[node]
+
+
+def test_terminal_node_sees_full_item_history(world):
+    network, topology, manager, trace, tid_of_index = world
+    # Pick an item and its terminal receiver.
+    by_item = {}
+    for request in trace:
+        by_item.setdefault(request.item, []).append(request)
+    item, flows = next(iter(by_item.items()))
+    terminal = flows[-1].receiver
+    user, reader = _reader_for(network, "terminal-reader")
+    manager.grant_access(f"V_{terminal}", user.user_id)
+    result = reader.read_view(manager, f"V_{terminal}")
+    item_tids = {tid_of_index[r.index] for r in flows}
+    assert item_tids <= set(result.secrets)
+    # And the secrets decrypt/verify to the original payloads.
+    for request in flows:
+        assert result.secrets[tid_of_index[request.index]] == request.secret
+
+
+def test_confidentiality_between_nodes(world):
+    """A node must not see transfers of items it never handled
+    (Example 1.1's business-confidentiality requirement)."""
+    network, topology, manager, trace, tid_of_index = world
+    user, reader = _reader_for(network, "t1-reader")
+    manager.grant_access("V_T1", user.user_id)
+    result = reader.read_view(manager, "V_T1")
+    t1_items = {r.item for r in trace if "T1" in r.access_list}
+    for request in trace:
+        tid = tid_of_index[request.index]
+        if request.item not in t1_items:
+            assert tid not in result.secrets
+    # And the reader has no access at all to other nodes' views.
+    with pytest.raises(AccessDeniedError):
+        reader.read_view(manager, "V_T2")
+
+
+def test_datalog_lineage_matches_view_contents(world):
+    """The recursive lineage query of §3 agrees with the per-node views
+    built from access lists."""
+    network, topology, manager, trace, tid_of_index = world
+    chain = network.reference_peer.chain
+    invokes = [tx for tx in chain.transactions() if tx.kind == "invoke"]
+    terminal = "T1"
+    query = DatalogViewQuery(
+        """
+        reached(I, N) :- item_delivery(T, I, F, N).
+        upstream(T)   :- item_delivery(T, I, F, N), reached(I, "%s").
+        """
+        % terminal,
+        query="upstream",
+    )
+    lineage_tids = query.evaluate(invokes)
+    view_tids = set(manager.buffer.get(f"V_{terminal}").data)
+    # Every transfer of an item that reached T1 is in T1's view; the
+    # view may hold more (transfers T1 handled of items that ended
+    # elsewhere cannot exist for a terminal node, so equality holds
+    # for transfer transactions).
+    transfer_tids = {
+        tid_of_index[r.index] for r in trace if r.fn == "transfer"
+    } | {tid_of_index[r.index] for r in trace if r.fn == "create_item"}
+    assert lineage_tids & transfer_tids <= view_tids
+
+
+def test_soundness_and_completeness_for_every_view(world):
+    """Prop 4.1 over the full workload, per node.
+
+    The effective view definition at verification time T is
+    item-based: "all transactions of items the node handled by T"
+    (Example 1.1).  The item set comes from the on-chain registry, so
+    the soundness predicate is a plain attribute test."""
+    from repro.views.predicates import AttributeIn
+
+    network, topology, manager, trace, tid_of_index = world
+    user, reader = _reader_for(network, "auditor")
+    verifier = ViewVerifier(Gateway(network, user))
+    for node in topology.nodes:
+        view = f"V_{node}"
+        handled = network.query("supply", "items_handled_by", {"handler": node})
+        definition = AttributeIn("item", handled)
+        manager.grant_access(view, user.user_id)
+        result = reader.read_view(manager, view)
+        soundness = verifier.verify_soundness(
+            view, definition, result, Concealment.HASH
+        )
+        soundness.assert_ok()
+        completeness = verifier.verify_completeness(
+            view, definition, set(result.secrets), use_txlist=True
+        )
+        completeness.assert_ok()
+        # The TLC list and the direct ledger scan agree.
+        by_scan = verifier.verify_completeness(
+            view, definition, set(result.secrets), use_txlist=False
+        )
+        by_scan.assert_ok()
+
+
+def test_ledger_converges_and_verifies(world):
+    network, *_ = world
+    network.verify_convergence()
+
+
+def test_onchain_business_state_tracks_items(world):
+    network, topology, manager, trace, tid_of_index = world
+    by_item = {}
+    for request in trace:
+        by_item.setdefault(request.item, []).append(request)
+    for item, flows in by_item.items():
+        record = network.query("supply", "get_item", {"item": item})
+        assert record["holder"] == flows[-1].receiver
+        assert record["hops"] == len(flows) - 1

@@ -1,0 +1,173 @@
+"""Adversarial integration tests: every tampering avenue is detected.
+
+The trust model (§4.7): peers are not fully trusted, view owners are
+not fully trusted, and readers validate everything against the ledger.
+"""
+
+import pytest
+
+from repro.errors import (
+    ChainIntegrityError,
+    VerificationError,
+)
+from repro.fabric.network import Gateway
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.types import Concealment, ViewMode
+from repro.views.verification import ViewVerifier
+
+SECRET = b'{"amount": 10, "price_cents": 123}'
+PREDICATE = AttributeEquals("to", "W1")
+
+
+def _populate(manager, n=2):
+    return [
+        manager.invoke_with_secret(
+            "create_item",
+            {"item": f"i{i}", "owner": "W1"},
+            {"item": f"i{i}", "from": None, "to": "W1", "access": ["W1"]},
+            SECRET + b" #" + str(i).encode(),  # distinct per transaction
+        )
+        for i in range(n)
+    ]
+
+
+def test_peer_ledger_tampering_detected(network):
+    """A dishonest peer rewriting its local ledger copy is caught by
+    hash-chain verification."""
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    outcome = _populate(manager, 1)[0]
+    peer = network.reference_peer
+    peer.chain.verify_integrity()
+
+    block_number, position = peer.chain.locate(outcome.tid)
+    block = peer.chain.block(block_number)
+    from repro.ledger.block import Block
+    from repro.ledger.transaction import Transaction
+
+    doctored = list(block.transactions)
+    original = doctored[position]
+    doctored[position] = Transaction(
+        tid=original.tid,
+        kind=original.kind,
+        nonsecret=original.nonsecret,
+        concealed=b"\x00" * 32,  # swap the committed hash
+        salt=original.salt,
+        creator=original.creator,
+    )
+    peer.chain._blocks[block_number] = Block(
+        header=block.header, transactions=tuple(doctored)
+    )
+    with pytest.raises(ChainIntegrityError):
+        peer.chain.verify_integrity()
+
+
+def test_owner_serving_wrong_secret_detected_hash(network):
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    outcomes = _populate(manager)
+    manager.grant_access("w1", "bob")
+    manager.buffer.get("w1").data[outcomes[0].tid]["secret"] = b"forged"
+    reader = ViewReader(bob, Gateway(network, bob))
+    with pytest.raises(VerificationError, match="tampering"):
+        reader.read_view(manager, "w1")
+
+
+def test_owner_serving_wrong_key_detected_encryption(network):
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = EncryptionBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    outcomes = _populate(manager)
+    manager.grant_access("w1", "bob")
+    manager.buffer.get("w1").data[outcomes[0].tid]["key"] = b"\x01" * 16
+    reader = ViewReader(bob, Gateway(network, bob))
+    with pytest.raises(VerificationError, match="does not decrypt"):
+        reader.read_view(manager, "w1")
+
+
+def test_entry_swap_between_transactions_detected(network):
+    """An owner serving transaction A's entry under transaction B's id
+    is caught by the tid embedded inside the encrypted entry."""
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    a, b = _populate(manager)
+    manager.grant_access("w1", "bob")
+    record = manager.buffer.get("w1")
+    record.data[a.tid], record.data[b.tid] = record.data[b.tid], record.data[a.tid]
+    reader = ViewReader(bob, Gateway(network, bob))
+    with pytest.raises(VerificationError):
+        reader.read_view(manager, "w1")
+
+
+def test_viewstorage_state_tampering_detected(network):
+    """Irrevocable entries doctored in a peer's contract state fail the
+    reader's decrypt-and-verify (authenticated encryption under K_V)."""
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.IRREVOCABLE)
+    outcome = _populate(manager, 1)[0]
+    manager.grant_access("w1", "bob")
+    # Tamper with the on-chain view entry at every peer.
+    from repro.ledger.statedb import Version
+
+    key = f"viewstorage~data~w1~{outcome.tid}"
+    for peer in network.peers:
+        peer.statedb.put(key, b"\x00" * 80, Version(99, 0))
+    reader = ViewReader(bob, Gateway(network, bob))
+    from repro.errors import AccessDeniedError
+
+    with pytest.raises((VerificationError, AccessDeniedError)):
+        reader.read_irrevocable_view(manager, "w1")
+
+
+def test_soundness_catches_smuggled_transaction(network):
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    _populate(manager)
+    smuggled = manager.invoke_with_secret(
+        "create_item",
+        {"item": "foreign", "owner": "W9"},
+        {"item": "foreign", "from": None, "to": "W9", "access": ["W9"]},
+        b"does not belong",
+    )
+    manager.insert_into_view(manager.buffer.get("w1"), smuggled.tid, smuggled.processed)
+    manager.grant_access("w1", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    result = reader.read_view(manager, "w1")
+    verifier = ViewVerifier(Gateway(network, bob))
+    report = verifier.verify_soundness("w1", PREDICATE, result, Concealment.HASH)
+    assert report.violations == [smuggled.tid]
+
+
+def test_completeness_catches_omission_via_txlist(network):
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = HashBasedManager(Gateway(network, owner), use_txlist=True)
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    outcomes = _populate(manager)
+    manager.txlist.flush()
+    manager.grant_access("w1", "bob")
+    # Owner hides one transaction from its buffer.
+    record = manager.buffer.get("w1")
+    hidden = outcomes[0].tid
+    record.tids.remove(hidden)
+    del record.data[hidden]
+    reader = ViewReader(bob, Gateway(network, bob))
+    result = reader.read_view(manager, "w1")
+    verifier = ViewVerifier(Gateway(network, bob))
+    report = verifier.verify_completeness(
+        "w1", PREDICATE, set(result.secrets), use_txlist=True
+    )
+    assert report.missing == [hidden]

@@ -1,0 +1,71 @@
+"""Tests for Merkle digests over world state."""
+
+import pytest
+
+from repro.errors import MerkleProofError
+from repro.crypto.merkle import EMPTY_ROOT
+from repro.ledger.merkle_state import StateDigest, state_root
+from repro.ledger.statedb import StateDatabase, Version
+
+
+def _db(entries):
+    db = StateDatabase()
+    for i, (key, value) in enumerate(entries.items()):
+        db.put(key, value, Version(1, i))
+    return db
+
+
+def test_empty_state_root():
+    assert state_root(StateDatabase()) == EMPTY_ROOT
+
+
+def test_root_is_deterministic_and_order_independent():
+    a = _db({"x": 1, "y": 2})
+    b = StateDatabase()
+    b.put("y", 2, Version(9, 9))  # versions do not enter the digest
+    b.put("x", 1, Version(3, 3))
+    assert state_root(a) == state_root(b)
+
+
+def test_root_changes_with_value():
+    assert state_root(_db({"x": 1})) != state_root(_db({"x": 2}))
+
+
+def test_root_changes_with_key():
+    assert state_root(_db({"x": 1})) != state_root(_db({"y": 1}))
+
+
+def test_bytes_values_digestable():
+    assert state_root(_db({"x": b"\x01\x02"})) != state_root(_db({"x": b"\x01\x03"}))
+
+
+def test_membership_proof_verifies():
+    db = _db({"a": 1, "b": {"deep": True}, "c": b"\x05"})
+    digest = StateDigest(db)
+    root = digest.root()
+    for key, value in [("a", 1), ("b", {"deep": True}), ("c", b"\x05")]:
+        proof = digest.prove(key)
+        assert digest.verify(key, value, proof, root)
+
+
+def test_membership_proof_rejects_wrong_value():
+    db = _db({"a": 1, "b": 2})
+    digest = StateDigest(db)
+    proof = digest.prove("a")
+    assert not digest.verify("a", 999, proof, digest.root())
+
+
+def test_proof_for_absent_key_raises():
+    digest = StateDigest(_db({"a": 1}))
+    with pytest.raises(MerkleProofError):
+        digest.prove("missing")
+
+
+def test_proof_against_stale_root_fails():
+    db = _db({"a": 1})
+    old_digest = StateDigest(db)
+    old_root = old_digest.root()
+    db.put("a", 2, Version(2, 0))
+    new_digest = StateDigest(db)
+    proof = new_digest.prove("a")
+    assert not new_digest.verify("a", 2, proof, old_root)

@@ -1,0 +1,115 @@
+"""Tests for CouchDB-style selector queries."""
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.ledger.selectors import matches_selector, select
+from repro.ledger.statedb import StateDatabase, Version
+
+DOC = {
+    "holder": "W1",
+    "hops": 3,
+    "tags": ["fragile", "cold"],
+    "owner": {"org": "org1", "name": "alice"},
+}
+
+
+class TestMatching:
+    def test_plain_equality(self):
+        assert matches_selector(DOC, {"holder": "W1"})
+        assert not matches_selector(DOC, {"holder": "W2"})
+        assert not matches_selector(DOC, {"missing": "x"})
+
+    def test_comparison_operators(self):
+        assert matches_selector(DOC, {"hops": {"$gt": 2}})
+        assert matches_selector(DOC, {"hops": {"$gte": 3}})
+        assert matches_selector(DOC, {"hops": {"$lt": 4}})
+        assert matches_selector(DOC, {"hops": {"$lte": 3}})
+        assert matches_selector(DOC, {"hops": {"$ne": 5}})
+        assert not matches_selector(DOC, {"hops": {"$gt": 3}})
+
+    def test_incomparable_types_never_match(self):
+        assert not matches_selector(DOC, {"holder": {"$gt": 5}})
+
+    def test_membership(self):
+        assert matches_selector(DOC, {"holder": {"$in": ["W1", "W2"]}})
+        assert matches_selector(DOC, {"holder": {"$nin": ["W3"]}})
+        assert not matches_selector(DOC, {"holder": {"$in": ["W3"]}})
+
+    def test_exists(self):
+        assert matches_selector(DOC, {"holder": {"$exists": True}})
+        assert matches_selector(DOC, {"ghost": {"$exists": False}})
+        assert not matches_selector(DOC, {"ghost": {"$exists": True}})
+
+    def test_regex(self):
+        assert matches_selector(DOC, {"holder": {"$regex": "^W\\d$"}})
+        assert not matches_selector(DOC, {"holder": {"$regex": "^X"}})
+        assert not matches_selector(DOC, {"hops": {"$regex": "3"}})  # non-str
+
+    def test_dotted_paths(self):
+        assert matches_selector(DOC, {"owner.org": "org1"})
+        assert matches_selector(DOC, {"owner.org": {"$in": ["org1", "org2"]}})
+        assert not matches_selector(DOC, {"owner.city": {"$exists": True}})
+
+    def test_boolean_composition(self):
+        assert matches_selector(
+            DOC, {"$and": [{"holder": "W1"}, {"hops": {"$gte": 1}}]}
+        )
+        assert matches_selector(
+            DOC, {"$or": [{"holder": "W9"}, {"hops": 3}]}
+        )
+        assert matches_selector(DOC, {"$not": {"holder": "W9"}})
+        assert not matches_selector(DOC, {"$not": {"holder": "W1"}})
+
+    def test_conjunction_of_fields_is_implicit_and(self):
+        assert matches_selector(DOC, {"holder": "W1", "hops": 3})
+        assert not matches_selector(DOC, {"holder": "W1", "hops": 4})
+
+    def test_unknown_operators_rejected(self):
+        with pytest.raises(LedgerError, match="unknown selector"):
+            matches_selector(DOC, {"hops": {"$btwn": [1, 5]}})
+        with pytest.raises(LedgerError, match="unknown top-level"):
+            matches_selector(DOC, {"$xor": []})
+
+
+class TestSelect:
+    @pytest.fixture
+    def statedb(self):
+        db = StateDatabase()
+        for i in range(6):
+            db.put(
+                f"supply~item~{i}",
+                {"holder": "W1" if i % 2 == 0 else "W2", "hops": i},
+                Version(1, i),
+            )
+        db.put("other~x", {"holder": "W1"}, Version(1, 9))
+        return db
+
+    def test_select_with_prefix(self, statedb):
+        results = list(select(statedb, {"holder": "W1"}, prefix="supply~"))
+        assert [k for k, _ in results] == ["supply~item~0", "supply~item~2", "supply~item~4"]
+
+    def test_select_limit(self, statedb):
+        results = list(select(statedb, {"holder": "W1"}, prefix="supply~", limit=2))
+        assert len(results) == 2
+
+    def test_select_without_prefix_spans_namespaces(self, statedb):
+        results = list(select(statedb, {"holder": "W1"}))
+        assert "other~x" in [k for k, _ in results]
+
+
+class TestChaincodeIntegration:
+    def test_rich_query_from_chaincode(self, network):
+        user = network.register_user("u")
+        for i in range(4):
+            network.invoke_sync(
+                user, "supply", "create_item",
+                {"item": f"i{i}", "owner": "W1" if i < 2 else "W2"},
+            )
+        from repro.fabric.chaincode import TxContext
+
+        ctx = TxContext("supply", network.reference_peer.statedb, "q", "u")
+        rows = ctx.select({"holder": "W2"}, prefix="item~")
+        assert [k for k, _ in rows] == ["item~i2", "item~i3"]
+        # Rich queries leave the read set alone (no phantom protection).
+        assert ctx.read_set == {}

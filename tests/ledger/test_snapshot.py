@@ -1,0 +1,132 @@
+"""Tests for ledger snapshot export/import."""
+
+import json
+
+import pytest
+
+from repro.errors import BlockValidationError, ChainIntegrityError
+from repro.ledger.block import Block
+from repro.ledger.chain import Blockchain
+from repro.ledger.snapshot import (
+    export_chain,
+    import_chain,
+    load_chain,
+    save_chain,
+)
+from repro.ledger.transaction import Transaction
+
+
+@pytest.fixture
+def chain():
+    chain = Blockchain("audit")
+    counter = 0
+    for block_number in range(4):
+        txs = []
+        for _ in range(3):
+            txs.append(
+                Transaction(
+                    tid=f"tx-{counter}",
+                    nonsecret={"n": counter, "public": {"to": "W1"}},
+                    concealed=bytes([counter]) * 8,
+                )
+            )
+            counter += 1
+        chain.append(
+            Block.build(
+                number=chain.height,
+                previous_hash=chain.tip_hash,
+                transactions=txs,
+                state_root=b"\x00" * 32,
+                timestamp=float(block_number),
+            )
+        )
+    return chain
+
+
+def test_roundtrip_preserves_everything(chain):
+    restored = import_chain(export_chain(chain))
+    assert restored.name == "audit"
+    assert restored.height == chain.height
+    assert restored.tip_hash == chain.tip_hash
+    for tid in (f"tx-{i}" for i in range(12)):
+        assert restored.get_transaction(tid) == chain.get_transaction(tid)
+    restored.verify_integrity()
+
+
+def test_file_roundtrip(chain, tmp_path):
+    path = tmp_path / "chain.json"
+    written = save_chain(chain, str(path))
+    assert written == path.stat().st_size
+    restored = load_chain(str(path))
+    assert restored.tip_hash == chain.tip_hash
+
+
+def test_tampered_transaction_rejected(chain):
+    snapshot = json.loads(export_chain(chain))
+    tx = json.loads(snapshot["blocks"][1]["transactions"][0])
+    tx["nonsecret"]["n"] = 999_999
+    snapshot["blocks"][1]["transactions"][0] = json.dumps(
+        tx, sort_keys=True, separators=(",", ":")
+    )
+    with pytest.raises((ChainIntegrityError, BlockValidationError)):
+        import_chain(json.dumps(snapshot))
+
+
+def test_dropped_block_rejected(chain):
+    snapshot = json.loads(export_chain(chain))
+    del snapshot["blocks"][2]
+    snapshot["height"] = len(snapshot["blocks"])
+    with pytest.raises((ChainIntegrityError, BlockValidationError)):
+        import_chain(json.dumps(snapshot))
+
+
+def test_reordered_blocks_rejected(chain):
+    snapshot = json.loads(export_chain(chain))
+    snapshot["blocks"][1], snapshot["blocks"][2] = (
+        snapshot["blocks"][2],
+        snapshot["blocks"][1],
+    )
+    with pytest.raises((ChainIntegrityError, BlockValidationError)):
+        import_chain(json.dumps(snapshot))
+
+
+def test_height_mismatch_rejected(chain):
+    snapshot = json.loads(export_chain(chain))
+    snapshot["height"] = 99
+    with pytest.raises(ChainIntegrityError, match="height"):
+        import_chain(json.dumps(snapshot))
+
+
+def test_bad_json_and_format(chain):
+    with pytest.raises(ChainIntegrityError, match="not valid JSON"):
+        import_chain("{broken")
+    snapshot = json.loads(export_chain(chain))
+    snapshot["format"] = 42
+    with pytest.raises(ChainIntegrityError, match="unsupported"):
+        import_chain(json.dumps(snapshot))
+
+
+def test_snapshot_supports_offline_verification(network, tmp_path):
+    """End to end: snapshot a live network's ledger and run soundness
+    checks against the restored copy, with no peer access."""
+    from repro.crypto.hashing import verify_salted_hash
+    from repro.fabric.network import Gateway
+    from repro.views.hash_based import HashBasedManager
+    from repro.views.predicates import AttributeEquals
+    from repro.views.types import ViewMode
+
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", AttributeEquals("to", "W1"), ViewMode.REVOCABLE)
+    outcome = manager.invoke_with_secret(
+        "create_item",
+        {"item": "i", "owner": "W1"},
+        {"item": "i", "to": "W1"},
+        b"offline-secret",
+    )
+    path = tmp_path / "ledger.json"
+    save_chain(network.reference_peer.chain, str(path))
+
+    offline = load_chain(str(path))
+    tx = offline.get_transaction(outcome.tid)
+    assert verify_salted_hash(b"offline-secret", tx.salt, tx.concealed)

@@ -1,0 +1,62 @@
+"""Tests for transactions: identity, serialization, digests."""
+
+from repro.ledger.transaction import Transaction, fresh_tid
+
+
+def test_fresh_tids_are_unique_and_prefixed():
+    tids = {fresh_tid() for _ in range(100)}
+    assert len(tids) == 100
+    assert all(tid.startswith("tx-") for tid in tids)
+    assert fresh_tid("xid").startswith("xid-")
+
+
+def test_serialize_roundtrip():
+    tx = Transaction(
+        tid="tx-1",
+        kind="invoke",
+        nonsecret={"to": "Warehouse 1", "n": 3},
+        concealed=b"\x01\x02",
+        salt=b"\x03",
+        creator="alice",
+    )
+    assert Transaction.deserialize(tx.serialize()) == tx
+
+
+def test_serialization_is_canonical():
+    a = Transaction(tid="t", nonsecret={"a": 1, "b": 2})
+    b = Transaction(tid="t", nonsecret={"b": 2, "a": 1})
+    assert a.serialize() == b.serialize()
+    assert a.digest() == b.digest()
+
+
+def test_digest_changes_with_any_field():
+    base = Transaction(tid="t", nonsecret={"x": 1}, concealed=b"c")
+    assert base.digest() != Transaction(tid="u", nonsecret={"x": 1}, concealed=b"c").digest()
+    assert base.digest() != Transaction(tid="t", nonsecret={"x": 2}, concealed=b"c").digest()
+    assert base.digest() != Transaction(tid="t", nonsecret={"x": 1}, concealed=b"d").digest()
+
+
+def test_digest_hex_matches_digest():
+    tx = Transaction(tid="t")
+    assert tx.digest_hex() == tx.digest().hex()
+
+
+def test_size_bytes_grows_with_payload():
+    small = Transaction(tid="t", concealed=b"")
+    big = Transaction(tid="t", concealed=b"\x00" * 1000)
+    assert big.size_bytes > small.size_bytes + 1000  # hex doubles bytes
+
+
+def test_with_nonsecret_is_nondestructive():
+    tx = Transaction(tid="t", nonsecret={"a": 1})
+    updated = tx.with_nonsecret(b=2)
+    assert tx.nonsecret == {"a": 1}
+    assert updated.nonsecret == {"a": 1, "b": 2}
+    assert updated.tid == tx.tid
+
+
+def test_transactions_default_empty_parts():
+    tx = Transaction(tid="t")
+    assert tx.concealed == b""
+    assert tx.salt == b""
+    assert tx.kind == "invoke"

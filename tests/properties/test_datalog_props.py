@@ -1,0 +1,58 @@
+"""Property-based tests of the datalog engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.views.datalog import parse_program
+
+nodes = st.integers(min_value=0, max_value=7)
+edge_sets = st.sets(st.tuples(nodes, nodes), max_size=25)
+
+TC_PROGRAM = parse_program(
+    "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+)
+
+
+def _naive_closure(edges):
+    closure = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(closure):
+            for (c, d) in list(closure):
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    return closure
+
+
+@given(edges=edge_sets)
+@settings(max_examples=60, deadline=None)
+def test_transitive_closure_matches_naive(edges):
+    got = TC_PROGRAM.evaluate({"edge": edges}).get("path", set())
+    assert got == _naive_closure(edges)
+
+
+@given(edges=edge_sets, extra=st.tuples(nodes, nodes))
+@settings(max_examples=60, deadline=None)
+def test_monotonicity(edges, extra):
+    """Positive datalog is monotone: more facts, never fewer answers."""
+    small = TC_PROGRAM.evaluate({"edge": edges}).get("path", set())
+    large = TC_PROGRAM.evaluate({"edge": edges | {extra}}).get("path", set())
+    assert small <= large
+
+
+@given(edges=edge_sets)
+@settings(max_examples=60, deadline=None)
+def test_idempotence_of_fixpoint(edges):
+    """Feeding the fixpoint back as EDB adds nothing."""
+    first = TC_PROGRAM.evaluate({"edge": edges}).get("path", set())
+    again = TC_PROGRAM.evaluate({"edge": edges, "path": first}).get("path", set())
+    assert again == first
+
+
+@given(edges=edge_sets)
+@settings(max_examples=60, deadline=None)
+def test_edb_is_never_mutated(edges):
+    snapshot = set(edges)
+    TC_PROGRAM.evaluate({"edge": edges})
+    assert edges == snapshot

@@ -1,0 +1,69 @@
+"""Property-based tests of the versioned state database."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ledger.statedb import StateDatabase, Version
+
+keys = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+)
+values = st.one_of(
+    st.integers(),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.dictionaries(st.text(max_size=5), st.integers(), max_size=3),
+)
+operations = st.lists(st.tuples(keys, values), max_size=40)
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_last_write_wins(ops):
+    db = StateDatabase()
+    model: dict = {}
+    for position, (key, value) in enumerate(ops):
+        db.put(key, value, Version(1, position))
+        model[key] = value
+    assert db.snapshot() == model
+    assert db.keys() == sorted(model)
+    for key, value in model.items():
+        assert db.get(key) == value
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_versions_track_latest_writer(ops):
+    db = StateDatabase()
+    latest: dict = {}
+    for position, (key, value) in enumerate(ops):
+        db.put(key, value, Version(2, position))
+        latest[key] = position
+    for key, position in latest.items():
+        assert db.version_of(key) == Version(2, position)
+
+
+@given(ops=operations, prefix=keys)
+@settings(max_examples=60, deadline=None)
+def test_scan_prefix_equals_filtered_sorted_snapshot(ops, prefix):
+    db = StateDatabase()
+    for position, (key, value) in enumerate(ops):
+        db.put(key, value, Version(1, position))
+    scanned = list(db.scan_prefix(prefix))
+    expected = sorted(
+        (k, v) for k, v in db.snapshot().items() if k.startswith(prefix)
+    )
+    assert scanned == expected
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_delete_then_absent(ops):
+    db = StateDatabase()
+    for position, (key, value) in enumerate(ops):
+        db.put(key, value, Version(1, position))
+    for key, _ in ops:
+        db.delete(key)
+        assert db.get(key) is None
+        assert key not in db
+    assert len(db) == 0
+    assert db.size_bytes() == 0

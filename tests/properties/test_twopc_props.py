@@ -1,0 +1,52 @@
+"""Property-based all-or-nothing invariant of the 2PC baseline."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baseline.multichain import CrossChainDeployment
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.sim import Environment
+from repro.workload.generator import TransferRequest
+
+FAST = NetworkConfig(
+    latency=SINGLE_REGION, real_signatures=False, batch_timeout_ms=20.0
+)
+
+VIEWS = ["A", "B", "C", "D"]
+
+access_lists = st.lists(st.sampled_from(VIEWS), min_size=1, max_size=4, unique=True)
+timeout_choice = st.sampled_from([0.0, 60_000.0])
+
+
+@given(access=access_lists, prepare_timeout=timeout_choice,
+       index=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_all_or_nothing(access, prepare_timeout, index):
+    env = Environment()
+    deployment = CrossChainDeployment(
+        env,
+        VIEWS,
+        config=FAST,
+        prepare_timeout_ms=prepare_timeout,
+        max_retries=0,
+    )
+    identities = deployment.register_user("client")
+    request = TransferRequest(
+        index=0,
+        fn="create_item",
+        item=f"item-{index}",
+        sender=None,
+        receiver=access[0],
+        args={"item": f"item-{index}", "owner": access[0]},
+        public={"item": f"item-{index}", "to": access[0], "access": access},
+        secret=b"payload",
+    )
+    result = deployment.submit_request_sync(identities, request)
+    # The invariant: committed on every involved chain or on none.
+    deployment.verify_atomicity(result, access)
+    if prepare_timeout == 0.0:
+        assert not result.committed
+    else:
+        assert result.committed
+    # The coordinator's on-chain decision agrees with the outcome.
+    status = deployment.main.query("coordinator", "status", {"xid": result.xid})
+    assert status["state"] == ("committed" if result.committed else "aborted")

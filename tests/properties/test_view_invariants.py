@@ -1,0 +1,104 @@
+"""Property-based invariants of the view layer under random workloads.
+
+For random streams of transactions and random attribute predicates, the
+served view must always be exactly the predicate-matching subset, every
+served secret must round-trip, and soundness/completeness must hold —
+for all four methods.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import build_network
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.network import Gateway
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.types import Concealment, ViewMode
+from repro.views.verification import ViewVerifier
+
+FAST = NetworkConfig(
+    latency=SINGLE_REGION, real_signatures=False, batch_timeout_ms=20.0
+)
+
+MANAGERS = {
+    Concealment.ENCRYPTION: EncryptionBasedManager,
+    Concealment.HASH: HashBasedManager,
+}
+
+destinations = st.sampled_from(["W1", "W2", "W3"])
+secrets = st.binary(min_size=0, max_size=120)
+streams = st.lists(st.tuples(destinations, secrets), min_size=1, max_size=8)
+
+
+@pytest.fixture(scope="module")
+def actors():
+    """One network + keypairs, reused across hypothesis examples.
+
+    Registering RSA identities per example would dominate runtime; the
+    network itself is cheap to rebuild, so only identities are shared
+    via a fresh network per example but a cached MSP-keypair trick is
+    unnecessary — instead we keep one long-lived network and create a
+    fresh manager (with fresh views) per example.
+    """
+    network = build_network(FAST)
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    return network, owner, bob
+
+
+_view_counter = [0]
+
+
+def _fresh_view_name():
+    _view_counter[0] += 1
+    return f"pv{_view_counter[0]:05d}"
+
+
+@given(stream=streams, concealment=st.sampled_from(list(MANAGERS)),
+       mode=st.sampled_from(list(ViewMode)))
+@settings(max_examples=25, deadline=None)
+def test_view_contents_equal_predicate_subset(actors, stream, concealment, mode):
+    network, owner, bob = actors
+    manager = MANAGERS[concealment](Gateway(network, owner))
+    view_name = _fresh_view_name()
+    predicate = AttributeEquals("to", "W1")
+    manager.create_view(view_name, predicate, mode)
+
+    expected = {}
+    for i, (to, secret) in enumerate(stream):
+        item = f"{view_name}-i{i}"
+        outcome = manager.invoke_with_secret(
+            "create_item",
+            {"item": item, "owner": to},
+            {"item": item, "from": None, "to": to, "access": [to]},
+            secret,
+        )
+        if to == "W1":
+            expected[outcome.tid] = secret
+
+    manager.grant_access(view_name, "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    if mode is ViewMode.IRREVOCABLE:
+        result = reader.read_irrevocable_view(manager, view_name)
+    else:
+        result = reader.read_view(manager, view_name)
+    assert result.secrets == expected
+
+    verifier = ViewVerifier(Gateway(network, bob))
+    soundness = verifier.verify_soundness(view_name, predicate, result, concealment)
+    assert soundness.ok
+    # Completeness over the shared ledger, scoped to this example's items
+    # (the network is reused across hypothesis examples).
+    from repro.views.predicates import AllOf, AttributeIn
+
+    scoped = AllOf([
+        predicate,
+        AttributeIn("item", [f"{view_name}-i{i}" for i in range(len(stream))]),
+    ])
+    completeness = verifier.verify_completeness(
+        view_name, scoped, set(result.secrets), use_txlist=False
+    )
+    assert completeness.ok

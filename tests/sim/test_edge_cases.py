@@ -1,0 +1,175 @@
+"""Edge-case tests for the simulation kernel's combinators and failures."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Interrupt, Resource, Store
+
+
+def test_all_of_fails_if_any_constituent_fails():
+    env = Environment()
+    caught = []
+
+    def proc(env, bad):
+        try:
+            yield env.all_of([env.timeout(5, "ok"), bad])
+        except RuntimeError as exc:
+            caught.append((env.now, str(exc)))
+
+    bad = env.event()
+    env.process(proc(env, bad))
+
+    def failer(env, event):
+        yield env.timeout(2)
+        event.fail(RuntimeError("constituent died"))
+
+    env.process(failer(env, bad))
+    env.run()
+    assert caught == [(2, "constituent died")]
+
+
+def test_any_of_propagates_first_failure():
+    env = Environment()
+    caught = []
+
+    def proc(env, bad):
+        try:
+            yield env.any_of([env.timeout(50, "slow"), bad])
+        except ValueError:
+            caught.append(env.now)
+
+    bad = env.event()
+    env.process(proc(env, bad))
+
+    def failer(env, event):
+        yield env.timeout(1)
+        event.fail(ValueError("x"))
+
+    env.process(failer(env, bad))
+    env.run()
+    assert caught == [1]
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+
+    def early(env):
+        yield env.timeout(1)
+        return "early"
+
+    first = env.process(early(env))
+    env.run(until=10)
+    assert first.processed
+
+    def late(env):
+        values = yield env.all_of([first, env.timeout(2, "late")])
+        return (env.now, values)
+
+    result = env.run(until=env.process(late(env)))
+    assert result == (12, ["early", "late"])
+
+
+def test_interrupt_while_holding_resource():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    log = []
+
+    def holder(env):
+        request = resource.request()
+        yield request
+        try:
+            yield env.timeout(100)
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        finally:
+            resource.release(request)
+
+    def waiter(env):
+        request = resource.request()
+        yield request
+        log.append(("acquired", env.now))
+        resource.release(request)
+
+    holding = env.process(holder(env))
+    env.process(waiter(env))
+
+    def interrupter(env):
+        yield env.timeout(5)
+        holding.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    # The waiter gets the resource right after the interrupt released it.
+    assert log == [("interrupted", 5), ("acquired", 5)]
+
+
+def test_unhandled_interrupt_fails_the_process():
+    env = Environment()
+
+    def stubborn(env):
+        yield env.timeout(100)
+
+    process = env.process(stubborn(env))
+
+    def interrupter(env):
+        yield env.timeout(1)
+        process.interrupt(cause="bye")
+
+    env.process(interrupter(env))
+    with pytest.raises(Interrupt):
+        env.run(until=process)
+
+
+def test_store_get_events_fifo_under_competition():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env, name):
+        item = yield store.get()
+        received.append((name, item))
+
+    env.process(consumer(env, "first"))
+    env.process(consumer(env, "second"))
+
+    def producer(env):
+        yield env.timeout(1)
+        yield store.put("a")
+        yield env.timeout(1)
+        yield store.put("b")
+
+    env.process(producer(env))
+    env.run()
+    assert received == [("first", "a"), ("second", "b")]
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Environment().step()
+
+
+def test_pending_events_counter():
+    env = Environment()
+    assert env.pending_events == 0
+    env.timeout(5)
+    assert env.pending_events == 1
+    env.run()
+    assert env.pending_events == 0
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+
+    def proc(env):
+        value = yield env.timeout(3, {"payload": 1})
+        return value
+
+    assert env.run(until=env.process(proc(env))) == {"payload": 1}
+
+
+def test_failed_event_with_no_waiter_surfaces():
+    env = Environment()
+    event = env.event()
+    event.fail(RuntimeError("nobody listened"))
+    with pytest.raises(RuntimeError, match="nobody listened"):
+        env.run()

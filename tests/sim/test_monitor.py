@@ -1,0 +1,82 @@
+"""Tests for counters and time-series measurement helpers."""
+
+import pytest
+
+from repro.sim import Counter, TimeSeries
+
+
+def test_counter_basics():
+    counter = Counter("c")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+    assert "c" in repr(counter)
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().increment(-1)
+
+
+def test_timeseries_summary():
+    series = TimeSeries("lat")
+    for i, value in enumerate([10.0, 20.0, 30.0, 40.0]):
+        series.record(float(i), value)
+    summary = series.summary()
+    assert summary.count == 4
+    assert summary.mean == 25.0
+    assert summary.minimum == 10.0
+    assert summary.maximum == 40.0
+    assert summary.p50 == 25.0
+
+
+def test_percentile_interpolation():
+    series = TimeSeries()
+    for value in [0.0, 10.0]:
+        series.record(0.0, value)
+    summary = series.summary()
+    assert summary.p50 == 5.0
+    assert summary.p95 == pytest.approx(9.5)
+
+
+def test_single_sample_percentiles():
+    series = TimeSeries()
+    series.record(0.0, 7.0)
+    summary = series.summary()
+    assert summary.p50 == summary.p95 == summary.p99 == 7.0
+    assert summary.stdev == 0.0
+
+
+def test_summary_of_empty_series_raises():
+    with pytest.raises(ValueError):
+        TimeSeries().summary()
+
+
+def test_rate_over_recorded_window():
+    series = TimeSeries()
+    for t in range(11):  # 11 samples over 10 time units
+        series.record(float(t), 1.0)
+    assert series.rate() == pytest.approx(1.1)
+
+
+def test_rate_over_explicit_window():
+    series = TimeSeries()
+    for t in range(5):
+        series.record(float(t), 1.0)
+    assert series.rate(start=0.0, end=10.0) == pytest.approx(0.5)
+
+
+def test_rate_empty_or_degenerate():
+    series = TimeSeries()
+    assert series.rate() == 0.0
+    series.record(1.0, 1.0)
+    assert series.rate() == 0.0  # zero-width window
+
+
+def test_values_and_times_are_copies():
+    series = TimeSeries()
+    series.record(1.0, 2.0)
+    series.values.append(99.0)
+    assert series.values == [2.0]
+    series.times.append(99.0)
+    assert series.times == [1.0]

@@ -1,0 +1,76 @@
+"""Tests for the top-level package surface."""
+
+import pytest
+
+import repro
+from repro import build_network
+from repro.errors import (
+    AccessControlError,
+    AccessDeniedError,
+    ChaincodeError,
+    CryptoError,
+    DecryptionError,
+    LedgerError,
+    LedgerViewError,
+    MerkleProofError,
+    RevocationError,
+    SignatureError,
+    StateConflictError,
+    VerificationError,
+)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_is_set():
+    assert repro.__version__
+
+
+def test_build_network_installs_standard_contracts(fast_config):
+    network = build_network(fast_config)
+    for chaincode in ("supply", "notary", "viewstorage", "txlist", "rbac"):
+        assert chaincode in network.registry, chaincode
+
+
+def test_build_network_without_contracts(fast_config):
+    network = build_network(fast_config, install_standard_contracts=False)
+    assert network.registry.names() == []
+
+
+def test_build_network_shares_environment(fast_config):
+    from repro.sim import Environment
+
+    env = Environment()
+    a = build_network(fast_config, env=env, chain_name="a")
+    b = build_network(fast_config, env=env, chain_name="b")
+    assert a.env is b.env
+
+
+def test_error_hierarchy():
+    # Everything under one root.
+    for error in (
+        CryptoError,
+        LedgerError,
+        AccessControlError,
+        VerificationError,
+        RevocationError,
+    ):
+        assert issubclass(error, LedgerViewError)
+    # Crypto family.
+    for error in (DecryptionError, SignatureError, MerkleProofError):
+        assert issubclass(error, CryptoError)
+    # Ledger family.
+    for error in (StateConflictError, ChaincodeError):
+        assert issubclass(error, LedgerError)
+    # Access-control family.
+    for error in (AccessDeniedError, RevocationError, VerificationError):
+        assert issubclass(error, AccessControlError)
+
+
+def test_catching_the_root_catches_everything(network):
+    user = network.register_user("alice")
+    with pytest.raises(LedgerViewError):
+        network.invoke_sync(user, "no-such-chaincode", "fn")

@@ -1,0 +1,143 @@
+"""Tests for the streaming view auditor."""
+
+import pytest
+
+from repro.errors import DuplicateViewError, ViewNotFoundError
+from repro.fabric.network import Gateway
+from repro.views.auditor import ViewAuditor
+from repro.views.hash_based import HashBasedManager
+from repro.views.predicates import AttributeEquals
+from repro.views.types import ViewMode
+
+PREDICATE = AttributeEquals("to", "W1")
+
+
+@pytest.fixture
+def world(network):
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    return network, manager
+
+
+def _invoke(manager, item, to="W1"):
+    return manager.invoke_with_secret(
+        "create_item",
+        {"item": item, "owner": to},
+        {"item": item, "from": None, "to": to, "access": [to]},
+        b"s-" + item.encode(),
+    )
+
+
+def test_streams_matching_commits(world):
+    network, manager = world
+    auditor = ViewAuditor(network)
+    auditor.watch("w1", PREDICATE)
+    a = _invoke(manager, "i1")
+    _invoke(manager, "i2", to="W9")
+    b = _invoke(manager, "i3")
+    assert auditor.expected("w1") == [a.tid, b.tid]
+
+
+def test_backfills_history_on_watch(world):
+    network, manager = world
+    early = _invoke(manager, "i1")
+    auditor = ViewAuditor(network)
+    auditor.watch("w1", PREDICATE)
+    late = _invoke(manager, "i2")
+    assert auditor.expected("w1") == [early.tid, late.tid]
+
+
+def test_audit_detects_omission_and_foreign(world):
+    network, manager = world
+    auditor = ViewAuditor(network)
+    auditor.watch("w1", PREDICATE)
+    a = _invoke(manager, "i1")
+    b = _invoke(manager, "i2")
+    clean = auditor.audit("w1", {a.tid, b.tid})
+    assert clean.ok
+    report = auditor.audit("w1", {a.tid, "tx-smuggled"})
+    assert report.missing == [b.tid]
+    assert report.foreign == ["tx-smuggled"]
+    assert not report.ok
+
+
+def test_matches_owner_view_continuously(world):
+    network, manager = world
+    auditor = ViewAuditor(network)
+    auditor.watch("w1", PREDICATE)
+    for i in range(5):
+        _invoke(manager, f"i{i}", to="W1" if i % 2 == 0 else "W9")
+        served = set(manager.buffer.get("w1").data)
+        assert auditor.audit("w1", served).ok
+
+
+def test_out_of_band_grants(world):
+    network, manager = world
+    auditor = ViewAuditor(network)
+    auditor.watch("w1", PREDICATE)
+    other = _invoke(manager, "ix", to="W9")
+    assert other.tid not in auditor.expected("w1")
+    auditor.grant("w1", other.tid)
+    assert other.tid in auditor.expected("w1")
+    auditor.grant("w1", other.tid)  # idempotent
+    assert auditor.expected("w1").count(other.tid) == 1
+
+
+def test_registration_errors(world):
+    network, manager = world
+    auditor = ViewAuditor(network)
+    auditor.watch("w1", PREDICATE)
+    with pytest.raises(DuplicateViewError):
+        auditor.watch("w1", PREDICATE)
+    with pytest.raises(ViewNotFoundError):
+        auditor.expected("ghost")
+    with pytest.raises(ViewNotFoundError):
+        auditor.audit("ghost", set())
+    with pytest.raises(ViewNotFoundError):
+        auditor.grant("ghost", "t")
+
+
+def test_close_stops_streaming(world):
+    network, manager = world
+    auditor = ViewAuditor(network)
+    auditor.watch("w1", PREDICATE)
+    first = _invoke(manager, "i1")
+    auditor.close()
+    _invoke(manager, "i2")
+    assert auditor.expected("w1") == [first.tid]
+
+
+def test_invalid_transactions_are_excluded(world, network):
+    """MVCC-invalidated transactions must not enter expectations."""
+    from repro.fabric.endorser import Proposal
+
+    net, manager = world
+    auditor = ViewAuditor(net)
+    auditor.watch("w1", PREDICATE)
+    user = net.register_user("racer")
+    # Two conflicting increments endorsed against the same snapshot.
+    p1 = Proposal(
+        chaincode="supply", fn="create_item",
+        args={"item": "dup", "owner": "W1"},
+        public={"item": "dup", "to": "W1"}, creator="racer",
+    )
+    p2 = Proposal(
+        chaincode="supply", fn="create_item",
+        args={"item": "dup2", "owner": "W1"},
+        public={"item": "dup2", "to": "W1"}, creator="racer",
+    )
+    # Make them conflict via the same chaincode key.
+    p2 = Proposal(
+        chaincode="supply", fn="create_item",
+        args={"item": "dup", "owner": "W1"},
+        public={"item": "dup", "to": "W1"}, creator="racer", tid=p2.tid,
+    )
+    events = [net.submit(p1), net.submit(p2)]
+    import contextlib
+
+    with contextlib.suppress(Exception):
+        net.env.run(until=net.env.all_of(events))
+    expected = auditor.expected("w1")
+    # Exactly one of the two conflicting creates is valid.
+    assert len([t for t in expected if t in (p1.tid, p2.tid)]) == 1

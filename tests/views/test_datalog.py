@@ -1,0 +1,189 @@
+"""Tests for the datalog engine: parsing, safety, semi-naive evaluation."""
+
+import pytest
+
+from repro.views.datalog import (
+    Atom,
+    DatalogError,
+    DatalogViewQuery,
+    Program,
+    Rule,
+    Variable,
+    parse_program,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def test_nonrecursive_rule():
+    program = Program([
+        Rule(Atom("big", (X,)), (Atom("num", (X,)),)),
+    ])
+    result = program.evaluate({"num": {(1,), (2,)}})
+    assert result["big"] == {(1,), (2,)}
+
+
+def test_transitive_closure():
+    program = parse_program(
+        """
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- edge(X, Y), path(Y, Z).
+        """
+    )
+    edges = {(1, 2), (2, 3), (3, 4)}
+    paths = program.evaluate({"edge": edges})["path"]
+    assert paths == {(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)}
+
+
+def test_cyclic_edb_terminates():
+    program = parse_program(
+        "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+    )
+    paths = program.evaluate({"edge": {(1, 2), (2, 1)}})["path"]
+    assert paths == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+
+def test_constants_in_rules():
+    program = parse_program(
+        """
+        to_w1(T) :- delivery(T, X, "Warehouse 1").
+        """
+    )
+    facts = {
+        "delivery": {("t1", "M1", "Warehouse 1"), ("t2", "M1", "Shop 1")},
+    }
+    assert program.evaluate(facts)["to_w1"] == {("t1",)}
+
+
+def test_join_on_shared_variable():
+    program = parse_program("grand(X, Z) :- parent(X, Y), parent(Y, Z).")
+    facts = {"parent": {("a", "b"), ("b", "c"), ("b", "d"), ("x", "y")}}
+    assert program.evaluate(facts)["grand"] == {("a", "c"), ("a", "d")}
+
+
+def test_repeated_variable_within_atom():
+    program = parse_program("selfloop(X) :- edge(X, X).")
+    assert program.evaluate({"edge": {(1, 1), (1, 2)}})["selfloop"] == {(1,)}
+
+
+def test_ground_facts_in_program():
+    program = parse_program(
+        """
+        edge(1, 2).
+        edge(2, 3).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- edge(X, Y), path(Y, Z).
+        """
+    )
+    assert program.evaluate({})["path"] == {(1, 2), (2, 3), (1, 3)}
+
+
+def test_union_of_rules_is_disjunction():
+    program = parse_program(
+        """
+        q(T) :- p1(T).
+        q(T) :- p2(T).
+        """
+    )
+    result = program.evaluate({"p1": {("a",)}, "p2": {("b",)}})
+    assert result["q"] == {("a",), ("b",)}
+
+
+def test_unsafe_rule_rejected():
+    with pytest.raises(DatalogError, match="unsafe"):
+        Program([Rule(Atom("q", (X, Y)), (Atom("p", (X,)),))])
+
+
+def test_nonground_fact_rejected():
+    with pytest.raises(DatalogError, match="ground"):
+        Program([Rule(Atom("q", (X,)), ())])
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(DatalogError, match="arities"):
+        parse_program("p(X) :- e(X). p(X, Y) :- e(X), e(Y).")
+
+
+def test_parser_errors():
+    with pytest.raises(DatalogError):
+        parse_program("p(X) :- ")
+    with pytest.raises(DatalogError):
+        parse_program("P(X) :- e(X).")  # predicate names are lower-case
+    with pytest.raises(DatalogError):
+        parse_program("p(X) :- e(X)")  # missing final dot
+    with pytest.raises(DatalogError):
+        parse_program("p(X) @ e(X).")
+
+
+def test_parser_comments_and_literals():
+    program = parse_program(
+        """
+        % origins
+        num(1). num(2.5). name("quoted"). sym(lowercase).
+        """
+    )
+    result = program.evaluate({})
+    assert result["num"] == {(1,), (2.5,)}
+    assert result["name"] == {("quoted",)}
+    assert result["sym"] == {("lowercase",)}
+
+
+def test_view_query_over_transactions():
+    """The paper's §3 example: all transactions on a delivery chain that
+    reaches Warehouse 1."""
+    from repro.ledger.transaction import Transaction
+
+    txs = [
+        Transaction(tid="t1", nonsecret={"public": {"item": "i", "from": "M1", "to": "D1"}}),
+        Transaction(tid="t2", nonsecret={"public": {"item": "i", "from": "D1", "to": "Warehouse 1"}}),
+        Transaction(tid="t3", nonsecret={"public": {"item": "j", "from": "M2", "to": "Shop 9"}}),
+    ]
+    query = DatalogViewQuery(
+        """
+        reaches(E) :- delivery(T, E, "Warehouse 1").
+        reaches(E) :- delivery(T, E, F), reaches(F).
+        in_view(T) :- delivery(T, E, F), reaches(E).
+        in_view(T) :- delivery(T, E, "Warehouse 1").
+        """,
+        query="in_view",
+    )
+    assert query.evaluate(txs) == {"t1", "t2"}
+
+
+def test_view_query_custom_extractor():
+    from repro.ledger.transaction import Transaction
+
+    txs = [Transaction(tid="a", nonsecret={"public": {"kind": "hot"}})]
+    query = DatalogViewQuery(
+        "v(T) :- fact(T, \"hot\").",
+        query="v",
+        extract_facts=lambda tx: [
+            ("fact", (tx.tid, tx.nonsecret["public"]["kind"]))
+        ],
+    )
+    assert query.evaluate(txs) == {"a"}
+
+
+def test_semi_naive_matches_naive_on_random_graphs():
+    import random
+
+    rng = random.Random(3)
+    nodes = list(range(8))
+    edges = {
+        (rng.choice(nodes), rng.choice(nodes)) for _ in range(15)
+    }
+    program = parse_program(
+        "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+    )
+    got = program.evaluate({"edge": edges})["path"]
+    # Naive fixpoint for comparison.
+    expected = set(edges)
+    changed = True
+    while changed:
+        changed = False
+        for (a, b) in list(edges):
+            for (c, d) in list(expected):
+                if b == c and (a, d) not in expected:
+                    expected.add((a, d))
+                    changed = True
+    assert got == expected

@@ -1,0 +1,136 @@
+"""Edge-case tests for the view manager shared machinery."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, ViewNotFoundError
+from repro.fabric.network import Gateway
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import AttributeEquals, Everything
+from repro.views.types import ViewMode
+
+
+@pytest.fixture
+def manager(network):
+    owner = network.register_user("owner")
+    return HashBasedManager(Gateway(network, owner))
+
+
+def test_operations_on_unknown_view_raise(manager, network):
+    network.register_user("bob")
+    with pytest.raises(ViewNotFoundError):
+        manager.grant_access("ghost", "bob")
+    with pytest.raises(ViewNotFoundError):
+        manager.revoke_access("ghost", "bob")
+    with pytest.raises(ViewNotFoundError):
+        manager.query_view("ghost", "bob")
+
+
+def test_grant_to_unknown_user_raises(manager):
+    manager.create_view("v", Everything(), ViewMode.REVOCABLE)
+    from repro.errors import AccessControlError
+
+    with pytest.raises(AccessControlError):
+        manager.grant_access("v", "nobody")
+
+
+def test_revoking_nonmember_raises(manager, network):
+    manager.create_view("v", Everything(), ViewMode.REVOCABLE)
+    network.register_user("bob")
+    with pytest.raises(AccessDeniedError):
+        manager.revoke_access("v", "bob")
+
+
+def test_query_with_unknown_tids_is_silent(manager, network):
+    """Requesting tids not in the view returns what exists; no leak, no
+    error (matches serving semantics: you get what you may see)."""
+    bob = network.register_user("bob")
+    manager.create_view("v", Everything(), ViewMode.REVOCABLE)
+    outcome = manager.invoke_with_secret(
+        "create_item", {"item": "i", "owner": "x"}, {"item": "i", "to": "x"}, b"s"
+    )
+    manager.grant_access("v", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    result = reader.read_view(manager, "v", tids=[outcome.tid, "tx-ghost"])
+    assert set(result.secrets) == {outcome.tid}
+
+
+def test_irrevocable_view_creation_writes_meta_on_chain(network):
+    owner = network.register_user("owner")
+    manager = EncryptionBasedManager(Gateway(network, owner))
+    manager.create_view("deeds", Everything(), ViewMode.IRREVOCABLE)
+    meta = network.query("viewstorage", "get_meta", {"view": "deeds"})
+    assert meta == {"owner": "owner", "concealment": "encryption"}
+
+
+def test_revocable_view_creation_stays_off_chain(network):
+    owner = network.register_user("owner")
+    manager = EncryptionBasedManager(Gateway(network, owner))
+    before = network.metrics.onchain_txs.value
+    manager.create_view("v", Everything(), ViewMode.REVOCABLE)
+    assert network.metrics.onchain_txs.value == before
+
+
+def test_empty_secret_roundtrip(manager, network):
+    bob = network.register_user("bob")
+    manager.create_view("v", Everything(), ViewMode.REVOCABLE)
+    outcome = manager.invoke_with_secret(
+        "create_item", {"item": "i", "owner": "x"}, {"item": "i", "to": "x"}, b""
+    )
+    manager.grant_access("v", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    assert reader.read_view(manager, "v").secrets[outcome.tid] == b""
+
+
+def test_large_secret_roundtrip(manager, network):
+    bob = network.register_user("bob")
+    manager.create_view("v", Everything(), ViewMode.REVOCABLE)
+    payload = bytes(range(256)) * 64  # 16 KiB
+    outcome = manager.invoke_with_secret(
+        "create_item", {"item": "i", "owner": "x"}, {"item": "i", "to": "x"}, payload
+    )
+    manager.grant_access("v", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    assert reader.read_view(manager, "v").secrets[outcome.tid] == payload
+    # Hash-based: the chain carries only a 32-byte digest, not 16 KiB.
+    assert len(network.get_transaction(outcome.tid).concealed) == 32
+
+
+def test_access_transactions_are_on_ledger(manager, network):
+    network.register_user("bob")
+    manager.create_view("v", Everything(), ViewMode.REVOCABLE)
+    tid = manager.grant_access("v", "bob")
+    tx = network.get_transaction(tid)
+    public = tx.nonsecret["public"]
+    assert public["access_view"] == "v"
+    assert "bob" in public["grants"]
+    # Sealed grants never contain the raw view key.
+    key_material = manager.buffer.get("v").key.to_bytes()
+    assert key_material.hex() not in tx.serialize().decode()
+
+
+def test_key_version_increments_per_revocation(manager, network):
+    for name in ("u1", "u2", "u3"):
+        network.register_user(name)
+    manager.create_view("v", Everything(), ViewMode.REVOCABLE)
+    for name in ("u1", "u2", "u3"):
+        manager.grant_access("v", name)
+    record = manager.buffer.get("v")
+    keys_seen = {record.key.to_bytes()}
+    for i, name in enumerate(("u1", "u2"), start=1):
+        manager.revoke_access("v", name)
+        assert record.key_version == i
+        assert record.key.to_bytes() not in keys_seen  # always fresh
+        keys_seen.add(record.key.to_bytes())
+
+
+def test_one_transaction_many_views_single_buffer_entry_each(manager, network):
+    for i in range(4):
+        manager.create_view(f"v{i}", Everything(), ViewMode.REVOCABLE)
+    outcome = manager.invoke_with_secret(
+        "create_item", {"item": "i", "owner": "x"}, {"item": "i", "to": "x"}, b"s"
+    )
+    assert len(outcome.views) == 4
+    for i in range(4):
+        assert manager.buffer.get(f"v{i}").tids == [outcome.tid]

@@ -1,0 +1,123 @@
+"""Tests for multi-owner views and off-chain key delivery."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.fabric.network import Gateway
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.types import ViewMode
+
+SECRET = b'{"cargo":"gpus"}'
+PREDICATE = AttributeEquals("to", "W1")
+
+
+@pytest.fixture(params=[EncryptionBasedManager, HashBasedManager])
+def world(request, network):
+    manager_cls = request.param
+    alice = network.register_user("alice")
+    carol = network.register_user("carol")  # second owner
+    bob = network.register_user("bob")  # reader
+    primary = manager_cls(Gateway(network, alice))
+    primary.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    outcomes = [
+        primary.invoke_with_secret(
+            "create_item",
+            {"item": f"i{i}", "owner": "W1"},
+            {"item": f"i{i}", "from": None, "to": "W1", "access": ["W1"]},
+            SECRET,
+        )
+        for i in range(2)
+    ]
+    return network, manager_cls, primary, carol, bob, outcomes
+
+
+def test_exported_view_serves_identically(world):
+    network, manager_cls, primary, carol, bob, outcomes = world
+    primary.grant_access("w1", "bob")
+    bundle = primary.export_view("w1", "carol")
+
+    secondary = manager_cls(Gateway(network, carol))
+    record = secondary.import_view(carol, bundle)
+    assert record.tids == primary.buffer.get("w1").tids
+
+    reader = ViewReader(bob, Gateway(network, bob))
+    via_primary = reader.read_view(primary, "w1")
+    via_secondary = reader.read_view(secondary, "w1")
+    assert via_primary.secrets == via_secondary.secrets
+
+
+def test_export_is_sealed_to_recipient(world):
+    network, manager_cls, primary, carol, bob, outcomes = world
+    bundle = primary.export_view("w1", "carol")
+    mallory = network.register_user(f"mallory-{manager_cls.__name__}")
+    stranger_manager = manager_cls(Gateway(network, mallory))
+    from repro.errors import DecryptionError
+
+    with pytest.raises(DecryptionError):
+        stranger_manager.import_view(mallory, bundle)
+
+
+def test_second_owner_can_extend_the_view(world):
+    network, manager_cls, primary, carol, bob, outcomes = world
+    bundle = primary.export_view("w1", "carol")
+    secondary = manager_cls(Gateway(network, carol))
+    secondary.import_view(carol, bundle)
+    new_outcome = secondary.invoke_with_secret(
+        "create_item",
+        {"item": "from-carol", "owner": "W1"},
+        {"item": "from-carol", "from": None, "to": "W1", "access": ["W1"]},
+        SECRET,
+    )
+    assert new_outcome.views == ["w1"]
+    secondary.grant_access("w1", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    result = reader.read_view(secondary, "w1")
+    assert new_outcome.tid in result.secrets
+    assert len(result.secrets) == 3
+
+
+def test_second_owner_grants_history_with_retained_data(world):
+    """Imported views retain per-transaction data, so the new owner can
+    run extra-view (historical) grants too."""
+    network, manager_cls, primary, carol, bob, outcomes = world
+    bundle = primary.export_view("w1", "carol")
+    secondary = manager_cls(Gateway(network, carol))
+    secondary.create_view("w2", AttributeEquals("to", "W2"), ViewMode.REVOCABLE)
+    secondary.import_view(carol, bundle)
+    secondary.invoke_with_secret(
+        "transfer",
+        {"item": "i0", "sender": "W1", "receiver": "W2"},
+        {"item": "i0", "from": "W1", "to": "W2", "access": ["W1", "W2"]},
+        SECRET,
+        extra_views={"w2": [outcomes[0].tid]},
+    )
+    assert secondary.buffer.get("w2").contains(outcomes[0].tid)
+
+
+def test_offchain_grant_roundtrip(world):
+    network, manager_cls, primary, carol, bob, outcomes = world
+    before = network.metrics.onchain_txs.value
+    sealed = primary.grant_access_offchain("w1", "bob")
+    assert network.metrics.onchain_txs.value == before  # nothing on chain
+
+    reader = ViewReader(bob, Gateway(network, bob))
+    assert reader.accept_offchain_grant(sealed) == "w1"
+    result = reader.read_view(primary, "w1")
+    assert set(result.secrets) == {o.tid for o in outcomes}
+
+
+def test_offchain_grant_dies_on_rotation(world):
+    network, manager_cls, primary, carol, bob, outcomes = world
+    network.register_user(f"decoy-{manager_cls.__name__}")
+    sealed = primary.grant_access_offchain("w1", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    reader.accept_offchain_grant(sealed)
+    # Rotation (revoking someone else) invalidates bob's cached key
+    # unless he is re-granted.
+    primary.grant_access_offchain("w1", f"decoy-{manager_cls.__name__}")
+    primary.revoke_access("w1", f"decoy-{manager_cls.__name__}")
+    with pytest.raises(AccessDeniedError):
+        reader.read_view(primary, "w1")

@@ -1,0 +1,48 @@
+"""Small-module tests: the notary contract and the view-type enums."""
+
+from repro.fabric.peer import ValidationCode
+from repro.views.notary import NotaryContract
+from repro.views.types import Concealment, ViewMode
+
+
+def test_notary_has_no_state_effects(network):
+    user = network.register_user("u")
+    height_before = network.reference_peer.chain.height
+    state_before = len(network.reference_peer.statedb)
+    notice = network.invoke_sync(
+        user, "notary", "record", public={"anything": [1, 2, 3]}
+    )
+    assert notice.code is ValidationCode.VALID
+    assert notice.response == "recorded"
+    # The transaction is on the ledger…
+    assert network.reference_peer.chain.height == height_before + 1
+    tx = network.get_transaction(notice.tid)
+    assert tx.nonsecret["public"] == {"anything": [1, 2, 3]}
+    # …but world state is untouched (data-only anchoring).
+    assert len(network.reference_peer.statedb) == state_before
+    assert tx.nonsecret["rwset"] == {"reads": [], "writes": []}
+
+
+def test_notary_contract_function_surface():
+    contract = NotaryContract()
+    assert contract.functions == ["record"]
+    assert contract.name == "notary"
+
+
+def test_view_mode_values_are_stable():
+    # These string values appear in on-chain records and export bundles;
+    # changing them would break persisted data.
+    assert ViewMode.REVOCABLE.value == "revocable"
+    assert ViewMode.IRREVOCABLE.value == "irrevocable"
+    assert ViewMode("revocable") is ViewMode.REVOCABLE
+
+
+def test_concealment_values_are_stable():
+    assert Concealment.ENCRYPTION.value == "encryption"
+    assert Concealment.HASH.value == "hash"
+    assert Concealment("hash") is Concealment.HASH
+
+
+def test_enums_are_disjoint_namespaces():
+    assert {m.value for m in ViewMode} == {"revocable", "irrevocable"}
+    assert {c.value for c in Concealment} == {"encryption", "hash"}

@@ -1,0 +1,108 @@
+"""Tests for view-definition predicates and their descriptors."""
+
+import pytest
+
+from repro.views.predicates import (
+    AllOf,
+    AnyOf,
+    AttributeCompare,
+    AttributeEquals,
+    AttributeIn,
+    Everything,
+    Not,
+    ParticipantPredicate,
+    predicate_from_descriptor,
+)
+
+TX = {"item": "i1", "from": "M1", "to": "W1", "access": ["M1", "W1"], "hop": 3}
+
+
+def test_everything_matches_anything():
+    assert Everything().matches({})
+    assert Everything().matches(TX)
+
+
+def test_attribute_equals():
+    assert AttributeEquals("to", "W1").matches(TX)
+    assert not AttributeEquals("to", "W2").matches(TX)
+    assert not AttributeEquals("missing", "W1").matches(TX)
+
+
+def test_attribute_in():
+    assert AttributeIn("to", ["W1", "W2"]).matches(TX)
+    assert not AttributeIn("to", ["W3"]).matches(TX)
+
+
+def test_attribute_compare():
+    assert AttributeCompare("hop", "ge", 3).matches(TX)
+    assert AttributeCompare("hop", "lt", 4).matches(TX)
+    assert not AttributeCompare("hop", "gt", 3).matches(TX)
+    assert not AttributeCompare("missing", "lt", 4).matches(TX)
+
+
+def test_attribute_compare_type_mismatch_is_false():
+    assert not AttributeCompare("to", "lt", 4).matches(TX)
+
+
+def test_attribute_compare_rejects_bad_op():
+    with pytest.raises(ValueError):
+        AttributeCompare("hop", "between", 3)
+
+
+def test_boolean_composition_operators():
+    predicate = AttributeEquals("to", "W1") & AttributeEquals("from", "M1")
+    assert predicate.matches(TX)
+    predicate = AttributeEquals("to", "W9") | AttributeEquals("from", "M1")
+    assert predicate.matches(TX)
+    assert (~AttributeEquals("to", "W9")).matches(TX)
+    assert not (~AttributeEquals("to", "W1")).matches(TX)
+
+
+def test_empty_conjunction_and_disjunction():
+    assert AllOf([]).matches(TX)  # vacuous truth
+    assert not AnyOf([]).matches(TX)
+
+
+def test_participant_predicate():
+    assert ParticipantPredicate("M1").matches(TX)  # sender
+    assert ParticipantPredicate("W1").matches(TX)  # receiver
+    tx_with_history = {"from": "W1", "to": "S1", "access": ["M1", "W1", "S1"]}
+    assert ParticipantPredicate("M1").matches(tx_with_history)  # via access
+    assert not ParticipantPredicate("X").matches(TX)
+
+
+@pytest.mark.parametrize(
+    "predicate",
+    [
+        Everything(),
+        AttributeEquals("to", "W1"),
+        AttributeIn("to", ["W1", 2, None]),
+        AttributeCompare("hop", "le", 5),
+        ParticipantPredicate("M1"),
+        Not(AttributeEquals("to", "W1")),
+        AllOf([AttributeEquals("to", "W1"), AttributeEquals("from", "M1")]),
+        AnyOf([AttributeEquals("to", "W1"), Not(Everything())]),
+        AllOf([AnyOf([Everything(), Not(Everything())]), Everything()]),
+    ],
+)
+def test_descriptor_roundtrip(predicate):
+    rebuilt = predicate_from_descriptor(predicate.descriptor())
+    for sample in (TX, {}, {"to": "W1"}, {"from": "M1", "hop": 99}):
+        assert rebuilt.matches(sample) == predicate.matches(sample)
+
+
+def test_descriptor_is_json_safe():
+    import json
+
+    predicate = AllOf([AttributeIn("to", ["W1"]), ParticipantPredicate("M1")])
+    assert json.loads(json.dumps(predicate.descriptor())) == predicate.descriptor()
+
+
+def test_unknown_descriptor_rejected():
+    with pytest.raises(ValueError, match="unknown predicate"):
+        predicate_from_descriptor({"op": "martian"})
+
+
+def test_reprs_are_informative():
+    assert "W1" in repr(AttributeEquals("to", "W1"))
+    assert "M1" in repr(ParticipantPredicate("M1"))

@@ -1,0 +1,93 @@
+"""Tests for Merkle state proofs over ViewStorage entries."""
+
+import pytest
+
+from repro import build_network
+from repro.errors import MerkleProofError, VerificationError
+from repro.fabric.network import Gateway
+from repro.views.hash_based import HashBasedManager
+from repro.views.predicates import AttributeEquals
+from repro.views.state_proofs import StateProofService, ViewEntryProof
+from repro.views.types import ViewMode
+
+
+@pytest.fixture
+def proved_world(fast_config):
+    network = build_network(fast_config)
+    network.track_state_roots = True
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", AttributeEquals("to", "W1"), ViewMode.IRREVOCABLE)
+    outcome = manager.invoke_with_secret(
+        "create_item",
+        {"item": "i1", "owner": "W1"},
+        {"item": "i1", "from": None, "to": "W1", "access": ["W1"]},
+        b"secret-bytes",
+    )
+    return network, manager, outcome
+
+
+def test_requires_root_tracking(network):
+    with pytest.raises(VerificationError, match="track_state_roots"):
+        StateProofService(network)
+
+
+def test_prove_and_verify_entry(proved_world):
+    network, manager, outcome = proved_world
+    service = StateProofService(network)
+    proof = service.prove_entry("w1", outcome.tid)
+    assert proof.tid == outcome.tid
+    service.verify(proof)  # must not raise
+
+
+def test_proof_for_missing_entry(proved_world):
+    network, manager, outcome = proved_world
+    service = StateProofService(network)
+    with pytest.raises(MerkleProofError, match="no on-chain entry"):
+        service.prove_entry("w1", "tx-never")
+
+
+def test_forged_entry_rejected(proved_world):
+    network, manager, outcome = proved_world
+    service = StateProofService(network)
+    genuine = service.prove_entry("w1", outcome.tid)
+    forged = ViewEntryProof(
+        view=genuine.view,
+        tid=genuine.tid,
+        entry=b"\x00" * len(genuine.entry),
+        block_number=genuine.block_number,
+        proof=genuine.proof,
+    )
+    with pytest.raises(VerificationError, match="failed"):
+        service.verify(forged)
+
+
+def test_proof_anchored_to_unknown_block_rejected(proved_world):
+    network, manager, outcome = proved_world
+    service = StateProofService(network)
+    genuine = service.prove_entry("w1", outcome.tid)
+    moved = ViewEntryProof(
+        view=genuine.view,
+        tid=genuine.tid,
+        entry=genuine.entry,
+        block_number=9999,
+        proof=genuine.proof,
+    )
+    with pytest.raises(VerificationError, match="no agreed state root"):
+        service.verify(moved)
+
+
+def test_latest_anchor_advances_with_commits(proved_world):
+    network, manager, outcome = proved_world
+    service = StateProofService(network)
+    first_anchor = service.latest_anchored_block()
+    manager.invoke_with_secret(
+        "create_item",
+        {"item": "i2", "owner": "W1"},
+        {"item": "i2", "from": None, "to": "W1", "access": ["W1"]},
+        b"more",
+    )
+    assert service.latest_anchored_block() > first_anchor
+    # A fresh proof against the new root still verifies.
+    proof = service.prove_entry("w1", outcome.tid)
+    service.verify(proof)

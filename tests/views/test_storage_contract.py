@@ -1,0 +1,99 @@
+"""Tests for the ViewStorage contract (Init / Merge)."""
+
+import pytest
+
+from repro.errors import ChaincodeError
+from repro.fabric.chaincode import TxContext
+from repro.ledger.statedb import StateDatabase, Version
+from repro.views.storage_contract import ViewStorageContract
+
+
+@pytest.fixture
+def statedb():
+    return StateDatabase()
+
+
+@pytest.fixture
+def contract():
+    return ViewStorageContract()
+
+
+def _apply(ctx, statedb, position=0):
+    """Apply a context's write set, as a peer commit would."""
+    for key, value in ctx.write_set.items():
+        statedb.put(key, value, Version(1, position))
+
+
+def _ctx(statedb):
+    return TxContext("viewstorage", statedb, "t", "owner")
+
+
+def test_init_creates_meta(contract, statedb):
+    ctx = _ctx(statedb)
+    record = contract.invoke(ctx, "init", {"view": "v1", "concealment": "hash"})
+    assert record == {"owner": "owner", "concealment": "hash"}
+    _apply(ctx, statedb)
+    ctx2 = _ctx(statedb)
+    assert contract.invoke(ctx2, "get_meta", {"view": "v1"}) == record
+
+
+def test_double_init_rejected(contract, statedb):
+    ctx = _ctx(statedb)
+    contract.invoke(ctx, "init", {"view": "v1"})
+    _apply(ctx, statedb)
+    with pytest.raises(ChaincodeError, match="already"):
+        contract.invoke(_ctx(statedb), "init", {"view": "v1"})
+
+
+def test_merge_and_get_view(contract, statedb):
+    ctx = _ctx(statedb)
+    count = contract.invoke(
+        ctx, "merge", {"view": "v1", "entries": {"t1": b"\x01", "t2": b"\x02"}}
+    )
+    assert count == 2
+    _apply(ctx, statedb)
+    view = contract.invoke(_ctx(statedb), "get_view", {"view": "v1"})
+    assert view == {"t1": b"\x01", "t2": b"\x02"}
+
+
+def test_merge_requires_entries(contract, statedb):
+    with pytest.raises(ChaincodeError, match="no entries"):
+        contract.invoke(_ctx(statedb), "merge", {"view": "v1", "entries": {}})
+
+
+def test_merge_is_blind_no_reads(contract, statedb):
+    """Merges must not read existing entries — that is what keeps
+    concurrent merges MVCC-conflict-free."""
+    ctx = _ctx(statedb)
+    contract.invoke(ctx, "merge", {"view": "v1", "entries": {"t1": b"\x01"}})
+    assert ctx.read_set == {}
+
+
+def test_merge_many_spans_views(contract, statedb):
+    ctx = _ctx(statedb)
+    total = contract.invoke(
+        ctx,
+        "merge_many",
+        {"merges": {"v1": {"t1": b"\x01"}, "v2": {"t1": b"\x02", "t2": b"\x03"}}},
+    )
+    assert total == 3
+    _apply(ctx, statedb)
+    assert contract.invoke(_ctx(statedb), "get_view", {"view": "v2"}) == {
+        "t1": b"\x02",
+        "t2": b"\x03",
+    }
+
+
+def test_get_entry(contract, statedb):
+    ctx = _ctx(statedb)
+    contract.invoke(ctx, "merge", {"view": "v1", "entries": {"t1": b"\x01"}})
+    _apply(ctx, statedb)
+    assert contract.invoke(_ctx(statedb), "get_entry", {"view": "v1", "tid": "t1"}) == b"\x01"
+    assert contract.invoke(_ctx(statedb), "get_entry", {"view": "v1", "tid": "tx"}) is None
+
+
+def test_views_are_isolated(contract, statedb):
+    ctx = _ctx(statedb)
+    contract.invoke(ctx, "merge", {"view": "v1", "entries": {"t1": b"\x01"}})
+    _apply(ctx, statedb)
+    assert contract.invoke(_ctx(statedb), "get_view", {"view": "v2"}) == {}

@@ -1,0 +1,212 @@
+"""Tests for verifiable soundness and completeness (§4.7, Prop. 4.1)."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.fabric.network import Gateway
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import QueryResult, ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.types import Concealment, ViewMode
+from repro.views.verification import ViewVerifier
+
+SECRET = b'{"amount": 7}'
+PREDICATE = AttributeEquals("to", "W1")
+
+
+@pytest.fixture
+def hash_world(network):
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = HashBasedManager(Gateway(network, owner), use_txlist=True)
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    outcomes = [
+        manager.invoke_with_secret(
+            "create_item",
+            {"item": f"i{i}", "owner": "W1"},
+            {"item": f"i{i}", "from": None, "to": "W1", "access": ["W1"]},
+            SECRET,
+        )
+        for i in range(3)
+    ]
+    manager.txlist.flush()
+    manager.grant_access("w1", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    verifier = ViewVerifier(Gateway(network, bob))
+    return network, manager, reader, verifier, outcomes
+
+
+def test_honest_view_is_sound_and_complete(hash_world):
+    network, manager, reader, verifier, outcomes = hash_world
+    result = reader.read_view(manager, "w1")
+    soundness = verifier.verify_soundness("w1", PREDICATE, result, Concealment.HASH)
+    assert soundness.ok and soundness.checked == 3
+    soundness.assert_ok()
+    completeness = verifier.verify_completeness(
+        "w1", PREDICATE, set(result.secrets), use_txlist=True
+    )
+    assert completeness.ok
+    completeness.assert_ok()
+
+
+def test_completeness_by_ledger_scan(hash_world):
+    network, manager, reader, verifier, outcomes = hash_world
+    result = reader.read_view(manager, "w1")
+    report = verifier.verify_completeness(
+        "w1", PREDICATE, set(result.secrets), use_txlist=False
+    )
+    assert report.ok
+    assert report.checked == 3
+    # The ledger scan costs at least one access per block; the TLC path
+    # costs exactly one (Fig 12's asymmetry).
+    tlc = verifier.verify_completeness(
+        "w1", PREDICATE, set(result.secrets), use_txlist=True
+    )
+    assert tlc.ledger_accesses == 1
+    assert report.ledger_accesses >= tlc.ledger_accesses
+
+
+def test_case1_foreign_transaction_breaks_soundness(hash_world):
+    """§4.7 case 1: a transaction whose t[N] fails the predicate."""
+    network, manager, reader, verifier, outcomes = hash_world
+    intruder = manager.invoke_with_secret(
+        "create_item",
+        {"item": "x", "owner": "W9"},
+        {"item": "x", "from": None, "to": "W9", "access": ["W9"]},
+        b"foreign",
+    )
+    # Malicious owner slips it into the view.
+    manager.insert_into_view(
+        manager.buffer.get("w1"), intruder.tid, intruder.processed
+    )
+    result = reader.read_view(manager, "w1")
+    report = verifier.verify_soundness("w1", PREDICATE, result, Concealment.HASH)
+    assert not report.ok
+    assert report.violations == [intruder.tid]
+    with pytest.raises(VerificationError):
+        report.assert_ok()
+
+
+def test_case2_corrupted_secret_detected_by_reader(hash_world):
+    """§4.7 case 2: served data that does not match the ledger hash is
+    rejected already in the read path."""
+    network, manager, reader, verifier, outcomes = hash_world
+    record = manager.buffer.get("w1")
+    record.data[outcomes[0].tid]["secret"] = b"tampered"
+    with pytest.raises(VerificationError, match="tampering"):
+        reader.read_view(manager, "w1")
+
+
+def test_case2_corrupted_secret_flagged_by_verifier(hash_world):
+    network, manager, reader, verifier, outcomes = hash_world
+    result = reader.read_view(manager, "w1")
+    result.secrets[outcomes[0].tid] = b"corrupted-after-read"
+    report = verifier.verify_soundness("w1", PREDICATE, result, Concealment.HASH)
+    assert report.violations == [outcomes[0].tid]
+
+
+def test_case3_omission_breaks_completeness(hash_world):
+    """§4.7 case 3: the owner silently withholds a transaction."""
+    network, manager, reader, verifier, outcomes = hash_world
+    withheld = outcomes[1].tid
+    record = manager.buffer.get("w1")
+    record.tids.remove(withheld)
+    del record.data[withheld]
+    result = reader.read_view(manager, "w1")
+    report = verifier.verify_completeness(
+        "w1", PREDICATE, set(result.secrets), use_txlist=True
+    )
+    assert not report.ok
+    assert report.missing == [withheld]
+    with pytest.raises(VerificationError):
+        report.assert_ok()
+
+
+def test_fabricated_tid_breaks_soundness(hash_world):
+    network, manager, reader, verifier, outcomes = hash_world
+    result = reader.read_view(manager, "w1")
+    result.secrets["tx-never-committed"] = b"ghost"
+    report = verifier.verify_soundness("w1", PREDICATE, result, Concealment.HASH)
+    assert "tx-never-committed" in report.violations
+
+
+def test_soundness_cost_linear_in_view_size(hash_world):
+    network, manager, reader, verifier, outcomes = hash_world
+    full = reader.read_view(manager, "w1")
+    partial = reader.read_view(manager, "w1", tids=[outcomes[0].tid])
+    cost_full = verifier.verify_soundness(
+        "w1", PREDICATE, full, Concealment.HASH
+    ).cost_ms
+    cost_partial = verifier.verify_soundness(
+        "w1", PREDICATE, partial, Concealment.HASH
+    ).cost_ms
+    assert cost_full == pytest.approx(3 * cost_partial)
+
+
+def test_encryption_soundness_checks_keys(network):
+    """Encryption-based case 2: a wrong tx key is detected because the
+    authenticated ciphertext will not decrypt under it."""
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = EncryptionBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    outcome = manager.invoke_with_secret(
+        "create_item",
+        {"item": "i", "owner": "W1"},
+        {"item": "i", "from": None, "to": "W1", "access": ["W1"]},
+        SECRET,
+    )
+    manager.grant_access("w1", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+    result = reader.read_view(manager, "w1")
+    verifier = ViewVerifier(Gateway(network, bob))
+    good = verifier.verify_soundness("w1", PREDICATE, result, Concealment.ENCRYPTION)
+    assert good.ok
+
+    from repro.crypto.symmetric import SymmetricKey
+
+    forged = QueryResult(
+        view="w1",
+        key_version=0,
+        secrets={outcome.tid: SECRET},
+        tx_keys={outcome.tid: SymmetricKey.generate()},
+    )
+    bad = verifier.verify_soundness("w1", PREDICATE, forged, Concealment.ENCRYPTION)
+    assert bad.violations == [outcome.tid]
+
+
+def test_corrupted_key_detected_in_read_path(network):
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = EncryptionBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    outcome = manager.invoke_with_secret(
+        "create_item",
+        {"item": "i", "owner": "W1"},
+        {"item": "i", "from": None, "to": "W1", "access": ["W1"]},
+        SECRET,
+    )
+    manager.grant_access("w1", "bob")
+    # Corrupt the stored per-transaction key.
+    manager.buffer.get("w1").data[outcome.tid]["key"] = b"\x00" * 16
+    reader = ViewReader(bob, Gateway(network, bob))
+    with pytest.raises(VerificationError, match="does not decrypt"):
+        reader.read_view(manager, "w1")
+
+
+def test_completeness_respects_upto_time(hash_world):
+    network, manager, reader, verifier, outcomes = hash_world
+    result = reader.read_view(manager, "w1")
+    horizon = network.env.now
+    # A transaction committed after the horizon must not count.
+    manager.invoke_with_secret(
+        "create_item",
+        {"item": "late", "owner": "W1"},
+        {"item": "late", "from": None, "to": "W1", "access": ["W1"]},
+        b"late",
+    )
+    report = verifier.verify_completeness(
+        "w1", PREDICATE, set(result.secrets), upto_time=horizon, use_txlist=False
+    )
+    assert report.ok

@@ -1,0 +1,76 @@
+"""Tests for the supply-chain chaincode."""
+
+import pytest
+
+from repro.errors import ChaincodeError
+from repro.fabric.peer import ValidationCode
+
+
+@pytest.fixture
+def user(network):
+    return network.register_user("alice")
+
+
+def test_create_and_get(network, user):
+    notice = network.invoke_sync(
+        user, "supply", "create_item", {"item": "i1", "owner": "M1"}
+    )
+    assert notice.code is ValidationCode.VALID
+    record = network.query("supply", "get_item", {"item": "i1"})
+    assert record == {"holder": "M1", "hops": 0, "handlers": ["M1"]}
+
+
+def test_duplicate_create_rejected(network, user):
+    network.invoke_sync(user, "supply", "create_item", {"item": "i1", "owner": "M1"})
+    with pytest.raises(ChaincodeError, match="already exists"):
+        network.invoke_sync(
+            user, "supply", "create_item", {"item": "i1", "owner": "M2"}
+        )
+
+
+def test_transfer_chain_updates_holder_and_handlers(network, user):
+    network.invoke_sync(user, "supply", "create_item", {"item": "i1", "owner": "M1"})
+    network.invoke_sync(
+        user, "supply", "transfer", {"item": "i1", "sender": "M1", "receiver": "W1"}
+    )
+    network.invoke_sync(
+        user, "supply", "transfer", {"item": "i1", "sender": "W1", "receiver": "S1"}
+    )
+    record = network.query("supply", "get_item", {"item": "i1"})
+    assert record["holder"] == "S1"
+    assert record["hops"] == 2
+    assert record["handlers"] == ["M1", "W1", "S1"]
+
+
+def test_transfer_requires_current_holder(network, user):
+    network.invoke_sync(user, "supply", "create_item", {"item": "i1", "owner": "M1"})
+    with pytest.raises(ChaincodeError, match="held by"):
+        network.invoke_sync(
+            user, "supply", "transfer",
+            {"item": "i1", "sender": "W1", "receiver": "S1"},
+        )
+
+
+def test_transfer_of_missing_item_rejected(network, user):
+    with pytest.raises(ChaincodeError, match="does not exist"):
+        network.invoke_sync(
+            user, "supply", "transfer",
+            {"item": "ghost", "sender": "a", "receiver": "b"},
+        )
+
+
+def test_items_held_by(network, user):
+    for i in range(3):
+        network.invoke_sync(
+            user, "supply", "create_item", {"item": f"i{i}", "owner": "M1"}
+        )
+    network.invoke_sync(
+        user, "supply", "transfer", {"item": "i1", "sender": "M1", "receiver": "W1"}
+    )
+    assert network.query("supply", "items_held_by", {"holder": "M1"}) == ["i0", "i2"]
+    assert network.query("supply", "items_held_by", {"holder": "W1"}) == ["i1"]
+
+
+def test_handlers_of_missing_item(network, user):
+    with pytest.raises(ChaincodeError):
+        network.query("supply", "handlers_of", {"item": "ghost"})

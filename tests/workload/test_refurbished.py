@@ -1,0 +1,221 @@
+"""Tests for the refurbished-devices application (the AT&T use case)."""
+
+import pytest
+
+from repro.errors import ChaincodeError, WorkloadError
+from repro.fabric.network import Gateway
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import ParticipantPredicate
+from repro.views.types import ViewMode
+from repro.workload.refurbished import (
+    RefurbishedContract,
+    RefurbishedWorkload,
+    device_provenance_query,
+)
+
+
+@pytest.fixture
+def refurb_network(network):
+    network.install_chaincode(RefurbishedContract())
+    return network
+
+
+@pytest.fixture
+def user(refurb_network):
+    return refurb_network.register_user("operator")
+
+
+class TestContract:
+    def test_make_assemble_query(self, refurb_network, user):
+        net = refurb_network
+        net.invoke_sync(user, "refurb", "make_part", {"part": "p1", "manufacturer": "Acme"})
+        net.invoke_sync(user, "refurb", "make_part", {"part": "p2", "manufacturer": "Bolt"})
+        net.invoke_sync(
+            user, "refurb", "assemble",
+            {"device": "d1", "company": "PhoneCo", "parts": ["p1", "p2"]},
+        )
+        device = net.query("refurb", "get_device", {"device": "d1"})
+        assert device["parts"] == ["p1", "p2"]
+        assert device["status"] == "assembled"
+        assert net.query("refurb", "get_part", {"part": "p1"})["device"] == "d1"
+        assert not net.query("refurb", "contains_used_parts", {"device": "d1"})
+
+    def test_part_cannot_be_in_two_devices(self, refurb_network, user):
+        net = refurb_network
+        net.invoke_sync(user, "refurb", "make_part", {"part": "p1", "manufacturer": "Acme"})
+        net.invoke_sync(
+            user, "refurb", "assemble",
+            {"device": "d1", "company": "PhoneCo", "parts": ["p1"]},
+        )
+        with pytest.raises(ChaincodeError, match="already installed"):
+            net.invoke_sync(
+                user, "refurb", "assemble",
+                {"device": "d2", "company": "PhoneCo", "parts": ["p1"]},
+            )
+
+    def test_transplant_lifecycle(self, refurb_network, user):
+        net = refurb_network
+        for part, maker in (("p1", "Acme"), ("p2", "Bolt")):
+            net.invoke_sync(user, "refurb", "make_part", {"part": part, "manufacturer": maker})
+        net.invoke_sync(
+            user, "refurb", "assemble",
+            {"device": "old", "company": "PhoneCo", "parts": ["p1"]},
+        )
+        net.invoke_sync(
+            user, "refurb", "assemble",
+            {"device": "new", "company": "PhoneCo", "parts": ["p2"]},
+        )
+        # Cannot transplant from a live device.
+        with pytest.raises(ChaincodeError, match="not disposed"):
+            net.invoke_sync(
+                user, "refurb", "transplant",
+                {"part": "p1", "to_device": "new", "lab": "Lab-East"},
+            )
+        net.invoke_sync(user, "refurb", "dispose", {"device": "old", "lab": "Lab-East"})
+        net.invoke_sync(
+            user, "refurb", "transplant",
+            {"part": "p1", "to_device": "new", "lab": "Lab-East"},
+        )
+        target = net.query("refurb", "get_device", {"device": "new"})
+        assert "p1" in target["parts"]
+        assert target["used_parts"] == 1
+        assert net.query("refurb", "contains_used_parts", {"device": "new"})
+        part = net.query("refurb", "get_part", {"part": "p1"})
+        assert part["device"] == "new"
+        assert part["donors"] == ["old"]
+        # Donor no longer lists the part.
+        donor = net.query("refurb", "get_device", {"device": "old"})
+        assert "p1" not in donor["parts"]
+
+    def test_sell_rules(self, refurb_network, user):
+        net = refurb_network
+        net.invoke_sync(user, "refurb", "make_part", {"part": "p1", "manufacturer": "Acme"})
+        net.invoke_sync(
+            user, "refurb", "assemble",
+            {"device": "d1", "company": "PhoneCo", "parts": ["p1"]},
+        )
+        net.invoke_sync(user, "refurb", "sell", {"device": "d1", "store": "Store-1"})
+        assert net.query("refurb", "get_device", {"device": "d1"})["status"] == "sold"
+        with pytest.raises(ChaincodeError, match="cannot sell"):
+            net.invoke_sync(user, "refurb", "sell", {"device": "d1", "store": "Store-2"})
+        with pytest.raises(ChaincodeError, match="cannot dispose"):
+            net.invoke_sync(user, "refurb", "dispose", {"device": "d1", "lab": "Lab-East"})
+
+
+class TestWorkload:
+    def test_deterministic_and_well_formed(self):
+        a = RefurbishedWorkload(seed=3).generate()
+        b = RefurbishedWorkload(seed=3).generate()
+        assert a == b
+        kinds = {e.fn for e in a}
+        assert kinds == {"make_part", "assemble", "dispose", "transplant", "sell"}
+
+    def test_requires_two_devices(self):
+        with pytest.raises(WorkloadError):
+            RefurbishedWorkload(devices=1).generate()
+
+    def test_transplants_reach_survivors(self):
+        events = RefurbishedWorkload(devices=6, seed=5).generate()
+        disposed = {e.args["device"] for e in events if e.fn == "dispose"}
+        for event in events:
+            if event.fn == "transplant":
+                assert event.args["to_device"] not in disposed
+
+    def test_access_lists_cover_required_entities(self):
+        """Labs see part history; manufacturers track their parts; the
+        store appears on the sale."""
+        events = RefurbishedWorkload(seed=9).generate()
+        maker_of = {
+            e.args["part"]: e.args["manufacturer"]
+            for e in events
+            if e.fn == "make_part"
+        }
+        for event in events:
+            if event.fn == "transplant":
+                assert event.args["lab"] in event.entities
+                assert maker_of[event.args["part"]] in event.entities
+            if event.fn == "sell":
+                assert event.args["store"] in event.entities
+
+    def test_full_replay_on_chain(self, refurb_network, user):
+        events = RefurbishedWorkload(devices=4, seed=2).generate()
+        for event in events:
+            refurb_network.invoke_sync(user, "refurb", event.fn, event.args)
+        refurb_network.verify_convergence()
+
+
+class TestProvenance:
+    def test_datalog_provenance_follows_transplants(self, refurb_network):
+        """The lab's requirement: the history of a refurbished device
+        includes the manufacture and prior installation of donor parts."""
+        net = refurb_network
+        owner = net.register_user("owner")
+        manager = HashBasedManager(Gateway(net, owner), business_chaincode="refurb")
+        events = RefurbishedWorkload(devices=4, seed=2).generate()
+        tids = {}
+        for event in events:
+            outcome = manager.invoke_with_secret(
+                event.fn, event.args, event.public, event.secret
+            )
+            tids[event.index] = outcome.tid
+
+        transplants = [e for e in events if e.fn == "transplant"]
+        assert transplants, "workload must contain transplants"
+        target = transplants[0].args["to_device"]
+        donor_part = transplants[0].args["part"]
+
+        invokes = [
+            tx for tx in net.reference_peer.chain.transactions()
+            if tx.kind == "invoke"
+        ]
+        lineage = device_provenance_query(target).evaluate(invokes)
+        # The donor part's manufacture is part of the target's lineage.
+        make_event = next(
+            e for e in events
+            if e.fn == "make_part" and e.args["part"] == donor_part
+        )
+        assert tids[make_event.index] in lineage
+        # The transplant itself is in the lineage.
+        assert tids[transplants[0].index] in lineage
+        # An unrelated device's sale is not.
+        unrelated_sales = [
+            e for e in events
+            if e.fn == "sell" and e.args["device"] != target
+        ]
+        if unrelated_sales:
+            assert tids[unrelated_sales[0].index] not in lineage
+
+    def test_per_entity_views_over_refurbishment(self, refurb_network):
+        """Per-entity views built from access lists: a lab sees every
+        transplant it performed, a store only its own sales."""
+        net = refurb_network
+        owner = net.register_user("owner")
+        manager = HashBasedManager(Gateway(net, owner), business_chaincode="refurb")
+        workload = RefurbishedWorkload(devices=4, seed=8)
+        for entity in workload.entities():
+            manager.create_view(
+                f"V_{entity}", ParticipantPredicate(entity), ViewMode.REVOCABLE
+            )
+        events = workload.generate()
+        tids = {}
+        for event in events:
+            outcome = manager.invoke_with_secret(
+                event.fn, event.args, event.public, event.secret
+            )
+            tids[event.index] = outcome.tid
+
+        lab = workload.labs[0]
+        lab_view = set(manager.buffer.get(f"V_{lab}").data)
+        for event in events:
+            expected = lab in event.entities
+            assert (tids[event.index] in lab_view) == expected
+
+        store = workload.stores[0]
+        auditor = net.register_user("store-auditor")
+        manager.grant_access(f"V_{store}", auditor.user_id)
+        reader = ViewReader(auditor, Gateway(net, auditor))
+        result = reader.read_view(manager, f"V_{store}")
+        for tid in result.secrets:
+            tx = net.get_transaction(tid)
+            assert store in tx.nonsecret["public"]["access"]

@@ -1,0 +1,106 @@
+"""Tests for supply-chain topologies."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.presets import fig1_topology, wl1_topology, wl2_topology
+from repro.workload.topology import NodeKind, SupplyChainTopology
+
+
+def test_build_and_query():
+    topology = SupplyChainTopology(name="t")
+    topology.add_node("M", NodeKind.DISPATCHING)
+    topology.add_node("W", NodeKind.INTERMEDIATE)
+    topology.add_node("S", NodeKind.TERMINAL)
+    topology.add_edge("M", "W").add_edge("W", "S")
+    topology.validate()
+    assert topology.nodes == ["M", "W", "S"]
+    assert topology.successors("M") == ["W"]
+    assert topology.kind_of("S") is NodeKind.TERMINAL
+    assert topology.dispatching_nodes == ["M"]
+    assert topology.terminal_nodes == ["S"]
+    assert topology.node_count == 3
+
+
+def test_duplicate_node_rejected():
+    topology = SupplyChainTopology()
+    topology.add_node("A", NodeKind.DISPATCHING)
+    with pytest.raises(WorkloadError):
+        topology.add_node("A", NodeKind.TERMINAL)
+
+
+def test_edges_validated():
+    topology = SupplyChainTopology()
+    topology.add_node("M", NodeKind.DISPATCHING)
+    topology.add_node("T", NodeKind.TERMINAL)
+    topology.add_node("I", NodeKind.INTERMEDIATE)
+    with pytest.raises(WorkloadError, match="unknown"):
+        topology.add_edge("M", "ghost")
+    with pytest.raises(WorkloadError, match="terminal"):
+        topology.add_edge("T", "I")
+    with pytest.raises(WorkloadError, match="dispatching"):
+        topology.add_edge("I", "M")
+    topology.add_edge("M", "I")
+    with pytest.raises(WorkloadError, match="duplicate"):
+        topology.add_edge("M", "I")
+
+
+def test_validation_requires_dispatcher_and_terminal():
+    topology = SupplyChainTopology()
+    topology.add_node("I", NodeKind.INTERMEDIATE)
+    with pytest.raises(WorkloadError, match="no dispatching"):
+        topology.validate()
+
+    topology2 = SupplyChainTopology()
+    topology2.add_node("M", NodeKind.DISPATCHING)
+    with pytest.raises(WorkloadError, match="no terminal"):
+        topology2.validate()
+
+
+def test_dead_end_detected():
+    topology = SupplyChainTopology()
+    topology.add_node("M", NodeKind.DISPATCHING)
+    topology.add_node("I", NodeKind.INTERMEDIATE)
+    topology.add_node("T", NodeKind.TERMINAL)
+    topology.add_edge("M", "I")
+    with pytest.raises(WorkloadError, match="no outgoing"):
+        topology.validate()
+
+
+def test_cycle_detected():
+    topology = SupplyChainTopology()
+    topology.add_node("M", NodeKind.DISPATCHING)
+    for node in ("A", "B"):
+        topology.add_node(node, NodeKind.INTERMEDIATE)
+    topology.add_node("T", NodeKind.TERMINAL)
+    topology.add_edge("M", "A")
+    topology.add_edge("A", "B")
+    topology.add_edge("B", "A")
+    topology.add_edge("B", "T")
+    with pytest.raises(WorkloadError, match="cycle"):
+        topology.validate()
+
+
+def test_wl1_preset_shape():
+    """WL1 (§6.2): 7 nodes — 1 dispatching, 3 intermediate, 3 terminal."""
+    topology = wl1_topology()
+    assert topology.node_count == 7
+    assert len(topology.dispatching_nodes) == 1
+    assert len(topology.nodes_of_kind(NodeKind.INTERMEDIATE)) == 3
+    assert len(topology.terminal_nodes) == 3
+
+
+def test_wl2_preset_shape():
+    """WL2: 14 nodes — 2 dispatching, 5 intermediate, 7 terminal."""
+    topology = wl2_topology()
+    assert topology.node_count == 14
+    assert len(topology.dispatching_nodes) == 2
+    assert len(topology.nodes_of_kind(NodeKind.INTERMEDIATE)) == 5
+    assert len(topology.terminal_nodes) == 7
+
+
+def test_fig1_preset_shape():
+    topology = fig1_topology()
+    assert len(topology.dispatching_nodes) == 2  # manufacturers
+    assert len(topology.terminal_nodes) == 3  # shops
+    assert topology.node_count == 10
