@@ -5,14 +5,30 @@ Usage::
     python -m repro.bench fig4            # one figure
     python -m repro.bench fig10 fig11     # several
     python -m repro.bench all             # everything (Figs 4-13)
+    python -m repro.bench --smoke         # fast CI pass (tiny scale)
+    python -m repro.bench --smoke fig10   # fast pass of one figure
     REPRO_BENCH_SCALE=0.25 python -m repro.bench all   # quick pass
+
+``--smoke`` shrinks the sweeps via ``REPRO_BENCH_SCALE`` (unless the
+variable is already set) and serves benchmark identities from a
+recycling RSA keypair pool, so a full figure runs in seconds.  Smoke
+numbers are for wiring checks only — simulated-time *shapes* survive
+scaling, absolute values do not.
 """
 
 from __future__ import annotations
 
+import os
 import sys
+from contextlib import nullcontext
 
 from repro.bench import runners
+from repro.crypto.rsa import keypair_pool
+
+#: Scale applied by --smoke when REPRO_BENCH_SCALE is not already set.
+SMOKE_SCALE = "0.05"
+#: Figures run by --smoke when none are named (one end-to-end sweep).
+SMOKE_DEFAULT_FIGURES = ["fig4"]
 
 FIGURES = {
     "fig4": runners.figure4,
@@ -30,18 +46,34 @@ FIGURES = {
 
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    if not args or any(a in ("-h", "--help") for a in args):
+    if any(a in ("-h", "--help") for a in args):
         print(__doc__)
         print("figures:", ", ".join(FIGURES), "| 'all' runs everything")
         return 0
+    smoke = "--smoke" in args
+    args = [a for a in args if a != "--smoke"]
+    if not args and not smoke:
+        print(__doc__)
+        print("figures:", ", ".join(FIGURES), "| 'all' runs everything")
+        return 0
+    if not args:
+        args = list(SMOKE_DEFAULT_FIGURES)
     selected = list(FIGURES) if "all" in args else args
     unknown = [a for a in selected if a not in FIGURES]
     if unknown:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         print("expected:", ", ".join(FIGURES), file=sys.stderr)
         return 2
-    for name in selected:
-        FIGURES[name]()
+    scale_override = smoke and "REPRO_BENCH_SCALE" not in os.environ
+    if scale_override:
+        os.environ["REPRO_BENCH_SCALE"] = SMOKE_SCALE
+    try:
+        with keypair_pool(size=8) if smoke else nullcontext():
+            for name in selected:
+                FIGURES[name]()
+    finally:
+        if scale_override:
+            del os.environ["REPRO_BENCH_SCALE"]
     return 0
 
 

@@ -15,10 +15,13 @@ membership) is varied synthetically.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro import build_network
+from repro.crypto import rsa as _rsa
+from repro.crypto.backend import use_backend
 from repro.baseline.multichain import CrossChainDeployment
 from repro.errors import LedgerViewError
 from repro.fabric.config import NetworkConfig, benchmark_config
@@ -77,6 +80,22 @@ class RunResult:
         return row
 
 
+def _crypto_context(crypto_backend: str | None, rsa_key_pool: int | None):
+    """Context manager applying the harness's crypto knobs for one run.
+
+    ``crypto_backend`` scopes an AES backend switch ("fast" or
+    "reference") around the run; ``rsa_key_pool`` opts the run into a
+    recycling RSA keypair pool of that size (benchmark-only — see
+    :class:`repro.crypto.rsa.KeyPairPool` for the caveats).
+    """
+    stack = ExitStack()
+    if crypto_backend is not None:
+        stack.enter_context(use_backend(crypto_backend))
+    if rsa_key_pool is not None:
+        stack.enter_context(_rsa.keypair_pool(rsa_key_pool))
+    return stack
+
+
 def build_view_setup(
     method: str,
     topology: SupplyChainTopology,
@@ -85,6 +104,7 @@ def build_view_setup(
     txlist_flush_interval_ms: float = 5_000.0,
     views: int | None = None,
     pdc_collection: str | None = None,
+    crypto_backend: str | None = None,
 ) -> tuple[Environment, FabricNetwork, ViewManager]:
     """Build a network plus a view manager with one view per node.
 
@@ -92,6 +112,8 @@ def build_view_setup(
     the storage sweep, which varies view count under a fixed workload).
     ``pdc_collection`` switches the manager to the PDC-backed variant
     (Fig 13's "revocable view over private data collection").
+    ``crypto_backend`` pins the AES implementation used for concealment
+    ("fast"/"reference"; default: leave the process setting alone).
     """
     if method not in METHODS:
         raise LedgerViewError(
@@ -113,12 +135,14 @@ def build_view_setup(
             collection=pdc_collection,
             use_txlist=use_txlist,
             txlist_flush_interval_ms=txlist_flush_interval_ms,
+            crypto_backend=crypto_backend,
         )
     else:
         manager = manager_cls(
             Gateway(network, owner),
             use_txlist=use_txlist,
             txlist_flush_interval_ms=txlist_flush_interval_ms,
+            crypto_backend=crypto_backend,
         )
     nodes = topology.nodes if views is None else topology.nodes[:views]
     for node in nodes:
@@ -131,6 +155,7 @@ def _client_traces(
     clients: int,
     items_per_client: int,
     seed: int,
+    secret_size: int = 0,
 ) -> list[list[TransferRequest]]:
     """One interleaved request trace per client, disjoint item spaces."""
     traces = []
@@ -140,6 +165,7 @@ def _client_traces(
             items=items_per_client,
             seed=seed + client,
             item_prefix=f"c{client}-",
+            secret_size=secret_size,
         )
         traces.append(workload.generate_interleaved())
     return traces
@@ -179,13 +205,58 @@ def run_view_workload(
     grant_history: bool = True,
     max_requests_per_client: int | None = None,
     pdc_collection: str | None = None,
+    crypto_backend: str | None = None,
+    rsa_key_pool: int | None = None,
+    secret_size: int = 0,
 ) -> RunResult:
     """Run the supply-chain workload against one LedgerView method.
 
     ``max_requests_per_client`` truncates each client's trace — the
     measured rates stabilise after a few batches, so shorter runs keep
     benchmark wall-clock time in check without changing the shapes.
+    ``crypto_backend``/``rsa_key_pool`` scope the crypto fast-path knobs
+    around the whole run (see :func:`_crypto_context`); neither changes
+    any measured simulated-time quantity, only wall-clock.
+    ``secret_size`` pads each transfer's secret part to roughly that
+    many bytes (0 = natural size), for sweeps over payload size.
     """
+    with _crypto_context(crypto_backend, rsa_key_pool):
+        return _run_view_workload(
+            method,
+            topology,
+            clients,
+            items_per_client,
+            batch_size,
+            config,
+            use_txlist,
+            txlist_flush_interval_ms,
+            seed,
+            horizon_ms,
+            grant_history,
+            max_requests_per_client,
+            pdc_collection,
+            crypto_backend,
+            secret_size,
+        )
+
+
+def _run_view_workload(
+    method: str,
+    topology: SupplyChainTopology,
+    clients: int,
+    items_per_client: int,
+    batch_size: int,
+    config: NetworkConfig | None,
+    use_txlist: bool,
+    txlist_flush_interval_ms: float,
+    seed: int,
+    horizon_ms: float | None,
+    grant_history: bool,
+    max_requests_per_client: int | None,
+    pdc_collection: str | None,
+    crypto_backend: str | None,
+    secret_size: int = 0,
+) -> RunResult:
     env, network, manager = build_view_setup(
         method,
         topology,
@@ -193,8 +264,9 @@ def run_view_workload(
         use_txlist=use_txlist,
         txlist_flush_interval_ms=txlist_flush_interval_ms,
         pdc_collection=pdc_collection,
+        crypto_backend=crypto_backend,
     )
-    traces = _client_traces(topology, clients, items_per_client, seed)
+    traces = _client_traces(topology, clients, items_per_client, seed, secret_size)
     if max_requests_per_client is not None:
         traces = [trace[:max_requests_per_client] for trace in traces]
     valid = {"count": 0}
@@ -271,8 +343,37 @@ def run_baseline_workload(
     seed: int = 7,
     horizon_ms: float | None = None,
     max_requests_per_client: int | None = None,
+    crypto_backend: str | None = None,
+    rsa_key_pool: int | None = None,
 ) -> RunResult:
-    """Run the same workload against the cross-chain 2PC baseline."""
+    """Run the same workload against the cross-chain 2PC baseline.
+
+    The baseline registers one identity per client per chain, so the
+    opt-in ``rsa_key_pool`` saves the most wall-clock here.
+    """
+    with _crypto_context(crypto_backend, rsa_key_pool):
+        return _run_baseline_workload(
+            topology,
+            clients,
+            items_per_client,
+            batch_size,
+            config,
+            seed,
+            horizon_ms,
+            max_requests_per_client,
+        )
+
+
+def _run_baseline_workload(
+    topology: SupplyChainTopology,
+    clients: int,
+    items_per_client: int,
+    batch_size: int,
+    config: NetworkConfig | None,
+    seed: int,
+    horizon_ms: float | None,
+    max_requests_per_client: int | None,
+) -> RunResult:
     env = Environment()
     deployment = CrossChainDeployment(
         env, topology.nodes, config=config or benchmark_config()
@@ -346,6 +447,8 @@ def run_view_scaling(
     config: NetworkConfig | None = None,
     use_txlist: bool = False,
     txlist_flush_interval_ms: float = 5_000.0,
+    crypto_backend: str | None = None,
+    rsa_key_pool: int | None = None,
 ) -> RunResult:
     """The Fig 10/11 sweep: vary view count and per-transaction membership.
 
@@ -355,6 +458,33 @@ def run_view_scaling(
     """
     if inclusion not in ("all", "single"):
         raise LedgerViewError("inclusion must be 'all' or 'single'")
+    with _crypto_context(crypto_backend, rsa_key_pool):
+        return _run_view_scaling(
+            n_views,
+            inclusion,
+            method,
+            clients,
+            requests_per_client,
+            batch_size,
+            config,
+            use_txlist,
+            txlist_flush_interval_ms,
+            crypto_backend,
+        )
+
+
+def _run_view_scaling(
+    n_views: int,
+    inclusion: str,
+    method: str,
+    clients: int,
+    requests_per_client: int,
+    batch_size: int,
+    config: NetworkConfig | None,
+    use_txlist: bool,
+    txlist_flush_interval_ms: float,
+    crypto_backend: str | None,
+) -> RunResult:
     manager_cls, mode = METHODS[method]
     env = Environment()
     network = build_network(config or benchmark_config(), env=env)
@@ -363,6 +493,7 @@ def run_view_scaling(
         Gateway(network, owner),
         use_txlist=use_txlist,
         txlist_flush_interval_ms=txlist_flush_interval_ms,
+        crypto_backend=crypto_backend,
     )
     for v in range(n_views):
         predicate = (

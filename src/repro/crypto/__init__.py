@@ -11,10 +11,26 @@ Public surface
 - :func:`sha256`, :func:`salted_hash`, :func:`hmac_sha256`, :func:`random_salt`
 - :class:`SymmetricKey` — AES-CTR + HMAC authenticated encryption
 - :class:`RSAKeyPair`, :class:`RSAPublicKey`, :class:`RSAPrivateKey`
-- :func:`seal` / :func:`open_sealed` — hybrid public-key envelope
+- :func:`seal` / :func:`open_sealed` / :func:`seal_many` — hybrid
+  public-key envelopes
 - :class:`MerkleTree`, :class:`MerkleProof`
+
+Backend selection
+-----------------
+Two interchangeable AES implementations exist: the auditable reference
+and a T-table fast path (see :mod:`repro.crypto.backend` and
+``docs/PERFORMANCE.md``).  :func:`set_backend` / :func:`use_backend`
+switch between them; the ``REPRO_CRYPTO_BACKEND`` environment variable
+sets the process default (``fast``).  :func:`keypair_pool` is the
+benchmark-only RSA keypair pool.
 """
 
+from repro.crypto.backend import (
+    available_backends,
+    get_backend,
+    set_backend,
+    use_backend,
+)
 from repro.crypto.hashing import (
     hmac_sha256,
     random_salt,
@@ -24,8 +40,15 @@ from repro.crypto.hashing import (
     verify_salted_hash,
 )
 from repro.crypto.merkle import MerkleProof, MerkleTree
-from repro.crypto.rsa import RSAKeyPair, RSAPrivateKey, RSAPublicKey, generate_keypair
-from repro.crypto.envelope import open_sealed, seal
+from repro.crypto.rsa import (
+    KeyPairPool,
+    RSAKeyPair,
+    RSAPrivateKey,
+    RSAPublicKey,
+    generate_keypair,
+    keypair_pool,
+)
+from repro.crypto.envelope import open_sealed, seal, seal_many
 from repro.crypto.symmetric import SymmetricKey
 
 __all__ = [
@@ -40,8 +63,15 @@ __all__ = [
     "RSAPublicKey",
     "RSAPrivateKey",
     "generate_keypair",
+    "keypair_pool",
+    "KeyPairPool",
     "seal",
     "open_sealed",
+    "seal_many",
     "MerkleTree",
     "MerkleProof",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
 ]

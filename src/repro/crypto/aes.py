@@ -1,16 +1,32 @@
 """AES block cipher (FIPS-197) implemented from scratch in pure Python.
 
-Supports AES-128, AES-192 and AES-256.  This implementation favours
-clarity over speed: it is used by the reproduction's simulated network,
-where time is simulated rather than measured, so pure-Python throughput
-is irrelevant.  Correctness is pinned by the FIPS-197 Appendix C test
-vectors in ``tests/crypto/test_aes.py``.
+Supports AES-128, AES-192 and AES-256.  Two implementations share the
+same key schedule and test vectors:
 
-Only the raw 16-byte block transform lives here; modes of operation are
-in :mod:`repro.crypto.modes`.
+- :class:`AES` — the auditable **reference** implementation: byte-wise
+  state, S-box and GF(2^8) tables built programmatically from their
+  mathematical definitions.  It favours clarity over speed.
+- :class:`AESFast` — the **fast path**: the classic 32-bit T-table
+  formulation (four 1 KiB lookup tables fusing SubBytes + ShiftRows +
+  MixColumns), with the state held as four int words.  The T-tables are
+  derived *from the reference tables* at import time, so the reference
+  derivation stays the single source of truth; equivalence is pinned by
+  the FIPS-197 Appendix C vectors and by differential property tests
+  (``tests/crypto/test_backend.py``, ``tests/properties``).
+
+Backend selection between the two lives in
+:mod:`repro.crypto.backend`; modes of operation are in
+:mod:`repro.crypto.modes`.
 """
 
 from __future__ import annotations
+
+import struct
+
+try:  # optional vectorised CTR path; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on the environment
+    _np = None
 
 BLOCK_SIZE = 16
 
@@ -202,3 +218,266 @@ class AES:
             out[4 * col + 2] = _MUL13[a0] ^ _MUL9[a1] ^ _MUL14[a2] ^ _MUL11[a3]
             out[4 * col + 3] = _MUL11[a0] ^ _MUL13[a1] ^ _MUL9[a2] ^ _MUL14[a3]
         return out
+
+
+# --- T-table fast path --------------------------------------------------
+# One 32-bit table entry fuses SubBytes with the MixColumns contribution
+# of one state row; ShiftRows becomes index arithmetic.  Derived from the
+# reference tables (_SBOX, _MULx) so the from-scratch derivation above
+# remains the single source of truth.
+
+
+def _build_enc_tables() -> tuple[tuple[int, ...], ...]:
+    t0, t1, t2, t3 = [], [], [], []
+    for x in range(256):
+        s = _SBOX[x]
+        s2, s3 = _MUL2[s], _MUL3[s]
+        t0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+        t1.append((s3 << 24) | (s2 << 16) | (s << 8) | s)
+        t2.append((s << 24) | (s3 << 16) | (s2 << 8) | s)
+        t3.append((s << 24) | (s << 16) | (s3 << 8) | s2)
+    return tuple(t0), tuple(t1), tuple(t2), tuple(t3)
+
+
+def _build_dec_tables() -> tuple[tuple[int, ...], ...]:
+    d0, d1, d2, d3 = [], [], [], []
+    for x in range(256):
+        s = _INV_SBOX[x]
+        e, n, t, v = _MUL14[s], _MUL9[s], _MUL13[s], _MUL11[s]
+        d0.append((e << 24) | (n << 16) | (t << 8) | v)
+        d1.append((v << 24) | (e << 16) | (n << 8) | t)
+        d2.append((t << 24) | (v << 16) | (e << 8) | n)
+        d3.append((n << 24) | (t << 16) | (v << 8) | e)
+    return tuple(d0), tuple(d1), tuple(d2), tuple(d3)
+
+
+_T0, _T1, _T2, _T3 = _build_enc_tables()
+_D0, _D1, _D2, _D3 = _build_dec_tables()
+
+if _np is not None:
+    # uint32 copies of the encryption tables for the vectorised CTR
+    # path: counter blocks are independent, so whole batches run each
+    # round as elementwise table gathers instead of per-block loops.
+    _T0_NP = _np.array(_T0, dtype=_np.uint32)
+    _T1_NP = _np.array(_T1, dtype=_np.uint32)
+    _T2_NP = _np.array(_T2, dtype=_np.uint32)
+    _T3_NP = _np.array(_T3, dtype=_np.uint32)
+    _SBOX_NP = _np.frombuffer(_SBOX, dtype=_np.uint8).astype(_np.uint32)
+
+#: Batch size from which the vectorised CTR path beats the scalar loop
+#: (the numpy dispatch overhead is a few hundred microseconds per call).
+_NP_MIN_BLOCKS = 32
+
+
+def _inv_mix_word(word: int) -> int:
+    """InvMixColumns applied to one 32-bit column word (for key setup)."""
+    b0, b1, b2, b3 = word >> 24, (word >> 16) & 0xFF, (word >> 8) & 0xFF, word & 0xFF
+    return (
+        ((_MUL14[b0] ^ _MUL11[b1] ^ _MUL13[b2] ^ _MUL9[b3]) << 24)
+        | ((_MUL9[b0] ^ _MUL14[b1] ^ _MUL11[b2] ^ _MUL13[b3]) << 16)
+        | ((_MUL13[b0] ^ _MUL9[b1] ^ _MUL14[b2] ^ _MUL11[b3]) << 8)
+        | (_MUL11[b0] ^ _MUL13[b1] ^ _MUL9[b2] ^ _MUL14[b3])
+    )
+
+
+class AESFast:
+    """T-table AES with the same interface (and outputs) as :class:`AES`.
+
+    Encryption uses the standard four-table round; decryption uses the
+    equivalent inverse cipher (FIPS-197 §5.3.5): inverse T-tables plus
+    round keys passed through InvMixColumns, so both directions run as
+    straight-line 32-bit word operations.
+    """
+
+    __slots__ = ("_rounds", "_erk", "_drk")
+
+    def __init__(self, key: bytes):
+        key = bytes(key)
+        if len(key) not in _VALID_KEY_SIZES:
+            raise ValueError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self._rounds = {16: 10, 24: 12, 32: 14}[len(key)]
+        words = _expand_key(key)
+        erk = [
+            (w[0] << 24) | (w[1] << 16) | (w[2] << 8) | w[3] for w in words
+        ]
+        self._erk = erk
+        # Equivalent-inverse-cipher key schedule: reversed round order,
+        # InvMixColumns applied to all but the first and last round keys.
+        rounds = self._rounds
+        drk: list[int] = []
+        for rnd in range(rounds, -1, -1):
+            group = erk[4 * rnd : 4 * rnd + 4]
+            if 0 < rnd < rounds:
+                group = [_inv_mix_word(w) for w in group]
+            drk.extend(group)
+        self._drk = drk
+
+    @property
+    def rounds(self) -> int:
+        """Number of cipher rounds (10/12/14)."""
+        return self._rounds
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("AES operates on exactly 16-byte blocks")
+        rk = self._erk
+        b0, b1, b2, b3 = struct.unpack(">4I", block)
+        s0, s1, s2, s3 = b0 ^ rk[0], b1 ^ rk[1], b2 ^ rk[2], b3 ^ rk[3]
+        return self._finish_encrypt(s0, s1, s2, s3)
+
+    def _finish_encrypt(self, s0: int, s1: int, s2: int, s3: int) -> bytes:
+        """Run rounds 1..Nr on an already-whitened state, return 16 bytes."""
+        rk = self._erk
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        i = 4
+        for _ in range(self._rounds - 1):
+            u0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 255] ^ t2[(s2 >> 8) & 255] ^ t3[s3 & 255] ^ rk[i]
+            u1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 255] ^ t2[(s3 >> 8) & 255] ^ t3[s0 & 255] ^ rk[i + 1]
+            u2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 255] ^ t2[(s0 >> 8) & 255] ^ t3[s1 & 255] ^ rk[i + 2]
+            u3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 255] ^ t2[(s1 >> 8) & 255] ^ t3[s2 & 255] ^ rk[i + 3]
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            i += 4
+        sb = _SBOX
+        r0 = ((sb[s0 >> 24] << 24) | (sb[(s1 >> 16) & 255] << 16) | (sb[(s2 >> 8) & 255] << 8) | sb[s3 & 255]) ^ rk[i]
+        r1 = ((sb[s1 >> 24] << 24) | (sb[(s2 >> 16) & 255] << 16) | (sb[(s3 >> 8) & 255] << 8) | sb[s0 & 255]) ^ rk[i + 1]
+        r2 = ((sb[s2 >> 24] << 24) | (sb[(s3 >> 16) & 255] << 16) | (sb[(s0 >> 8) & 255] << 8) | sb[s1 & 255]) ^ rk[i + 2]
+        r3 = ((sb[s3 >> 24] << 24) | (sb[(s0 >> 16) & 255] << 16) | (sb[(s1 >> 8) & 255] << 8) | sb[s2 & 255]) ^ rk[i + 3]
+        return struct.pack(">4I", r0, r1, r2, r3)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt exactly one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("AES operates on exactly 16-byte blocks")
+        rk = self._drk
+        t0, t1, t2, t3 = _D0, _D1, _D2, _D3
+        b0, b1, b2, b3 = struct.unpack(">4I", block)
+        s0, s1, s2, s3 = b0 ^ rk[0], b1 ^ rk[1], b2 ^ rk[2], b3 ^ rk[3]
+        i = 4
+        for _ in range(self._rounds - 1):
+            # InvShiftRows rotates row r right by r: column j draws its
+            # row-1 byte from column j-1 (≡ j+3), row-2 from j-2, etc.
+            u0 = t0[s0 >> 24] ^ t1[(s3 >> 16) & 255] ^ t2[(s2 >> 8) & 255] ^ t3[s1 & 255] ^ rk[i]
+            u1 = t0[s1 >> 24] ^ t1[(s0 >> 16) & 255] ^ t2[(s3 >> 8) & 255] ^ t3[s2 & 255] ^ rk[i + 1]
+            u2 = t0[s2 >> 24] ^ t1[(s1 >> 16) & 255] ^ t2[(s0 >> 8) & 255] ^ t3[s3 & 255] ^ rk[i + 2]
+            u3 = t0[s3 >> 24] ^ t1[(s2 >> 16) & 255] ^ t2[(s1 >> 8) & 255] ^ t3[s0 & 255] ^ rk[i + 3]
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            i += 4
+        sb = _INV_SBOX
+        r0 = ((sb[s0 >> 24] << 24) | (sb[(s3 >> 16) & 255] << 16) | (sb[(s2 >> 8) & 255] << 8) | sb[s1 & 255]) ^ rk[i]
+        r1 = ((sb[s1 >> 24] << 24) | (sb[(s0 >> 16) & 255] << 16) | (sb[(s3 >> 8) & 255] << 8) | sb[s2 & 255]) ^ rk[i + 1]
+        r2 = ((sb[s2 >> 24] << 24) | (sb[(s1 >> 16) & 255] << 16) | (sb[(s0 >> 8) & 255] << 8) | sb[s3 & 255]) ^ rk[i + 2]
+        r3 = ((sb[s3 >> 24] << 24) | (sb[(s2 >> 16) & 255] << 16) | (sb[(s1 >> 8) & 255] << 8) | sb[s0 & 255]) ^ rk[i + 3]
+        return struct.pack(">4I", r0, r1, r2, r3)
+
+    def ctr_keystream(self, counter: int, nblocks: int) -> bytes:
+        """Generate ``nblocks`` CTR keystream blocks starting at ``counter``.
+
+        Equivalent to encrypting the counter blocks one by one (big-endian,
+        incrementing mod 2^128, NIST SP 800-38A) but with the per-block
+        byte/struct plumbing hoisted out of the loop.  When numpy is
+        available, batches of at least ``_NP_MIN_BLOCKS`` run each round
+        as vectorised table gathers over the whole batch.
+        """
+        if _np is not None and nblocks >= _NP_MIN_BLOCKS:
+            return self._ctr_keystream_np(counter, nblocks)
+        return self._ctr_keystream_py(counter, nblocks)
+
+    def _ctr_keystream_np(self, counter: int, nblocks: int) -> bytes:
+        """Vectorised CTR keystream: all counter blocks per round at once."""
+        counter &= (1 << 128) - 1
+        # 128-bit counters as two uint64 lanes with explicit carry.
+        index = _np.arange(nblocks, dtype=_np.uint64)
+        low = _np.uint64(counter & 0xFFFFFFFFFFFFFFFF) + index
+        carry = (low < index).astype(_np.uint64)
+        high = _np.uint64(counter >> 64) + carry
+        s0 = (high >> 32).astype(_np.uint32)
+        s1 = high.astype(_np.uint32)
+        s2 = (low >> 32).astype(_np.uint32)
+        s3 = low.astype(_np.uint32)
+        rk = self._erk
+        s0 ^= _np.uint32(rk[0])
+        s1 ^= _np.uint32(rk[1])
+        s2 ^= _np.uint32(rk[2])
+        s3 ^= _np.uint32(rk[3])
+        t0, t1, t2, t3 = _T0_NP, _T1_NP, _T2_NP, _T3_NP
+        i = 4
+        for _ in range(self._rounds - 1):
+            u0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 255] ^ t2[(s2 >> 8) & 255] ^ t3[s3 & 255] ^ _np.uint32(rk[i])
+            u1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 255] ^ t2[(s3 >> 8) & 255] ^ t3[s0 & 255] ^ _np.uint32(rk[i + 1])
+            u2 = t0[s2 >> 24] ^ t1[(s3 >> 16) & 255] ^ t2[(s0 >> 8) & 255] ^ t3[s1 & 255] ^ _np.uint32(rk[i + 2])
+            u3 = t0[s3 >> 24] ^ t1[(s0 >> 16) & 255] ^ t2[(s1 >> 8) & 255] ^ t3[s2 & 255] ^ _np.uint32(rk[i + 3])
+            s0, s1, s2, s3 = u0, u1, u2, u3
+            i += 4
+        sb = _SBOX_NP
+        r0 = ((sb[s0 >> 24] << 24) | (sb[(s1 >> 16) & 255] << 16) | (sb[(s2 >> 8) & 255] << 8) | sb[s3 & 255]) ^ _np.uint32(rk[i])
+        r1 = ((sb[s1 >> 24] << 24) | (sb[(s2 >> 16) & 255] << 16) | (sb[(s3 >> 8) & 255] << 8) | sb[s0 & 255]) ^ _np.uint32(rk[i + 1])
+        r2 = ((sb[s2 >> 24] << 24) | (sb[(s3 >> 16) & 255] << 16) | (sb[(s0 >> 8) & 255] << 8) | sb[s1 & 255]) ^ _np.uint32(rk[i + 2])
+        r3 = ((sb[s3 >> 24] << 24) | (sb[(s0 >> 16) & 255] << 16) | (sb[(s1 >> 8) & 255] << 8) | sb[s2 & 255]) ^ _np.uint32(rk[i + 3])
+        out = _np.empty((nblocks, 4), dtype=">u4")
+        out[:, 0] = r0
+        out[:, 1] = r1
+        out[:, 2] = r2
+        out[:, 3] = r3
+        return out.tobytes()
+
+    def _ctr_keystream_py(self, counter: int, nblocks: int) -> bytes:
+        rk = self._erk
+        t0, t1, t2, t3 = _T0, _T1, _T2, _T3
+        sb = _SBOX
+        rounds_minus_2 = self._rounds - 2
+        last = 4 * self._rounds
+        counter &= (1 << 128) - 1
+        c0 = (counter >> 96) & 0xFFFFFFFF
+        c1 = (counter >> 64) & 0xFFFFFFFF
+        c2 = (counter >> 32) & 0xFFFFFFFF
+        c3 = counter & 0xFFFFFFFF
+        blocks = []
+        append = blocks.append
+        k3 = rk[3]
+        refresh = True  # recompute the hoisted round-1 terms
+        for _ in range(nblocks):
+            if refresh:
+                # Words 0-2 of the counter block are fixed until a carry
+                # out of the low word, so the whitened state words
+                # s0..s2 — and with them most of round 1 — are constant
+                # across the batch.  Hoist the constant T-table terms;
+                # only the contributions of s3 vary per block.
+                s0 = c0 ^ rk[0]
+                s1 = c1 ^ rk[1]
+                s2 = c2 ^ rk[2]
+                a0 = t0[s0 >> 24] ^ t1[(s1 >> 16) & 255] ^ t2[(s2 >> 8) & 255] ^ rk[4]
+                a1 = t0[s1 >> 24] ^ t1[(s2 >> 16) & 255] ^ t3[s0 & 255] ^ rk[5]
+                a2 = t0[s2 >> 24] ^ t2[(s0 >> 8) & 255] ^ t3[s1 & 255] ^ rk[6]
+                a3 = t1[(s0 >> 16) & 255] ^ t2[(s1 >> 8) & 255] ^ t3[s2 & 255] ^ rk[7]
+                refresh = False
+            s3 = c3 ^ k3
+            u0 = a0 ^ t3[s3 & 255]
+            u1 = a1 ^ t2[(s3 >> 8) & 255]
+            u2 = a2 ^ t1[(s3 >> 16) & 255]
+            u3 = a3 ^ t0[s3 >> 24]
+            i = 8
+            for _ in range(rounds_minus_2):
+                v0 = t0[u0 >> 24] ^ t1[(u1 >> 16) & 255] ^ t2[(u2 >> 8) & 255] ^ t3[u3 & 255] ^ rk[i]
+                v1 = t0[u1 >> 24] ^ t1[(u2 >> 16) & 255] ^ t2[(u3 >> 8) & 255] ^ t3[u0 & 255] ^ rk[i + 1]
+                v2 = t0[u2 >> 24] ^ t1[(u3 >> 16) & 255] ^ t2[(u0 >> 8) & 255] ^ t3[u1 & 255] ^ rk[i + 2]
+                v3 = t0[u3 >> 24] ^ t1[(u0 >> 16) & 255] ^ t2[(u1 >> 8) & 255] ^ t3[u2 & 255] ^ rk[i + 3]
+                u0, u1, u2, u3 = v0, v1, v2, v3
+                i += 4
+            r0 = ((sb[u0 >> 24] << 24) | (sb[(u1 >> 16) & 255] << 16) | (sb[(u2 >> 8) & 255] << 8) | sb[u3 & 255]) ^ rk[last]
+            r1 = ((sb[u1 >> 24] << 24) | (sb[(u2 >> 16) & 255] << 16) | (sb[(u3 >> 8) & 255] << 8) | sb[u0 & 255]) ^ rk[last + 1]
+            r2 = ((sb[u2 >> 24] << 24) | (sb[(u3 >> 16) & 255] << 16) | (sb[(u0 >> 8) & 255] << 8) | sb[u1 & 255]) ^ rk[last + 2]
+            r3 = ((sb[u3 >> 24] << 24) | (sb[(u0 >> 16) & 255] << 16) | (sb[(u1 >> 8) & 255] << 8) | sb[u2 & 255]) ^ rk[last + 3]
+            append(struct.pack(">4I", r0, r1, r2, r3))
+            c3 += 1
+            if c3 == 0x100000000:  # carry into the higher counter words
+                c3 = 0
+                c2 = (c2 + 1) & 0xFFFFFFFF
+                if c2 == 0:
+                    c1 = (c1 + 1) & 0xFFFFFFFF
+                    if c1 == 0:
+                        c0 = (c0 + 1) & 0xFFFFFFFF
+                refresh = True
+        return b"".join(blocks)

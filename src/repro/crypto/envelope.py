@@ -34,6 +34,34 @@ def seal(public_key: RSAPublicKey, plaintext: bytes) -> bytes:
     return _MODE_HYBRID + sealed_key + session.encrypt(plaintext)
 
 
+def seal_many(
+    public_keys: list[RSAPublicKey], plaintext: bytes
+) -> list[bytes]:
+    """Seal one payload for several recipients, encrypting it only once.
+
+    The paper repeatedly disseminates the same material (a view key, an
+    exported view bundle) to a *set* of users.  Sealing per-recipient
+    would symmetric-encrypt the payload N times; here large payloads are
+    encrypted once under a single session key and only the session key
+    is RSA-sealed per recipient.  Small payloads that fit a direct RSA
+    block are sealed directly per recipient, exactly like :func:`seal`.
+
+    Returns one envelope per public key, each independently openable
+    with :func:`open_sealed`.
+    """
+    plaintext = bytes(plaintext)
+    if not public_keys:
+        return []
+    if all(len(plaintext) <= pk.max_message_size for pk in public_keys):
+        return [_MODE_DIRECT + pk.encrypt(plaintext) for pk in public_keys]
+    session = SymmetricKey.generate(32)
+    body = session.encrypt(plaintext)
+    return [
+        _MODE_HYBRID + pk.encrypt(session.to_bytes()) + body
+        for pk in public_keys
+    ]
+
+
 def open_sealed(private_key: RSAPrivateKey, envelope: bytes) -> bytes:
     """Decrypt an envelope produced by :func:`seal`.
 

@@ -14,6 +14,7 @@ duplication is avoided because it admits trivial malleability).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.crypto.hashing import sha256
@@ -28,8 +29,15 @@ EMPTY_ROOT = sha256(b"\x02empty-merkle-tree")
 
 
 def leaf_hash(value: bytes) -> bytes:
-    """Hash a leaf value with leaf domain separation."""
-    return sha256(_LEAF_PREFIX + bytes(value))
+    """Hash a leaf value with leaf domain separation.
+
+    Streams the prefix and value into the hash separately, so large
+    leaf values (serialized view payloads) are not copied into a
+    concatenated buffer first.
+    """
+    h = hashlib.sha256(_LEAF_PREFIX)
+    h.update(value)
+    return h.digest()
 
 
 def node_hash(left: bytes, right: bytes) -> bytes:

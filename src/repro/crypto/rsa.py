@@ -17,9 +17,14 @@ callers wanting 2048+ bits just pass ``bits=2048``.
 
 from __future__ import annotations
 
+import math
 import secrets
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
+from repro.crypto import backend as _backend
 from repro.crypto.hashing import sha256
 from repro.errors import DecryptionError, InvalidKeyError, SignatureError
 
@@ -28,21 +33,40 @@ PUBLIC_EXPONENT = 65537
 
 _HASH_LEN = 32
 
-# Small primes for fast trial division before Miller-Rabin.
-_SMALL_PRIMES = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
-    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
-    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
-]
+
+def _sieve_primes(limit: int) -> tuple[int, ...]:
+    """All primes below ``limit`` by the Sieve of Eratosthenes."""
+    composite = bytearray(limit)
+    for i in range(2, int(limit**0.5) + 1):
+        if not composite[i]:
+            composite[i * i :: i] = b"\x01" * len(composite[i * i :: i])
+    return tuple(i for i in range(2, limit) if not composite[i])
+
+
+# Module-level small-prime table, computed once and shared by every
+# primality test and keygen call (the seed recomputed trial-division
+# candidates per call).  2048 covers enough primes that ~80% of random
+# odd candidates are rejected before any modular exponentiation.
+_SMALL_PRIME_LIMIT = 2048
+_SMALL_PRIMES = _sieve_primes(_SMALL_PRIME_LIMIT)
+_SMALL_PRIME_SET = frozenset(_SMALL_PRIMES)
+#: Product of all odd small primes — one gcd replaces ~300 mods.
+_ODD_PRIME_PRODUCT = math.prod(_SMALL_PRIMES[1:])
+
+
+def _has_small_factor(n: int) -> bool:
+    """True if an odd ``n > _SMALL_PRIME_LIMIT`` has a small prime factor."""
+    return math.gcd(n, _ODD_PRIME_PRODUCT) != 1
 
 
 def _is_probable_prime(n: int, rounds: int = 40) -> bool:
     """Miller-Rabin primality test with ``rounds`` random witnesses."""
     if n < 2:
         return False
-    for p in _SMALL_PRIMES:
-        if n % p == 0:
-            return n == p
+    if n <= _SMALL_PRIME_LIMIT:
+        return n in _SMALL_PRIME_SET
+    if n % 2 == 0 or _has_small_factor(n):
+        return False
     # Write n-1 as d * 2^r with d odd.
     d = n - 1
     r = 0
@@ -64,12 +88,35 @@ def _is_probable_prime(n: int, rounds: int = 40) -> bool:
 
 
 def _random_prime(bits: int) -> int:
-    """Draw a random prime of exactly ``bits`` bits."""
+    """Draw a random prime of exactly ``bits`` bits.
+
+    Scans an incremental window from a random odd starting point: the
+    residues of the start modulo every small prime are computed once,
+    and each candidate in the window is screened by updating those
+    residues — no big-int divisions and no Miller-Rabin call until a
+    candidate survives the sieve.
+    """
+    window = 1 << 12  # odd candidates per random restart
+    top = 1 << (bits - 1)
     while True:
-        candidate = secrets.randbits(bits)
-        candidate |= (1 << (bits - 1)) | 1  # top bit and odd
-        if _is_probable_prime(candidate):
-            return candidate
+        start = secrets.randbits(bits) | top | 1
+        # sieve[i] marks start + 2*i as having a small prime factor.
+        sieve = bytearray(window)
+        for p in _SMALL_PRIMES[1:]:
+            # First index with (start + 2*i) % p == 0: i = -start/2 mod p.
+            first = (-(start % p) * ((p + 1) // 2)) % p
+            sieve[first::p] = b"\x01" * len(sieve[first::p])
+        for i in range(window):
+            if sieve[i]:
+                continue
+            candidate = start + 2 * i
+            if candidate.bit_length() != bits:
+                break  # window ran past 2^bits; restart
+            # 12 rounds suffice here: for *random* (non-adversarial)
+            # candidates the Damgård-Landrock-Pomerance average-case
+            # bound puts the error far below 2^-80 at these sizes.
+            if _is_probable_prime(candidate, rounds=12):
+                return candidate
 
 
 def _mgf1(seed: bytes, length: int) -> bytes:
@@ -177,11 +224,29 @@ class RSAPrivateKey:
     def byte_size(self) -> int:
         return (self.n.bit_length() + 7) // 8
 
+    def _crt_params(self) -> tuple[int, int, int]:
+        """CRT exponents and coefficient, computed once per key.
+
+        Memoised only under backends with ``cache_rsa_crt`` (the
+        reference backend re-derives per call, as the seed did).  The
+        dataclass is frozen, so the memo is attached via
+        ``object.__setattr__``; it is not a dataclass field and does not
+        affect equality or hashing.
+        """
+        cached = getattr(self, "_crt_cache", None)
+        if cached is None:
+            cached = (
+                self.d % (self.p - 1),
+                self.d % (self.q - 1),
+                pow(self.q, -1, self.p),
+            )
+            if _backend.get_backend().cache_rsa_crt:
+                object.__setattr__(self, "_crt_cache", cached)
+        return cached
+
     def _private_op(self, value: int) -> int:
         """Compute ``value^d mod n`` via the Chinese Remainder Theorem."""
-        dp = self.d % (self.p - 1)
-        dq = self.d % (self.q - 1)
-        q_inv = pow(self.q, -1, self.p)
+        dp, dq, q_inv = self._crt_params()
         m1 = pow(value % self.p, dp, self.p)
         m2 = pow(value % self.q, dq, self.q)
         h = (q_inv * (m1 - m2)) % self.p
@@ -246,12 +311,8 @@ class RSAKeyPair:
     private: RSAPrivateKey = field(repr=False)
 
 
-def generate_keypair(bits: int = DEFAULT_BITS) -> RSAKeyPair:
-    """Generate a fresh RSA keypair with a ``bits``-bit modulus.
-
-    The two primes are drawn independently at ``bits // 2`` each and the
-    public exponent is the conventional 65537.
-    """
+def _generate_fresh_keypair(bits: int) -> RSAKeyPair:
+    """Generate a keypair unconditionally (never consults the pool)."""
     if bits < 512:
         raise InvalidKeyError("modulus must be at least 512 bits")
     half = bits // 2
@@ -268,3 +329,97 @@ def generate_keypair(bits: int = DEFAULT_BITS) -> RSAKeyPair:
         public = RSAPublicKey(n=n, e=PUBLIC_EXPONENT)
         private = RSAPrivateKey(n=n, d=d, p=p, q=q, e=PUBLIC_EXPONENT)
         return RSAKeyPair(public=public, private=private)
+
+
+class KeyPairPool:
+    """Opt-in pool that recycles a bounded set of keypairs per modulus size.
+
+    Benchmark runs register thousands of simulated users and roles, each
+    of which triggers a full prime search.  The measured quantities
+    (simulated throughput/latency, storage, on-chain tx counts) do not
+    depend on key *values*, only on the protocol operations performed —
+    so the harness can opt into serving identities from a small pool of
+    pregenerated keypairs, cycled round-robin once ``size`` distinct
+    pairs exist per bit length.
+
+    **Not a security mechanism**: pooled identities share key material,
+    so any test asserting that one user cannot decrypt another user's
+    envelope must run without the pool (the pool is strictly opt-in and
+    scoped via :func:`keypair_pool`).
+    """
+
+    def __init__(self, size: int = 32):
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self.size = size
+        self._pools: dict[int, list[RSAKeyPair]] = {}
+        self._cursors: dict[int, int] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, bits: int) -> RSAKeyPair:
+        """A keypair of the requested size — fresh until the pool fills."""
+        with self._lock:
+            pool = self._pools.setdefault(bits, [])
+            if len(pool) < self.size:
+                self.misses += 1
+                pair = _generate_fresh_keypair(bits)
+                pool.append(pair)
+                return pair
+            self.hits += 1
+            cursor = self._cursors.get(bits, 0)
+            self._cursors[bits] = (cursor + 1) % len(pool)
+            return pool[cursor]
+
+
+_active_pool: KeyPairPool | None = None
+
+
+def install_keypair_pool(size: int = 32) -> KeyPairPool:
+    """Make :func:`generate_keypair` serve from a recycling pool."""
+    global _active_pool
+    _active_pool = KeyPairPool(size)
+    return _active_pool
+
+
+def uninstall_keypair_pool() -> None:
+    """Restore fresh per-call key generation."""
+    global _active_pool
+    _active_pool = None
+
+
+def active_keypair_pool() -> KeyPairPool | None:
+    """The installed pool, if any."""
+    return _active_pool
+
+
+@contextmanager
+def keypair_pool(size: int = 32) -> Iterator[KeyPairPool]:
+    """Scoped pool activation for benchmark harnesses.
+
+    Nested uses stack: the previous pool (or none) is restored on exit.
+    """
+    global _active_pool
+    previous = _active_pool
+    pool = KeyPairPool(size)
+    _active_pool = pool
+    try:
+        yield pool
+    finally:
+        _active_pool = previous
+
+
+def generate_keypair(bits: int = DEFAULT_BITS) -> RSAKeyPair:
+    """Generate an RSA keypair with a ``bits``-bit modulus.
+
+    The two primes are drawn independently at ``bits // 2`` each and the
+    public exponent is the conventional 65537.  If a :class:`KeyPairPool`
+    is active (see :func:`keypair_pool`), the pair is served from the
+    pool instead — an explicit, benchmark-only trade of key uniqueness
+    for setup speed.
+    """
+    pool = _active_pool
+    if pool is not None:
+        return pool.get(bits)
+    return _generate_fresh_keypair(bits)

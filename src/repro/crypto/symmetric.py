@@ -26,6 +26,12 @@ class SymmetricKey:
     material: bytes = field(repr=False)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.material, bytes):
+            # Normalise bytearray/memoryview material so instances stay
+            # hashable (dict-key use) and cache-key friendly: the modes
+            # layer LRU-caches derived subkeys and expanded AES key
+            # schedules per master key (see repro.crypto.modes/backend).
+            object.__setattr__(self, "material", bytes(self.material))
         if len(self.material) not in (16, 24, 32):
             raise ValueError(
                 f"key material must be 16/24/32 bytes, got {len(self.material)}"

@@ -80,7 +80,18 @@ class ViewManager(ABC):
         business_chaincode: str = "supply",
         use_txlist: bool = False,
         txlist_flush_interval_ms: float = 30_000.0,
+        crypto_backend: str | None = None,
     ):
+        # ``crypto_backend`` selects the AES implementation used for all
+        # concealment/sealing this manager performs ("fast" or
+        # "reference"; see repro.crypto.backend).  The switch is
+        # process-wide — both backends produce identical bytes, so the
+        # knob only trades speed for auditability.
+        if crypto_backend is not None:
+            from repro.crypto.backend import set_backend
+
+            set_backend(crypto_backend)
+        self.crypto_backend = crypto_backend
         self.gateway = gateway
         self.owner = gateway.user
         self.msp = gateway.network.msp

@@ -1,6 +1,9 @@
 """Tests for the ``python -m repro.bench`` command-line entry point."""
 
+import os
+
 from repro.bench import __main__ as cli
+from repro.crypto import rsa
 
 
 def test_help_exits_zero(capsys):
@@ -36,3 +39,38 @@ def test_all_runs_everything(monkeypatch):
         )
     assert cli.main(["all"]) == 0
     assert calls == list(cli.FIGURES)
+
+
+def test_smoke_defaults_and_environment(monkeypatch):
+    """--smoke runs the default figure under scale 0.05 + a keypair pool."""
+    seen = {}
+
+    def fake_figure():
+        seen["scale"] = os.environ.get("REPRO_BENCH_SCALE")
+        seen["pool"] = rsa.active_keypair_pool()
+
+    monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+    for name in cli.SMOKE_DEFAULT_FIGURES:
+        monkeypatch.setitem(cli.FIGURES, name, fake_figure)
+    assert cli.main(["--smoke"]) == 0
+    assert seen["scale"] == cli.SMOKE_SCALE
+    assert seen["pool"] is not None
+    # Both the env override and the pool are scoped to the run.
+    assert "REPRO_BENCH_SCALE" not in os.environ
+    assert rsa.active_keypair_pool() is None
+
+
+def test_smoke_respects_existing_scale(monkeypatch):
+    seen = {}
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+    monkeypatch.setitem(
+        cli.FIGURES, "fig4", lambda: seen.update(scale=os.environ["REPRO_BENCH_SCALE"])
+    )
+    assert cli.main(["--smoke", "fig4"]) == 0
+    assert seen["scale"] == "0.5"
+    assert os.environ["REPRO_BENCH_SCALE"] == "0.5"
+
+
+def test_smoke_end_to_end_runs_real_figure():
+    """The smoke pass actually executes a figure at tiny scale."""
+    assert cli.main(["--smoke"]) == 0

@@ -1,0 +1,224 @@
+"""The crypto backend layer: selection, caching, and FIPS-197 on both.
+
+The fast path (:class:`AESFast`) must be byte-identical to the
+reference implementation everywhere — these tests pin the published
+vectors on *both* backends, exercise the selection API, and check the
+caching contracts (key-schedule reuse under ``fast``, fresh expansion
+under ``reference``, CRT-parameter memoisation gated on the backend).
+"""
+
+import secrets
+
+import pytest
+
+from repro.crypto import backend, modes, rsa
+from repro.crypto.aes import AES, AESFast
+from tests.crypto.test_aes import FIPS_VECTORS, PLAINTEXT
+
+
+# -- selection API ----------------------------------------------------------
+
+
+def test_available_backends():
+    assert backend.available_backends() == ["fast", "reference"]
+
+
+def test_set_backend_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown crypto backend"):
+        backend.set_backend("openssl")
+
+
+def test_use_backend_restores_previous():
+    before = backend.get_backend().name
+    with backend.use_backend("reference") as active:
+        assert active.name == "reference"
+        assert backend.get_backend().name == "reference"
+        with backend.use_backend("fast"):
+            assert backend.get_backend().name == "fast"
+        assert backend.get_backend().name == "reference"
+    assert backend.get_backend().name == before
+
+
+def test_use_backend_restores_on_exception():
+    before = backend.get_backend().name
+    with pytest.raises(RuntimeError):
+        with backend.use_backend("reference"):
+            raise RuntimeError("boom")
+    assert backend.get_backend().name == before
+
+
+# -- FIPS-197 on both implementations ---------------------------------------
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", FIPS_VECTORS)
+def test_fips197_fast_encrypt(key_hex, expected_hex):
+    cipher = AESFast(bytes.fromhex(key_hex))
+    assert cipher.encrypt_block(PLAINTEXT).hex() == expected_hex
+
+
+@pytest.mark.parametrize("key_hex,expected_hex", FIPS_VECTORS)
+def test_fips197_fast_decrypt(key_hex, expected_hex):
+    cipher = AESFast(bytes.fromhex(key_hex))
+    assert cipher.decrypt_block(bytes.fromhex(expected_hex)) == PLAINTEXT
+
+
+def test_appendix_b_vector_fast():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    expected = "3925841d02dc09fbdc118597196a0b32"
+    assert AESFast(key).encrypt_block(plaintext).hex() == expected
+
+
+# -- CTR keystream equivalence ---------------------------------------------
+
+
+def _reference_keystream(key: bytes, counter: int, nblocks: int) -> bytes:
+    cipher = AES(key)
+    out = bytearray()
+    for i in range(nblocks):
+        out += cipher.encrypt_block(((counter + i) % (1 << 128)).to_bytes(16, "big"))
+    return bytes(out)
+
+
+@pytest.mark.parametrize(
+    "counter",
+    [
+        0,
+        1,
+        (1 << 32) - 2,  # carry across the low numpy-lane boundary
+        (1 << 64) - 2,  # carry into the high 64-bit lane
+        (1 << 96) - 2,
+        (1 << 128) - 2,  # full 128-bit wraparound
+    ],
+)
+@pytest.mark.parametrize("nblocks", [1, 5, 33])
+def test_ctr_keystream_matches_reference(counter, nblocks):
+    key = secrets.token_bytes(16)
+    expected = _reference_keystream(key, counter, nblocks)
+    assert AESFast(key).ctr_keystream(counter, nblocks) == expected
+
+
+def test_ctr_keystream_scalar_and_vector_paths_agree():
+    key = secrets.token_bytes(32)
+    cipher = AESFast(key)
+    counter = int.from_bytes(secrets.token_bytes(16), "big")
+    nblocks = 40  # above the numpy dispatch threshold
+    batched = cipher.ctr_keystream(counter, nblocks)
+    scalar = cipher._ctr_keystream_py(counter, nblocks)
+    assert batched == scalar
+
+
+# -- cross-backend interoperability -----------------------------------------
+
+
+def test_sealed_messages_interoperate_across_backends():
+    """A message sealed under one backend opens under the other."""
+    key = secrets.token_bytes(32)
+    payload = secrets.token_bytes(777)
+    with backend.use_backend("fast"):
+        sealed_fast = modes.encrypt(key, payload)
+    with backend.use_backend("reference"):
+        sealed_ref = modes.encrypt(key, payload)
+        assert modes.decrypt(key, sealed_fast) == payload
+    with backend.use_backend("fast"):
+        assert modes.decrypt(key, sealed_ref) == payload
+
+
+def test_same_nonce_same_ciphertext_across_backends():
+    key = secrets.token_bytes(16)
+    nonce = secrets.token_bytes(16)
+    payload = secrets.token_bytes(100)
+    with backend.use_backend("fast"):
+        fast = modes.encrypt(key, payload, nonce=nonce)
+    with backend.use_backend("reference"):
+        ref = modes.encrypt(key, payload, nonce=nonce)
+    assert fast == ref
+
+
+# -- caching contracts ------------------------------------------------------
+
+
+def test_fast_backend_reuses_cipher_instances():
+    key = secrets.token_bytes(16)
+    with backend.use_backend("fast"):
+        backend.clear_caches()
+        a = backend.aes_for_key(key)
+        b = backend.aes_for_key(key)
+    assert a is b
+    assert isinstance(a, AESFast)
+
+
+def test_reference_backend_never_caches():
+    key = secrets.token_bytes(16)
+    with backend.use_backend("reference"):
+        a = backend.aes_for_key(key)
+        b = backend.aes_for_key(key)
+    assert a is not b
+    assert isinstance(a, AES)
+
+
+def test_clear_caches_drops_instances():
+    key = secrets.token_bytes(16)
+    with backend.use_backend("fast"):
+        a = backend.aes_for_key(key)
+        backend.clear_caches()
+        b = backend.aes_for_key(key)
+    assert a is not b
+
+
+def test_crt_memo_gated_on_backend():
+    pair = rsa.generate_keypair(512)
+    with backend.use_backend("reference"):
+        fresh = rsa.RSAPrivateKey(
+            n=pair.private.n, d=pair.private.d, p=pair.private.p, q=pair.private.q
+        )
+        fresh._crt_params()
+        assert getattr(fresh, "_crt_cache", None) is None
+    with backend.use_backend("fast"):
+        params = fresh._crt_params()
+        assert getattr(fresh, "_crt_cache", None) == params
+
+
+# -- RSA differential: CRT vs plain modular exponentiation ------------------
+
+
+def test_private_op_matches_plain_pow():
+    pair = rsa.generate_keypair(512)
+    priv = pair.private
+    for _ in range(5):
+        value = secrets.randbelow(priv.n)
+        assert priv._private_op(value) == pow(value, priv.d, priv.n)
+
+
+# -- keypair pool semantics -------------------------------------------------
+
+
+def test_keypair_pool_fills_then_recycles():
+    with rsa.keypair_pool(size=2) as pool:
+        first = [rsa.generate_keypair(512) for _ in range(2)]
+        assert pool.misses == 2 and pool.hits == 0
+        recycled = [rsa.generate_keypair(512) for _ in range(4)]
+        assert pool.misses == 2 and pool.hits == 4
+    assert {id(p) for p in recycled} <= {id(p) for p in first}
+    assert rsa.active_keypair_pool() is None
+
+
+def test_keypair_pool_separates_bit_lengths():
+    with rsa.keypair_pool(size=1) as pool:
+        a = rsa.generate_keypair(512)
+        b = rsa.generate_keypair(768)
+        assert pool.misses == 2
+        assert rsa.generate_keypair(512) is a
+        assert rsa.generate_keypair(768) is b
+
+
+def test_keypair_pool_nesting_restores_outer_pool():
+    with rsa.keypair_pool(size=1) as outer:
+        rsa.generate_keypair(512)
+        with rsa.keypair_pool(size=1) as inner:
+            assert rsa.active_keypair_pool() is inner
+            rsa.generate_keypair(512)
+            assert inner.misses == 1  # inner pool starts empty
+        assert rsa.active_keypair_pool() is outer
+        assert rsa.generate_keypair(512) is not None
+        assert outer.hits == 1
