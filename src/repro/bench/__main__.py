@@ -22,7 +22,8 @@ import os
 import sys
 from contextlib import nullcontext
 
-from repro.bench import runners
+from repro.bench import harness, runners
+from repro.bench.report import print_series
 from repro.crypto.rsa import keypair_pool
 
 #: Scale applied by --smoke when REPRO_BENCH_SCALE is not already set.
@@ -74,7 +75,37 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if scale_override:
             del os.environ["REPRO_BENCH_SCALE"]
+    _print_phase_breakdown()
     return 0
+
+
+def _print_phase_breakdown() -> None:
+    """Closing table: wall-clock seconds per pipeline phase, all runs.
+
+    This is host CPU spent inside endorse/order/commit/state-root/query
+    code across every network the selected figures built — the
+    breakdown a perf change is judged against (simulated-time results
+    are backend-independent).
+    """
+    if not harness.PHASE_TOTALS:
+        return
+    total = sum(harness.PHASE_TOTALS.values())
+    rows = [
+        {
+            "phase": phase,
+            "wall_s": round(seconds, 3),
+            "share": f"{100.0 * seconds / total:.1f}%",
+        }
+        for phase, seconds in sorted(
+            harness.PHASE_TOTALS.items(), key=lambda kv: -kv[1]
+        )
+    ]
+    print_series(
+        "Pipeline phase wall-clock (all runs)",
+        rows,
+        note="host seconds inside each Fabric pipeline phase; "
+        "simulated-time metrics are unaffected by backend choice",
+    )
 
 
 if __name__ == "__main__":

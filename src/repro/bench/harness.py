@@ -22,6 +22,7 @@ from typing import Any
 from repro import build_network
 from repro.crypto import rsa as _rsa
 from repro.crypto.backend import use_backend
+from repro.ledger import backend as _ledger
 from repro.baseline.multichain import CrossChainDeployment
 from repro.errors import LedgerViewError
 from repro.fabric.config import NetworkConfig, benchmark_config
@@ -80,19 +81,42 @@ class RunResult:
         return row
 
 
-def _crypto_context(crypto_backend: str | None, rsa_key_pool: int | None):
-    """Context manager applying the harness's crypto knobs for one run.
+#: Wall-clock seconds per pipeline phase, accumulated across every run
+#: this process executes (see :class:`repro.fabric.network.PhaseWallClock`).
+#: ``python -m repro.bench`` prints this as its closing table.
+PHASE_TOTALS: dict[str, float] = {}
+
+
+def _record_phases(network: FabricNetwork, result: RunResult) -> None:
+    """Attach a network's per-phase wall-clock to ``result`` and the totals."""
+    result.extra["phase_wall_s"] = network.phase_wall.summary()
+    network.phase_wall.merge_into(PHASE_TOTALS)
+
+
+def _backend_context(
+    crypto_backend: str | None,
+    rsa_key_pool: int | None,
+    ledger_backend: str | None = None,
+):
+    """Context manager applying the harness's backend knobs for one run.
 
     ``crypto_backend`` scopes an AES backend switch ("fast" or
     "reference") around the run; ``rsa_key_pool`` opts the run into a
     recycling RSA keypair pool of that size (benchmark-only — see
-    :class:`repro.crypto.rsa.KeyPairPool` for the caveats).
+    :class:`repro.crypto.rsa.KeyPairPool` for the caveats);
+    ``ledger_backend`` scopes the ledger hot-path selection
+    ("fast"/"reference" — incremental state digest and indexed scans)
+    so every peer built inside the run captures it.  None leaves the
+    process default untouched.  None of these change simulated-time
+    results, only wall-clock.
     """
     stack = ExitStack()
     if crypto_backend is not None:
         stack.enter_context(use_backend(crypto_backend))
     if rsa_key_pool is not None:
         stack.enter_context(_rsa.keypair_pool(rsa_key_pool))
+    if ledger_backend is not None:
+        stack.enter_context(_ledger.use_backend(ledger_backend))
     return stack
 
 
@@ -208,19 +232,23 @@ def run_view_workload(
     crypto_backend: str | None = None,
     rsa_key_pool: int | None = None,
     secret_size: int = 0,
+    ledger_backend: str | None = None,
+    track_state_roots: bool = False,
 ) -> RunResult:
     """Run the supply-chain workload against one LedgerView method.
 
     ``max_requests_per_client`` truncates each client's trace — the
     measured rates stabilise after a few batches, so shorter runs keep
     benchmark wall-clock time in check without changing the shapes.
-    ``crypto_backend``/``rsa_key_pool`` scope the crypto fast-path knobs
-    around the whole run (see :func:`_crypto_context`); neither changes
-    any measured simulated-time quantity, only wall-clock.
+    ``crypto_backend``/``rsa_key_pool``/``ledger_backend`` scope the
+    fast-path knobs around the whole run (see :func:`_backend_context`);
+    none changes any measured simulated-time quantity, only wall-clock.
     ``secret_size`` pads each transfer's secret part to roughly that
     many bytes (0 = natural size), for sweeps over payload size.
+    ``track_state_roots`` makes every committed block record a state
+    root — the commit-path cost the ledger backend sweep measures.
     """
-    with _crypto_context(crypto_backend, rsa_key_pool):
+    with _backend_context(crypto_backend, rsa_key_pool, ledger_backend):
         return _run_view_workload(
             method,
             topology,
@@ -237,6 +265,7 @@ def run_view_workload(
             pdc_collection,
             crypto_backend,
             secret_size,
+            track_state_roots,
         )
 
 
@@ -256,6 +285,7 @@ def _run_view_workload(
     pdc_collection: str | None,
     crypto_backend: str | None,
     secret_size: int = 0,
+    track_state_roots: bool = False,
 ) -> RunResult:
     env, network, manager = build_view_setup(
         method,
@@ -266,6 +296,7 @@ def _run_view_workload(
         pdc_collection=pdc_collection,
         crypto_backend=crypto_backend,
     )
+    network.track_state_roots = track_state_roots
     traces = _client_traces(topology, clients, items_per_client, seed, secret_size)
     if max_requests_per_client is not None:
         traces = [trace[:max_requests_per_client] for trace in traces]
@@ -317,7 +348,7 @@ def _run_view_workload(
     duration = max(env.now - started, 1e-9)
     latencies = network.metrics.latencies_ms
     summary = latencies.summary() if len(latencies) else None
-    return RunResult(
+    result = RunResult(
         label=f"{method}{'+TLC' if use_txlist else ''}",
         clients=clients,
         attempted=attempted,
@@ -332,6 +363,8 @@ def _run_view_workload(
         timed_out=timed_out,
         extra={"invalid_txs": network.metrics.invalid_txs.value},
     )
+    _record_phases(network, result)
+    return result
 
 
 def run_baseline_workload(
@@ -345,13 +378,14 @@ def run_baseline_workload(
     max_requests_per_client: int | None = None,
     crypto_backend: str | None = None,
     rsa_key_pool: int | None = None,
+    ledger_backend: str | None = None,
 ) -> RunResult:
     """Run the same workload against the cross-chain 2PC baseline.
 
     The baseline registers one identity per client per chain, so the
     opt-in ``rsa_key_pool`` saves the most wall-clock here.
     """
-    with _crypto_context(crypto_backend, rsa_key_pool):
+    with _backend_context(crypto_backend, rsa_key_pool, ledger_backend):
         return _run_baseline_workload(
             topology,
             clients,
@@ -417,7 +451,7 @@ def _run_baseline_workload(
         chain.metrics.onchain_txs.value
         for chain in deployment.view_chains.values()
     )
-    return RunResult(
+    result = RunResult(
         label="baseline-2PC",
         clients=clients,
         attempted=attempted,
@@ -435,6 +469,18 @@ def _run_baseline_workload(
             "aborted": deployment.metrics.aborted.value,
         },
     )
+    # The baseline runs one network per view chain plus the main chain;
+    # report their combined per-phase wall-clock.
+    phases: dict[str, float] = {}
+    deployment.main.phase_wall.merge_into(phases)
+    for chain in deployment.view_chains.values():
+        chain.phase_wall.merge_into(phases)
+    result.extra["phase_wall_s"] = {
+        phase: round(total, 4) for phase, total in sorted(phases.items())
+    }
+    for phase, total in phases.items():
+        PHASE_TOTALS[phase] = PHASE_TOTALS.get(phase, 0.0) + total
+    return result
 
 
 def run_view_scaling(
@@ -449,6 +495,8 @@ def run_view_scaling(
     txlist_flush_interval_ms: float = 5_000.0,
     crypto_backend: str | None = None,
     rsa_key_pool: int | None = None,
+    ledger_backend: str | None = None,
+    track_state_roots: bool = False,
 ) -> RunResult:
     """The Fig 10/11 sweep: vary view count and per-transaction membership.
 
@@ -458,7 +506,7 @@ def run_view_scaling(
     """
     if inclusion not in ("all", "single"):
         raise LedgerViewError("inclusion must be 'all' or 'single'")
-    with _crypto_context(crypto_backend, rsa_key_pool):
+    with _backend_context(crypto_backend, rsa_key_pool, ledger_backend):
         return _run_view_scaling(
             n_views,
             inclusion,
@@ -470,6 +518,7 @@ def run_view_scaling(
             use_txlist,
             txlist_flush_interval_ms,
             crypto_backend,
+            track_state_roots,
         )
 
 
@@ -484,10 +533,12 @@ def _run_view_scaling(
     use_txlist: bool,
     txlist_flush_interval_ms: float,
     crypto_backend: str | None,
+    track_state_roots: bool = False,
 ) -> RunResult:
     manager_cls, mode = METHODS[method]
     env = Environment()
     network = build_network(config or benchmark_config(), env=env)
+    network.track_state_roots = track_state_roots
     owner = network.register_user("view-owner")
     manager = manager_cls(
         Gateway(network, owner),
@@ -539,7 +590,7 @@ def _run_view_scaling(
     duration = max(env.now - started, 1e-9)
     latencies = network.metrics.latencies_ms
     summary = latencies.summary() if len(latencies) else None
-    return RunResult(
+    result = RunResult(
         label=f"{method}/{inclusion}/{n_views}v",
         clients=clients,
         attempted=clients * requests_per_client,
@@ -553,3 +604,5 @@ def _run_view_scaling(
         storage_bytes=network.total_storage_bytes(),
         extra={"views": n_views, "inclusion": inclusion},
     )
+    _record_phases(network, result)
+    return result

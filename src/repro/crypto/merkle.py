@@ -141,6 +141,144 @@ class MerkleTree:
         return self.prove(index).verify(bytes(value), self.root())
 
 
+class IncrementalMerkleTree:
+    """A persistent Merkle tree over *leaf hashes* with cheap updates.
+
+    Produces exactly the level structure :class:`MerkleTree` builds —
+    same pairing, same odd-node promotion — so roots and audit paths
+    are byte-identical.  The difference is the cost model: instead of
+    rebuilding every level from scratch, :meth:`apply` takes a batch of
+    changes and recomputes only
+
+    - the root path of each point-updated leaf (``O(log n)`` each), and
+    - the suffix of every level to the right of the first structural
+      change (insert/delete shifts all later pairings).
+
+    Callers hand in leaf *hashes* (already domain-separated via
+    :func:`leaf_hash`); this class never re-hashes unchanged leaves,
+    which is where the bulk of a full rebuild's cost lives.
+    """
+
+    def __init__(self, leaf_hashes: list[bytes] | None = None):
+        self._levels: list[list[bytes]] = [
+            [bytes(h) for h in (leaf_hashes or [])]
+        ]
+        if self._levels[0]:
+            self._recompute(set(), 0)
+
+    def __len__(self) -> int:
+        return len(self._levels[0])
+
+    def leaf(self, index: int) -> bytes:
+        """The stored hash of the leaf at ``index``."""
+        return self._levels[0][index]
+
+    def apply(
+        self,
+        point_updates: dict[int, bytes] | None = None,
+        suffix_start: int | None = None,
+        suffix_hashes: list[bytes] | None = None,
+    ) -> None:
+        """Apply one batch of changes and recompute affected nodes.
+
+        ``point_updates`` maps leaf index → new leaf hash for leaves
+        whose *value* changed but whose position did not.
+        ``suffix_start``/``suffix_hashes`` replace all leaves from
+        ``suffix_start`` onwards (how inserts and deletes arrive: every
+        leaf right of the first structural change may have shifted).
+        Point-update indices at or beyond ``suffix_start`` are ignored —
+        the suffix replacement already covers them.
+        """
+        leaves = self._levels[0]
+        if suffix_start is not None:
+            del leaves[suffix_start:]
+            leaves.extend(bytes(h) for h in suffix_hashes or [])
+        dirty: set[int] = set()
+        for index, new_hash in (point_updates or {}).items():
+            if suffix_start is not None and index >= suffix_start:
+                continue
+            new_hash = bytes(new_hash)
+            if leaves[index] != new_hash:
+                leaves[index] = new_hash
+                dirty.add(index)
+        self._recompute(dirty, suffix_start)
+
+    def _recompute(self, dirty: set[int], suffix: int | None) -> None:
+        """Propagate a dirty set and/or a structural suffix to the root."""
+        if not dirty and suffix is None:
+            return
+        levels = self._levels
+        level = 0
+        while True:
+            child = levels[level]
+            if len(child) <= 1:
+                del levels[level + 1 :]
+                return
+            parent_len = (len(child) + 1) // 2
+            if level + 1 == len(levels):
+                levels.append([])
+            parent = levels[level + 1]
+            next_dirty: set[int] = set()
+            if suffix is not None:
+                parent_start = suffix // 2
+                del parent[parent_start:]
+                for p in range(parent_start, parent_len):
+                    left = child[2 * p]
+                    if 2 * p + 1 < len(child):
+                        parent.append(node_hash(left, child[2 * p + 1]))
+                    else:
+                        parent.append(left)  # odd node promoted unchanged
+            for index in dirty:
+                p = index // 2
+                if suffix is not None and p >= suffix // 2:
+                    continue  # already covered by the suffix recompute
+                left = child[2 * p]
+                if 2 * p + 1 < len(child):
+                    value = node_hash(left, child[2 * p + 1])
+                else:
+                    value = left
+                if parent[p] != value:
+                    parent[p] = value
+                    next_dirty.add(p)
+            dirty = next_dirty
+            suffix = None if suffix is None else suffix // 2
+            if not dirty and suffix is None:
+                return  # update produced an identical node; nothing above moves
+            level += 1
+
+    def root(self) -> bytes:
+        """The 32-byte root digest (``EMPTY_ROOT`` for an empty tree)."""
+        if not self._levels[0]:
+            return EMPTY_ROOT
+        return self._levels[-1][0]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Audit path for the leaf at ``index``; see :meth:`MerkleTree.prove`.
+
+        Raises
+        ------
+        MerkleProofError
+            If ``index`` is out of range.
+        """
+        if not 0 <= index < len(self._levels[0]):
+            raise MerkleProofError(
+                f"leaf index {index} out of range for "
+                f"{len(self._levels[0])} leaves"
+            )
+        siblings: list[tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                sibling_index = position + 1
+                if sibling_index < len(level):
+                    siblings.append((level[sibling_index], False))
+                # No sibling: node was promoted, path contributes nothing.
+            else:
+                siblings.append((level[position - 1], True))
+            position //= 2
+        return MerkleProof(leaf_index=index, siblings=tuple(siblings))
+
+
 def root_of(leaves: list[bytes]) -> bytes:
     """One-shot root computation without keeping the tree around."""
     return MerkleTree(leaves).root()

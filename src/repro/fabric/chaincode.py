@@ -81,17 +81,19 @@ class TxContext:
         """
         full_prefix = namespaced(self.chaincode, prefix)
         results = []
+        seen = set()
         for full_key, value in self._statedb.scan_prefix(full_prefix):
             if full_key not in self.read_set:
                 entry = self._statedb.get_with_version(full_key)
                 self.read_set[full_key] = entry.version if entry else None
             local_key = full_key[len(self.chaincode) + 1 :]
             results.append((local_key, value))
+            seen.add(local_key)
         # Include keys written by this transaction under the prefix.
         for full_key, value in self.write_set.items():
             if full_key.startswith(full_prefix):
                 local_key = full_key[len(self.chaincode) + 1 :]
-                if all(existing != local_key for existing, _ in results):
+                if local_key not in seen:
                     results.append((local_key, value))
         results.sort(key=lambda pair: pair[0])
         return results

@@ -113,6 +113,14 @@ class NetworkConfig:
     #: Payload size baseline for a transaction with no extra view data.
     baseline_tx_bytes: int = 600
 
+    # -- ledger -------------------------------------------------------------
+    #: Ledger hot-path implementation for this network's peers
+    #: ("fast"/"reference"; see :mod:`repro.ledger.backend`).  ``None``
+    #: uses the process-wide default (``REPRO_LEDGER_BACKEND``, or
+    #: "fast").  Simulated results are identical either way — the knob
+    #: only changes wall-clock, like the crypto backend switch.
+    ledger_backend: str | None = None
+
     def payload_delay_ms(self, size_bytes: int, per_kib: float) -> float:
         """Size-proportional component of a service time."""
         return per_kib * (size_bytes / 1024.0)

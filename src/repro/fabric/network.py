@@ -13,7 +13,9 @@ for real; only *durations* are simulated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any
 
 from repro.errors import LedgerError
@@ -35,6 +37,42 @@ class CommitNotice:
     code: ValidationCode
     block_number: int
     response: Any = None
+
+
+@dataclass
+class PhaseWallClock:
+    """Wall-clock seconds spent in each pipeline phase of one network.
+
+    Simulated time measures the *modelled* system; this measures where
+    the reproduction itself burns host CPU (endorse / order / commit /
+    state-root / query), so a perf PR can see which layer its change
+    moved.  Tracking costs two ``perf_counter`` calls per operation —
+    noise next to the work being timed.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def track(self, phase: str):
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[phase] = (
+                self.seconds.get(phase, 0.0) + perf_counter() - started
+            )
+
+    def summary(self) -> dict[str, float]:
+        """Per-phase totals in seconds, rounded, sorted by phase name."""
+        return {
+            phase: round(total, 4)
+            for phase, total in sorted(self.seconds.items())
+        }
+
+    def merge_into(self, totals: dict[str, float]) -> None:
+        """Accumulate this network's phase times into ``totals``."""
+        for phase, total in self.seconds.items():
+            totals[phase] = totals.get(phase, 0.0) + total
 
 
 @dataclass
@@ -72,6 +110,7 @@ class FabricNetwork:
         self.chain_name = chain_name
         self.registry = ChaincodeRegistry()
         self.metrics = NetworkMetrics.fresh()
+        self.phase_wall = PhaseWallClock()
 
         self.peers: list[Peer] = []
         self._peer_cpus: list[Resource] = []
@@ -85,6 +124,7 @@ class FabricNetwork:
                 registry=self.registry,
                 chain_name=chain_name,
                 real_signatures=self.config.real_signatures,
+                ledger_backend_name=self.config.ledger_backend,
             )
             self.peers.append(peer)
             self._peer_cpus.append(Resource(env, capacity=1))
@@ -183,7 +223,8 @@ class FabricNetwork:
             yield request
             try:
                 yield env.timeout(self._endorse_service_ms(payload_size))
-                responses.append(peer.endorse(proposal))
+                with self.phase_wall.track("endorse"):
+                    responses.append(peer.endorse(proposal))
             finally:
                 cpu.release(request)
         yield env.timeout(latency.client_to_peer)
@@ -260,7 +301,8 @@ class FabricNetwork:
             tid="query",
             creator=creator,
         )
-        return contract.invoke(ctx, fn, args or {})
+        with self.phase_wall.track("query"):
+            return contract.invoke(ctx, fn, args or {})
 
     def get_transaction(self, tid: str) -> Transaction:
         """Fetch a committed transaction from the reference peer's ledger."""
@@ -296,7 +338,8 @@ class FabricNetwork:
                     [self._arrival, env.timeout(deadline - env.now)]
                 )
             while self._cutter.has_pending:
-                decision = self._cutter.cut(reason)
+                with self.phase_wall.track("order"):
+                    decision = self._cutter.cut(reason)
                 if self.raft is not None:
                     # Replicate the batch through the ordering service's
                     # Raft group before the block becomes final.
@@ -304,7 +347,8 @@ class FabricNetwork:
                     yield self.raft.replicate(digest)
                 else:
                     yield env.timeout(self.config.ordering_consensus_ms)
-                block = self.ordering.build_block(decision, timestamp=env.now)
+                with self.phase_wall.track("order"):
+                    block = self.ordering.build_block(decision, timestamp=env.now)
                 self.metrics.onchain_txs.increment(len(block.transactions))
                 for index, peer in enumerate(self.peers):
                     env.process(self._deliver(index, peer, block))
@@ -324,17 +368,19 @@ class FabricNetwork:
                 self._validate_service_ms(tx) for tx in block.transactions
             )
             yield env.timeout(service)
-            result = peer.validate_and_commit(
-                block,
-                self._peer_keys,
-                self._peer_secrets,
-                policy=self.config.endorsement_policy,
-            )
+            with self.phase_wall.track("commit"):
+                result = peer.validate_and_commit(
+                    block,
+                    self._peer_keys,
+                    self._peer_secrets,
+                    policy=self.config.endorsement_policy,
+                )
         finally:
             cpu.release(request)
         if peer is self.reference_peer:
             if self.track_state_roots:
-                self.state_roots[block.number] = peer.current_state_root()
+                with self.phase_wall.track("state_root"):
+                    self.state_roots[block.number] = peer.current_state_root()
             for listener in self._block_listeners:
                 listener(block, result)
             yield env.timeout(self.config.latency.client_to_peer)

@@ -21,9 +21,10 @@ from repro.fabric.endorser import (
     simulated_signature,
 )
 from repro.fabric.identity import User
+from repro.ledger import backend as ledger_backend
 from repro.ledger.block import Block
 from repro.ledger.chain import Blockchain
-from repro.ledger.merkle_state import state_root
+from repro.ledger.merkle_state import IncrementalStateDigest, StateDigest
 from repro.ledger.statedb import StateDatabase, Version
 from repro.ledger.transaction import Transaction
 
@@ -63,6 +64,7 @@ class Peer:
         registry: ChaincodeRegistry,
         chain_name: str = "main",
         real_signatures: bool = True,
+        ledger_backend_name: str | None = None,
     ):
         self.peer_id = peer_id
         self.identity = identity
@@ -70,6 +72,13 @@ class Peer:
         self.chain = Blockchain(chain_name)
         self.statedb = StateDatabase()
         self.real_signatures = real_signatures
+        #: Which ledger hot-path implementation this peer runs.  Captured
+        #: at construction (not per call): an incremental digest must
+        #: observe every write from genesis to stay coherent.
+        self.ledger_backend = ledger_backend.resolve_backend(ledger_backend_name)
+        self._digest: IncrementalStateDigest | None = None
+        if self.ledger_backend.incremental_state_digest:
+            self._digest = IncrementalStateDigest(self.statedb)
         #: MAC secret for simulated signatures; shared via the network's
         #: trust map so other peers can verify.
         self.mac_secret = hmac_sha256(b"peer-secret", peer_id.encode())
@@ -183,9 +192,22 @@ class Peer:
         self.validation_codes.update(codes)
         return CommitResult(block_number=block.number, codes=codes)
 
+    def state_digest(self):
+        """A digest of current world state with ``root``/``prove``/``verify``.
+
+        Under the fast ledger backend this is the peer's persistent
+        incremental digest (amortised O(dirty·log n) per block); under
+        the reference backend a fresh full-rebuild
+        :class:`~repro.ledger.merkle_state.StateDigest`, as the seed
+        code computed.  Both produce byte-identical roots and proofs.
+        """
+        if self._digest is not None:
+            return self._digest
+        return StateDigest(self.statedb)
+
     def current_state_root(self) -> bytes:
         """Merkle root of this peer's world state."""
-        return state_root(self.statedb)
+        return self.state_digest().root()
 
     def endorsement_failed(self, tid: str) -> bool:
         """Whether this peer marked ``tid`` invalid at commit."""

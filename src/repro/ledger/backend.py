@@ -1,0 +1,122 @@
+"""Pluggable ledger backend selection: reference vs. fast path.
+
+The same switch-point pattern the crypto layer established
+(:mod:`repro.crypto.backend`), applied to the ledger hot paths:
+
+``fast`` (default)
+    - **Incremental state digests** — each peer keeps a persistent
+      Merkle tree over its world state
+      (:class:`repro.ledger.merkle_state.IncrementalStateDigest`) and
+      recomputes only the paths touched by a block's write set, instead
+      of rebuilding the whole tree on every ``current_state_root()``.
+    - **Indexed prefix scans** — :class:`repro.ledger.statedb.StateDatabase`
+      serves ``scan_prefix`` from a maintained sorted-key index (a
+      bisect range), instead of re-sorting the whole key space per scan.
+
+``reference``
+    The seed behaviour, preserved verbatim so benchmarks can measure
+    the fast path against the true "before": full Merkle rebuilds per
+    state-root request and full-sort linear scans.
+
+Both backends are byte-identical by construction — state roots,
+membership proofs, and scan results match exactly; differential tests
+in ``tests/properties/test_ledger_backend_diff.py`` pin this.
+
+Selection mirrors the crypto layer: the process-wide default comes from
+the ``REPRO_LEDGER_BACKEND`` environment variable (``fast`` if unset);
+:func:`set_backend` switches it programmatically and
+:func:`use_backend` scopes a switch to a ``with`` block.  Per-network
+pinning is available through ``NetworkConfig.ledger_backend`` and the
+bench harness's ``ledger_backend=...`` knob.
+
+Note the scope difference from the crypto switch: peers capture the
+active backend when they are *constructed* (an incremental digest must
+observe every write from genesis), while ``StateDatabase`` consults the
+switch per scan.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Environment variable naming the default backend.
+BACKEND_ENV_VAR = "REPRO_LEDGER_BACKEND"
+
+
+@dataclass(frozen=True)
+class LedgerBackend:
+    """One selectable implementation of the ledger hot paths."""
+
+    name: str
+    #: Whether peers maintain a persistent incremental Merkle digest of
+    #: world state (O(dirty·log n) per block) instead of full rebuilds.
+    incremental_state_digest: bool
+    #: Whether ``StateDatabase.scan_prefix``/``keys`` serve from the
+    #: maintained sorted-key index instead of re-sorting per call.
+    indexed_scans: bool
+
+
+_BACKENDS: dict[str, LedgerBackend] = {
+    "fast": LedgerBackend(
+        "fast", incremental_state_digest=True, indexed_scans=True
+    ),
+    "reference": LedgerBackend(
+        "reference", incremental_state_digest=False, indexed_scans=False
+    ),
+}
+
+_lock = threading.Lock()
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`set_backend`, sorted."""
+    return sorted(_BACKENDS)
+
+
+def _resolve(name: str) -> LedgerBackend:
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown ledger backend {name!r}; "
+            f"expected one of {available_backends()}"
+        )
+    return backend
+
+
+_active: LedgerBackend = _resolve(os.environ.get(BACKEND_ENV_VAR, "fast"))
+
+
+def get_backend() -> LedgerBackend:
+    """The currently active backend."""
+    return _active
+
+
+def resolve_backend(name: str | None) -> LedgerBackend:
+    """``name`` resolved to a backend; ``None`` means the active one."""
+    if name is None:
+        return _active
+    return _resolve(name)
+
+
+def set_backend(name: str) -> LedgerBackend:
+    """Switch the process-wide backend; returns the new backend."""
+    global _active
+    backend = _resolve(name)
+    with _lock:
+        _active = backend
+    return backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[LedgerBackend]:
+    """Temporarily switch backends within a ``with`` block."""
+    previous = _active.name
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)

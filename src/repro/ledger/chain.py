@@ -25,6 +25,7 @@ class Blockchain:
         self.name = name
         self._blocks: list[Block] = []
         self._tx_index: dict[str, tuple[int, int]] = {}  # tid -> (block, pos)
+        self._total_bytes = 0  # running sum of block sizes
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -71,6 +72,7 @@ class Blockchain:
                 )
             self._tx_index[tx.tid] = (block.number, position)
         self._blocks.append(block)
+        self._total_bytes += block.size_bytes
 
     def block(self, number: int) -> Block:
         """The block at height ``number``."""
@@ -113,6 +115,16 @@ class Blockchain:
         for block in self._blocks:
             yield from block.transactions
 
+    def blocks_from(self, start: int) -> Iterator[Block]:
+        """Blocks from height ``start`` to the tip, in order.
+
+        The resumption primitive behind incremental audit cursors: a
+        verifier that already scanned blocks ``[0, start)`` picks up
+        exactly where it stopped instead of rescanning the chain.
+        """
+        for number in range(max(start, 0), len(self._blocks)):
+            yield self._blocks[number]
+
     @property
     def transaction_count(self) -> int:
         return len(self._tx_index)
@@ -143,5 +155,10 @@ class Blockchain:
             previous = block.hash()
 
     def total_bytes(self) -> int:
-        """Ledger storage footprint: sum of all block sizes."""
-        return sum(block.size_bytes for block in self._blocks)
+        """Ledger storage footprint: sum of all block sizes.
+
+        Maintained as a running total on append — the storage-overhead
+        experiments poll this after every run, and rescanning (and
+        re-serializing) every block per call made the poll O(chain).
+        """
+        return self._total_bytes

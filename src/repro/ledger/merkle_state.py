@@ -7,14 +7,29 @@ computes that root deterministically from a :class:`StateDatabase` and
 produces membership proofs for individual state entries, which is what
 lets a view reader verify ViewStorage contents against the ledger
 without trusting the serving peer.
+
+Two implementations produce byte-identical digests:
+
+- :class:`StateDigest` — the reference: a full tree rebuild over the
+  sorted state (O(n log n) encodes + hashes per digest).  Kept as the
+  ground truth the differential tests compare against.
+- :class:`IncrementalStateDigest` — the fast path: subscribes to a
+  :class:`StateDatabase` and folds every write into a persistent
+  :class:`~repro.crypto.merkle.IncrementalMerkleTree`, so a block that
+  touches *d* of *n* keys costs O(d·log n) (value updates) or
+  O(d·log n + shifted-suffix node hashes) (inserts/deletes) — never a
+  re-encode or re-hash of an untouched entry.
+
+Which one a peer uses is decided by :mod:`repro.ledger.backend`.
 """
 
 from __future__ import annotations
 
 import json
+from bisect import bisect_left, insort
 from typing import Any
 
-from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.merkle import IncrementalMerkleTree, MerkleProof, MerkleTree, leaf_hash
 from repro.errors import MerkleProofError
 from repro.ledger.statedb import StateDatabase
 
@@ -59,6 +74,119 @@ class StateDigest:
         return proof.verify(_encode_entry(key, value), root)
 
 
+class IncrementalStateDigest:
+    """Persistent state digest maintained alongside a live database.
+
+    Construct it over a :class:`StateDatabase` (usually empty, at peer
+    start) and it subscribes to the database's write stream: every
+    ``put`` encodes and hashes exactly one leaf, every ``delete`` drops
+    one, and :meth:`root`/:meth:`prove` flush the accumulated changes
+    into the tree in one batch.  Batching matters — all writes of a
+    block coalesce, so a block inserting k keys pays one suffix
+    recompute instead of k.
+
+    Roots and proofs are byte-identical to :class:`StateDigest` built
+    over the same database (pinned by
+    ``tests/properties/test_ledger_backend_diff.py``).
+    """
+
+    def __init__(self, statedb: StateDatabase, subscribe: bool = True):
+        self._keys: list[str] = statedb.keys()
+        self._leaf_hashes: dict[str, bytes] = {
+            key: leaf_hash(_encode_entry(key, statedb.get(key)))
+            for key in self._keys
+        }
+        self._tree = IncrementalMerkleTree(
+            [self._leaf_hashes[key] for key in self._keys]
+        )
+        #: Keys whose value changed in place since the last flush.
+        self._dirty: set[str] = set()
+        #: Smallest key inserted or deleted since the last flush; every
+        #: leaf from its (current) sort position onward may have shifted.
+        self._structural_min: str | None = None
+        if subscribe:
+            statedb.subscribe(self)
+
+    # -- write-stream observer ------------------------------------------------
+
+    def on_put(self, key: str, value: Any) -> None:
+        new_hash = leaf_hash(_encode_entry(key, value))
+        old_hash = self._leaf_hashes.get(key)
+        if old_hash is not None:
+            if old_hash != new_hash:
+                self._leaf_hashes[key] = new_hash
+                self._dirty.add(key)
+        else:
+            insort(self._keys, key)
+            self._leaf_hashes[key] = new_hash
+            if self._structural_min is None or key < self._structural_min:
+                self._structural_min = key
+
+    def on_delete(self, key: str) -> None:
+        if key not in self._leaf_hashes:
+            return
+        index = bisect_left(self._keys, key)
+        del self._keys[index]
+        del self._leaf_hashes[key]
+        self._dirty.discard(key)
+        if self._structural_min is None or key < self._structural_min:
+            self._structural_min = key
+
+    # -- digest interface -----------------------------------------------------
+
+    def _flush(self) -> None:
+        """Fold accumulated writes into the tree in one batch."""
+        if self._structural_min is None and not self._dirty:
+            return
+        if self._structural_min is not None:
+            suffix_start = bisect_left(self._keys, self._structural_min)
+            updates = {
+                bisect_left(self._keys, key): self._leaf_hashes[key]
+                for key in self._dirty
+                if key < self._structural_min
+            }
+            self._tree.apply(
+                point_updates=updates,
+                suffix_start=suffix_start,
+                suffix_hashes=[
+                    self._leaf_hashes[key]
+                    for key in self._keys[suffix_start:]
+                ],
+            )
+        else:
+            self._tree.apply(
+                {
+                    bisect_left(self._keys, key): self._leaf_hashes[key]
+                    for key in self._dirty
+                }
+            )
+        self._dirty.clear()
+        self._structural_min = None
+
+    def root(self) -> bytes:
+        """The 32-byte state root for a block header."""
+        self._flush()
+        return self._tree.root()
+
+    def prove(self, key: str) -> MerkleProof:
+        """Membership proof for ``key``'s current entry.
+
+        Raises
+        ------
+        MerkleProofError
+            If the key is not present in the digested state.
+        """
+        self._flush()
+        index = bisect_left(self._keys, key)
+        if index >= len(self._keys) or self._keys[index] != key:
+            raise MerkleProofError(f"key {key!r} not in state digest")
+        return self._tree.prove(index)
+
+    def verify(self, key: str, value: Any, proof: MerkleProof, root: bytes) -> bool:
+        """Check that ``(key, value)`` is covered by ``root`` via ``proof``."""
+        return proof.verify(_encode_entry(key, value), root)
+
+
 def state_root(statedb: StateDatabase) -> bytes:
-    """One-shot state-root computation."""
+    """One-shot state-root computation (reference full rebuild)."""
     return StateDigest(statedb).root()

@@ -8,12 +8,28 @@ changed (paper §5.1's validation phase).
 
 Keys are namespaced ``"<chaincode>~<key>"`` by the chaincode layer;
 this module treats keys as opaque strings.
+
+Two scan implementations coexist behind
+:mod:`repro.ledger.backend`: the seed's full-sort linear scan
+(``reference``) and a bisect range over a maintained sorted-key index
+(``fast``).  The index is maintained unconditionally — its upkeep is a
+single ``insort`` per *new* key — so the process-wide backend can be
+switched at any point without invalidating existing databases; only
+the *read* paths consult the switch.
+
+Writes are observable: a listener registered via :meth:`subscribe`
+(e.g. an incremental Merkle digest) is told about every ``put`` and
+``delete``, which is what lets per-block state-root maintenance cost
+O(dirty·log n) instead of a full rebuild.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterator, Protocol
+
+from repro.ledger import backend as ledger_backend
 
 
 @dataclass(frozen=True, order=True)
@@ -36,17 +52,38 @@ class StateEntry:
     version: Version
 
 
+class StateListener(Protocol):
+    """What a write observer (e.g. an incremental digest) implements."""
+
+    def on_put(self, key: str, value: Any) -> None: ...
+
+    def on_delete(self, key: str) -> None: ...
+
+
 class StateDatabase:
     """In-memory versioned KV store with prefix scans and byte accounting."""
 
     def __init__(self):
         self._data: dict[str, StateEntry] = {}
+        self._sorted_keys: list[str] = []
+        self._listeners: list[StateListener] = []
 
     def __len__(self) -> int:
         return len(self._data)
 
     def __contains__(self, key: str) -> bool:
         return key in self._data
+
+    def subscribe(self, listener: StateListener) -> None:
+        """Register a write observer; it sees every subsequent mutation.
+
+        Values must be treated as immutable once written — an observer
+        (like the incremental state digest) encodes them at ``put``
+        time, so mutating a stored object in place afterwards without
+        re-putting it is unsupported (it was already undefined under
+        the reference digest, which encodes at root time).
+        """
+        self._listeners.append(listener)
 
     def get(self, key: str) -> Any | None:
         """Current value for ``key`` (None when absent)."""
@@ -64,24 +101,46 @@ class StateDatabase:
 
     def put(self, key: str, value: Any, version: Version) -> None:
         """Write ``value`` at ``version`` (a committed transaction's stamp)."""
+        if key not in self._data:
+            insort(self._sorted_keys, key)
         self._data[key] = StateEntry(value=value, version=version)
+        for listener in self._listeners:
+            listener.on_put(key, value)
 
     def delete(self, key: str) -> None:
         """Remove a key (no tombstone is kept; ledger history remains)."""
-        self._data.pop(key, None)
+        if self._data.pop(key, None) is not None:
+            index = bisect_left(self._sorted_keys, key)
+            del self._sorted_keys[index]
+            for listener in self._listeners:
+                listener.on_delete(key)
 
     def scan_prefix(self, prefix: str) -> Iterator[tuple[str, Any]]:
         """Yield ``(key, value)`` for keys starting with ``prefix``.
 
         Iteration order is sorted by key, mirroring LevelDB's ordered
-        iteration, so results are deterministic.
+        iteration, so results are deterministic.  Under the ``fast``
+        ledger backend the matching range is located by bisect on the
+        maintained index — O(log n + matches) instead of the reference
+        path's full O(n log n) re-sort.
         """
-        for key in sorted(self._data):
-            if key.startswith(prefix):
+        if ledger_backend.get_backend().indexed_scans:
+            keys = self._sorted_keys
+            start = bisect_left(keys, prefix)
+            end = start
+            while end < len(keys) and keys[end].startswith(prefix):
+                end += 1
+            for key in keys[start:end]:
                 yield key, self._data[key].value
+        else:
+            for key in sorted(self._data):
+                if key.startswith(prefix):
+                    yield key, self._data[key].value
 
     def keys(self) -> list[str]:
         """All keys, sorted."""
+        if ledger_backend.get_backend().indexed_scans:
+            return list(self._sorted_keys)
         return sorted(self._data)
 
     def size_bytes(self) -> int:

@@ -20,7 +20,6 @@ from repro.crypto.merkle import MerkleProof
 from repro.errors import MerkleProofError, VerificationError
 from repro.fabric.chaincode import namespaced
 from repro.fabric.network import FabricNetwork
-from repro.ledger.merkle_state import StateDigest
 from repro.views import storage_contract
 
 
@@ -73,7 +72,9 @@ class StateProofService:
             raise MerkleProofError(
                 f"view {view!r} has no on-chain entry for {tid!r}"
             )
-        digest = StateDigest(peer.statedb)
+        # The peer's digest: incremental (amortised O(log n) per proof)
+        # under the fast ledger backend, a full rebuild under reference.
+        digest = peer.state_digest()
         block_number = self.latest_anchored_block()
         root = self.network.state_roots[block_number]
         if digest.root() != root:

@@ -1,0 +1,109 @@
+"""Performance guards for the ledger fast path.
+
+These don't measure wall-clock (too flaky for CI); they count hash
+evaluations, which is the deterministic cost driver.  The contract
+under guard: per-block state-root maintenance scales with the number
+of *dirty* keys (times log n), never with total state size — the
+property that makes ``track_state_roots`` affordable on long runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import merkle
+from repro.ledger.merkle_state import IncrementalStateDigest
+from repro.ledger.statedb import StateDatabase, Version
+
+
+@pytest.fixture
+def count_node_hashes(monkeypatch):
+    """Patch ``merkle.node_hash`` with a counting wrapper.
+
+    Both tree classes resolve ``node_hash`` as a module global at call
+    time, so internal recomputation is counted too.
+    """
+    counter = {"calls": 0}
+    real = merkle.node_hash
+
+    def counting(left: bytes, right: bytes) -> bytes:
+        counter["calls"] += 1
+        return real(left, right)
+
+    monkeypatch.setattr(merkle, "node_hash", counting)
+
+    def read_and_reset() -> int:
+        calls, counter["calls"] = counter["calls"], 0
+        return calls
+
+    return read_and_reset
+
+
+def _digest_over(n_keys: int) -> tuple[StateDatabase, IncrementalStateDigest]:
+    db = StateDatabase()
+    for i in range(n_keys):
+        db.put(f"k~{i:06d}", i, Version(0, i))
+    digest = IncrementalStateDigest(db)
+    digest.root()  # fold the initial state so the next root is incremental
+    return db, digest
+
+
+def _touch(db: StateDatabase, n_keys: int, dirty: int, stamp: int) -> None:
+    """Update ``dirty`` existing keys spread evenly across the keyspace."""
+    for j in range(dirty):
+        index = (j * n_keys) // dirty
+        db.put(f"k~{index:06d}", f"new-{stamp}-{j}", Version(stamp, j))
+
+
+def test_block_cost_scales_with_dirty_keys_not_state_size(count_node_hashes):
+    """Same dirty count, 16x the state: node hashes grow ~log, not 16x."""
+    dirty = 16
+    small_n, large_n = 256, 4096
+
+    db_small, digest_small = _digest_over(small_n)
+    db_large, digest_large = _digest_over(large_n)
+    count_node_hashes()  # discard setup cost
+
+    _touch(db_small, small_n, dirty, stamp=1)
+    digest_small.root()
+    small_calls = count_node_hashes()
+
+    _touch(db_large, large_n, dirty, stamp=1)
+    digest_large.root()
+    large_calls = count_node_hashes()
+
+    assert small_calls > 0
+    # O(dirty * log n): log2(4096)/log2(256) = 1.5; a linear rebuild
+    # would be 16x.  3x leaves room for path-merge variation.
+    assert large_calls <= 3 * small_calls, (
+        f"{large_calls} node hashes on 4096 keys vs {small_calls} on 256 — "
+        "per-block cost is tracking state size, not dirty keys"
+    )
+    # ... and nowhere near a full rebuild of the large tree.
+    assert large_calls < large_n // 4
+
+
+def test_unchanged_root_costs_no_hashes(count_node_hashes):
+    """root() with nothing dirty is a pure lookup."""
+    db, digest = _digest_over(512)
+    count_node_hashes()
+    before = digest.root()
+    assert count_node_hashes() == 0
+    # Rewriting the same value is recognised as clean at flush time.
+    db.put("k~000100", 100, Version(1, 0))
+    assert digest.root() == before
+    assert count_node_hashes() <= 1
+
+
+def test_tail_insert_cost_is_local(count_node_hashes):
+    """Appending keys at the sorted tail touches only the tail's paths."""
+    n = 2048
+    db, digest = _digest_over(n)
+    count_node_hashes()
+    for j in range(8):
+        db.put(f"z~{j:04d}", j, Version(1, j))  # sorts after every k~ key
+    digest.root()
+    calls = count_node_hashes()
+    assert calls < n // 4, (
+        f"{calls} node hashes for an 8-key tail insert into {n} keys"
+    )

@@ -1,5 +1,8 @@
 """Tests for the versioned state database."""
 
+import pytest
+
+from repro.ledger import backend as ledger_backend
 from repro.ledger.statedb import StateDatabase, Version
 
 
@@ -84,6 +87,72 @@ def test_size_bytes_handles_json_values():
     db = StateDatabase()
     db.put("k", {"nested": [1, 2, 3], "b": b"\x01"}, Version(1, 0))
     assert db.size_bytes() > 0
+
+
+# -- scan_prefix edge cases, identical on both backends -------------------
+
+
+@pytest.fixture(params=["fast", "reference"])
+def scan_backend(request):
+    """Run the decorated test under each ledger backend."""
+    with ledger_backend.use_backend(request.param):
+        yield request.param
+
+
+def test_scan_empty_prefix_returns_everything_sorted(scan_backend):
+    db = StateDatabase()
+    for i, key in enumerate(["m", "a", "z", "b"]):
+        db.put(key, i, Version(1, i))
+    assert [k for k, _ in db.scan_prefix("")] == ["a", "b", "m", "z"]
+
+
+def test_scan_prefix_past_all_keys(scan_backend):
+    db = StateDatabase()
+    for i, key in enumerate(["a~1", "b~1"]):
+        db.put(key, i, Version(1, i))
+    assert list(db.scan_prefix("c")) == []
+    assert list(db.scan_prefix("b~2")) == []
+    # A prefix sorting before every key but matching none.
+    assert list(db.scan_prefix("A")) == []
+
+
+def test_scan_prefix_that_is_itself_a_key(scan_backend):
+    db = StateDatabase()
+    for i, key in enumerate(["seg", "seg~1", "seg~2", "sega", "sef"]):
+        db.put(key, key, Version(1, i))
+    # Lexicographic: "a" (0x61) sorts before "~" (0x7e).
+    assert [k for k, _ in db.scan_prefix("seg")] == [
+        "seg",
+        "sega",
+        "seg~1",
+        "seg~2",
+    ]
+    assert [k for k, _ in db.scan_prefix("seg~")] == ["seg~1", "seg~2"]
+
+
+def test_scan_sees_writes_interleaved_between_scans(scan_backend):
+    db = StateDatabase()
+    db.put("p~1", 1, Version(1, 0))
+    assert [k for k, _ in db.scan_prefix("p~")] == ["p~1"]
+    db.put("p~0", 0, Version(1, 1))  # insert before the existing range
+    db.put("p~2", 2, Version(1, 2))  # ... and after it
+    db.put("p~1", 11, Version(1, 3))  # update in place
+    assert list(db.scan_prefix("p~")) == [("p~0", 0), ("p~1", 11), ("p~2", 2)]
+    db.delete("p~0")
+    assert [k for k, _ in db.scan_prefix("p~")] == ["p~1", "p~2"]
+
+
+def test_scan_during_iteration_sees_consistent_snapshot(scan_backend):
+    """Writes made while consuming a scan do not corrupt the iteration."""
+    db = StateDatabase()
+    for i in range(4):
+        db.put(f"q~{i}", i, Version(1, i))
+    seen = []
+    for key, value in db.scan_prefix("q~"):  # live generator, not a list
+        seen.append(key)
+        db.put(f"r~{key}", value, Version(2, len(seen)))
+    assert seen == [f"q~{i}" for i in range(4)]
+    assert len(list(db.scan_prefix("r~"))) == 4
 
 
 def test_snapshot_is_plain_copy():

@@ -1,0 +1,145 @@
+"""Incremental (amortised) view audits: identical verdicts, less work.
+
+The incremental verifier is opt-in (``ViewVerifier(..., incremental=
+True)``): its reports cover only the *new* work since the last audit,
+which is what a standing auditor pays, while the default verifier
+keeps the from-scratch cost model the Fig 12 experiments measure.
+These tests pin the equivalence on a real network end-to-end.
+"""
+
+import pytest
+
+from repro.fabric.network import Gateway
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.types import Concealment, ViewMode
+from repro.views.verification import ViewVerifier
+
+SECRET = b'{"amount": 7}'
+PREDICATE = AttributeEquals("to", "W1")
+
+
+@pytest.fixture
+def audit_world(network):
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    manager.grant_access("w1", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+
+    def transfer(i: int):
+        return manager.invoke_with_secret(
+            "create_item",
+            {"item": f"i{i}", "owner": "W1"},
+            {"item": f"i{i}", "from": None, "to": "W1", "access": ["W1"]},
+            SECRET,
+        )
+
+    return network, manager, reader, transfer
+
+
+def _reports(verifier, result):
+    soundness = verifier.verify_soundness("w1", PREDICATE, result, Concealment.HASH)
+    completeness = verifier.verify_completeness(
+        "w1", PREDICATE, set(result.secrets), use_txlist=False
+    )
+    return soundness, completeness
+
+
+def test_verdicts_match_reference_across_growing_ledger(audit_world):
+    network, manager, reader, transfer = audit_world
+    incremental = ViewVerifier(Gateway(network, manager.gateway.user), incremental=True)
+    for round_no in (1, 2, 3):
+        transfer(round_no)
+        result = reader.read_view(manager, "w1")
+        reference = ViewVerifier(Gateway(network, manager.gateway.user))
+        ref_s, ref_c = _reports(reference, result)
+        inc_s, inc_c = _reports(incremental, result)
+        assert (ref_s.ok, ref_s.checked, ref_s.violations) == (
+            inc_s.ok,
+            inc_s.checked,
+            inc_s.violations,
+        )
+        assert (ref_c.ok, ref_c.checked, ref_c.missing) == (
+            inc_c.ok,
+            inc_c.checked,
+            inc_c.missing,
+        )
+
+
+def test_reaudit_of_unchanged_view_is_nearly_free(audit_world):
+    network, manager, reader, transfer = audit_world
+    for i in range(3):
+        transfer(i)
+    result = reader.read_view(manager, "w1")
+    verifier = ViewVerifier(Gateway(network, manager.gateway.user), incremental=True)
+    first_s, first_c = _reports(verifier, result)
+    again_s, again_c = _reports(verifier, result)
+    assert first_s.ok and first_c.ok and again_s.ok and again_c.ok
+    # Every soundness verdict is cached; the completeness cursor is at
+    # the chain tip — the re-audit fetches nothing from the ledger.
+    assert first_s.ledger_accesses == 3
+    assert again_s.ledger_accesses == 0
+    assert first_c.ledger_accesses > 0
+    assert again_c.ledger_accesses == 0
+    assert again_s.cost_ms == 0.0
+
+
+def test_incremental_audit_pays_only_for_new_blocks(audit_world):
+    network, manager, reader, transfer = audit_world
+    transfer(0)
+    verifier = ViewVerifier(Gateway(network, manager.gateway.user), incremental=True)
+    result = reader.read_view(manager, "w1")
+    _reports(verifier, result)
+    blocks_before = len(network.reference_peer.chain)
+    transfer(1)
+    new_blocks = len(network.reference_peer.chain) - blocks_before
+    result = reader.read_view(manager, "w1")
+    soundness, completeness = _reports(verifier, result)
+    assert completeness.ledger_accesses == new_blocks
+    assert soundness.ledger_accesses == 1  # only the new transaction
+
+
+def test_omission_detected_with_identical_verdict(audit_world):
+    network, manager, reader, transfer = audit_world
+    outcomes = [transfer(i) for i in range(3)]
+    verifier = ViewVerifier(Gateway(network, manager.gateway.user), incremental=True)
+    result = reader.read_view(manager, "w1")
+    _reports(verifier, result)  # warm cursors on the honest serving
+    served = set(result.secrets) - {outcomes[1].tid}
+    report = verifier.verify_completeness("w1", PREDICATE, served, use_txlist=False)
+    reference = ViewVerifier(Gateway(network, manager.gateway.user))
+    ref_report = reference.verify_completeness(
+        "w1", PREDICATE, served, use_txlist=False
+    )
+    assert not report.ok
+    assert report.missing == ref_report.missing == [outcomes[1].tid]
+
+
+def test_corruption_after_cached_verdict_is_still_caught(audit_world):
+    """The soundness cache keys on the served bytes — serving different
+    data for an already-audited transaction misses the cache and fails."""
+    network, manager, reader, transfer = audit_world
+    outcome = transfer(0)
+    verifier = ViewVerifier(Gateway(network, manager.gateway.user), incremental=True)
+    result = reader.read_view(manager, "w1")
+    good, _ = _reports(verifier, result)
+    assert good.ok
+    result.secrets[outcome.tid] = b"tampered-after-first-audit"
+    report = verifier.verify_soundness("w1", PREDICATE, result, Concealment.HASH)
+    assert report.violations == [outcome.tid]
+
+
+def test_cursors_are_per_view_definition(audit_world):
+    network, manager, reader, transfer = audit_world
+    transfer(0)
+    verifier = ViewVerifier(Gateway(network, manager.gateway.user), incremental=True)
+    result = reader.read_view(manager, "w1")
+    verifier.verify_completeness("w1", PREDICATE, set(result.secrets))
+    # A different definition must not inherit w1's cursor.
+    other = AttributeEquals("to", "W2")
+    report = verifier.verify_completeness("w2", other, set())
+    assert report.ledger_accesses > 0
+    assert report.ok  # nothing matches W2, nothing served
