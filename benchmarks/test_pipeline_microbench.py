@@ -1,0 +1,305 @@
+"""Parallel pipeline microbenchmarks: reference vs. parallel backend.
+
+End-to-end committed-transactions-per-host-second on a mixed EI/ER
+workload — every request carries a secret, joins one irrevocable
+(EI) and one revocable (ER) view, and is submitted through
+``ViewManager.invoke_many`` in client-sized batches.  The reference
+backend pays one ViewStorage merge per request and validates each
+transaction from scratch on every peer; the parallel backend coalesces
+merges per batch, shares the pure per-transaction validation work
+across peers, and fans endorsement onto the worker pool.
+
+Correctness ride-along: with content-derived keys and nonces (see
+``_deterministic_encryption``) every leg must materialise a
+byte-identical final state root and identical soundness/completeness
+audit verdicts — the speedup may not change a single observable bit.
+
+On a single-core host the gain comes from the batching and the
+cross-peer memoisation (fewer on-chain transactions, less repeated
+crypto); on multi-core hosts the thread pool adds real overlap on top.
+The worker sweep records how much the pool contributes on the machine
+at hand.
+
+Results are written to ``BENCH_pipeline.json`` at the repo root.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_pipeline_microbench.py -v -s
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro import build_network
+from repro.crypto import modes
+from repro.crypto.hashing import sha256
+from repro.crypto.rsa import keypair_pool
+from repro.crypto.symmetric import SymmetricKey
+from repro.fabric import parallel
+from repro.fabric.config import benchmark_config
+from repro.fabric.network import Gateway
+from repro.fabric.peer import ValidationCode
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.manager import ViewInvocation, ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.secret import ProcessedSecret
+from repro.views.types import ViewMode
+from repro.views.verification import ViewVerifier
+
+_RESULTS: dict[str, dict] = {}
+_BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_pipeline.json"
+
+#: Acceptance floor: end-to-end committed tx/s with the parallel
+#: backend at 4 workers must be at least this multiple of the
+#: reference backend on the same workload.
+PIPELINE_MIN_SPEEDUP = 2.0
+
+REQUESTS = 240
+BATCH = 20
+#: A consortium-sized channel (four orgs, two peers each) — the shape
+#: the cross-replica validation memo is built for: the reference
+#: backend re-validates every block on all eight replicas, the parallel
+#: backend validates once and shares verdicts tip-hash-guarded.
+PEERS = 8
+WORKER_SWEEP = (1, 2, 4, 8)
+
+#: (view name, public attribute, matching value, mode) — two EI and two
+#: ER views; every request matches exactly one of each.
+VIEWS = [
+    ("ei0", "eislot", 0, ViewMode.IRREVOCABLE),
+    ("ei1", "eislot", 1, ViewMode.IRREVOCABLE),
+    ("er0", "erslot", 0, ViewMode.REVOCABLE),
+    ("er1", "erslot", 1, ViewMode.REVOCABLE),
+]
+
+_REAL_ENCRYPT = modes.encrypt
+
+
+def _content_addressed_encrypt(key, plaintext, nonce=None):
+    if nonce is None:
+        nonce = sha256(b"bench-siv" + bytes(key) + bytes(plaintext))[
+            : modes.NONCE_SIZE
+        ]
+    return _REAL_ENCRYPT(key, plaintext, nonce)
+
+
+@contextmanager
+def _deterministic_encryption():
+    """Derive nonces from (key, plaintext) instead of drawing randomness.
+
+    The two backends consume randomness in different orders (per-request
+    vs. batched maintenance), which would make on-chain ciphertexts —
+    and therefore state roots — incomparable across legs.  Content-
+    addressed nonces make every ciphertext a pure function of its
+    inputs, so equal inputs ⇒ equal state bytes, whatever the execution
+    order.  (SIV-style; fine for a benchmark, not a general mode.)
+    """
+    modes.encrypt = _content_addressed_encrypt
+    try:
+        yield
+    finally:
+        modes.encrypt = _REAL_ENCRYPT
+
+
+class _PinnedKeyManager(EncryptionBasedManager):
+    """EI/ER manager whose per-transaction keys derive from the secret.
+
+    Same reasoning as the nonce derivation: ``K_ij`` must not depend on
+    how many random draws happened before this request, or the two
+    backends' view entries diverge byte-wise.
+    """
+
+    def process_secret(self, secret: bytes) -> ProcessedSecret:
+        tx_key = SymmetricKey.from_bytes(sha256(b"bench-txkey" + bytes(secret))[:16])
+        return ProcessedSecret(
+            concealed=tx_key.encrypt(bytes(secret)),
+            salt=b"",
+            tx_key=tx_key,
+            plaintext=b"",
+        )
+
+
+def _invocations():
+    return [
+        ViewInvocation(
+            fn="create_item",
+            args={"item": f"m{i:05d}", "owner": f"W{i % 7}"},
+            public={
+                "item": f"m{i:05d}",
+                "eislot": i % 2,
+                "erslot": (i // 2) % 2,
+            },
+            secret=f"manifest-{i:05d}".encode(),
+            tid=f"tx-mb-{i:05d}",
+        )
+        for i in range(REQUESTS)
+    ]
+
+
+def _audit(network, manager):
+    """Read and verify every view; returns comparable verdict structures."""
+    reader_user = network.register_user("auditor")
+    reader = ViewReader(reader_user, Gateway(network, reader_user))
+    verifier = ViewVerifier(Gateway(network, reader_user))
+    verdicts = {}
+    for name, attr, slot, mode in VIEWS:
+        reader.accept_offchain_grant(
+            manager.grant_access_offchain(name, "auditor")
+        )
+        if mode is ViewMode.IRREVOCABLE:
+            result = reader.read_irrevocable_view(manager, name)
+        else:
+            result = reader.read_view(manager, name)
+        predicate = AttributeEquals(attr, slot)
+        soundness = verifier.verify_soundness(
+            name, predicate, result, manager.concealment
+        )
+        completeness = verifier.verify_completeness(
+            name, predicate, set(result.secrets)
+        )
+        verdicts[name] = {
+            "served": len(result.secrets),
+            "soundness_ok": soundness.ok,
+            "checked": soundness.checked,
+            "violations": sorted(soundness.violations),
+            "completeness_ok": completeness.ok,
+            "missing": sorted(completeness.missing),
+        }
+    return verdicts
+
+
+#: Timing repeats per leg: the run is deterministic, so observables are
+#: taken from the first pass and the wall-clock is the best of N —
+#: the standard way to report a noisy single-machine timing.
+TIMING_REPEATS = 2
+
+
+def _run_leg(backend_name, workers):
+    """Best-of-N timed runs; observables from the first (identical) pass."""
+    leg = _run_leg_once(backend_name, workers)
+    for _ in range(TIMING_REPEATS - 1):
+        again = _run_leg_once(backend_name, workers)
+        if again["host_wall_s"] < leg["host_wall_s"]:
+            leg = again
+    leg["tps"] = leg["committed"] / leg["host_wall_s"]
+    return leg
+
+
+def _run_leg_once(backend_name, workers):
+    """One full run; returns throughput plus every cross-leg observable."""
+    with parallel.use_workers(workers), _deterministic_encryption():
+        network = build_network(
+            benchmark_config(pipeline_backend=backend_name, peer_count=PEERS)
+        )
+        owner = network.register_user("owner")
+        manager = _PinnedKeyManager(Gateway(network, owner))
+        for name, attr, slot, mode in VIEWS:
+            manager.create_view(name, AttributeEquals(attr, slot), mode)
+            record = manager.buffer.get(name)
+            record.key = SymmetricKey.from_bytes(
+                sha256(b"bench-viewkey" + name.encode())[:16]
+            )
+        invocations = _invocations()
+
+        started = time.perf_counter()
+        outcomes = []
+        for start in range(0, REQUESTS, BATCH):
+            outcomes.extend(manager.invoke_many(invocations[start : start + BATCH]))
+        host_wall = time.perf_counter() - started
+
+        network.verify_convergence()
+        committed = sum(
+            1 for out in outcomes if out.notice.code is ValidationCode.VALID
+        )
+        peer = network.reference_peer
+        return {
+            "backend": backend_name,
+            "workers": workers,
+            "committed": committed,
+            "host_wall_s": host_wall,
+            "tps": committed / host_wall,
+            "onchain_txs": sum(len(b.transactions) for b in peer.chain),
+            "blocks": peer.chain.height,
+            "state_root": peer.current_state_root().hex(),
+            "audits": _audit(network, manager),
+            "phase_wall_s": {
+                phase: round(seconds, 4)
+                for phase, seconds in network.phase_wall.summary().items()
+            },
+            "phase_parallelism": network.phase_wall.parallelism(),
+        }
+
+
+def test_pipeline_throughput_speedup():
+    """The acceptance bench: >=2x committed tx/s at 4 workers, with
+    byte-identical state roots and audit verdicts across every leg."""
+    with keypair_pool(size=8):
+        reference = _run_leg("reference", 1)
+        sweep = {w: _run_leg("parallel", w) for w in WORKER_SWEEP}
+
+    # Nothing observable may change: same commits, same final state
+    # bytes, same audit verdicts — under every backend and pool width.
+    assert reference["committed"] == REQUESTS
+    for leg in sweep.values():
+        assert leg["committed"] == reference["committed"]
+        assert leg["state_root"] == reference["state_root"]
+        assert leg["audits"] == reference["audits"]
+    for verdict in reference["audits"].values():
+        assert verdict["soundness_ok"] and verdict["completeness_ok"]
+        assert not verdict["violations"] and not verdict["missing"]
+    assert sum(v["served"] for v in reference["audits"].values()) == 2 * REQUESTS
+
+    # The batching must actually have coalesced the maintenance stream.
+    assert sweep[4]["onchain_txs"] < reference["onchain_txs"]
+
+    speedup_at_4 = sweep[4]["tps"] / reference["tps"]
+    _RESULTS["end_to_end_mixed_ei_er"] = {
+        "requests": REQUESTS,
+        "batch_size": BATCH,
+        "views": [name for name, *_rest in VIEWS],
+        "reference": {
+            k: (round(v, 3) if isinstance(v, float) else v)
+            for k, v in reference.items()
+            if k not in ("audits", "state_root")
+        },
+        "parallel_sweep": {
+            f"workers_{w}": {
+                "tps": round(leg["tps"], 1),
+                "host_wall_s": round(leg["host_wall_s"], 3),
+                "onchain_txs": leg["onchain_txs"],
+                "speedup_vs_reference": round(leg["tps"] / reference["tps"], 2),
+            }
+            for w, leg in sweep.items()
+        },
+        "speedup_at_4_workers": round(speedup_at_4, 2),
+        "min_required": PIPELINE_MIN_SPEEDUP,
+        "state_roots_identical": True,
+        "audit_verdicts_identical": True,
+    }
+    assert speedup_at_4 >= PIPELINE_MIN_SPEEDUP, (
+        f"pipeline speedup {speedup_at_4:.2f}x below {PIPELINE_MIN_SPEEDUP}x"
+    )
+
+
+def test_write_bench_json():
+    """Persist the numbers gathered above (runs last in file order)."""
+    assert _RESULTS, "no benchmark results collected"
+    payload = {
+        "description": (
+            "parallel transaction pipeline: committed tx/s, "
+            "reference vs parallel backend, mixed EI/ER workload"
+        ),
+        "machine_note": (
+            "absolute numbers are machine-dependent; ratios matter.  On "
+            "single-core hosts the speedup comes from batched view "
+            "maintenance and cross-peer validation memoisation; worker "
+            "counts beyond 1 only add overlap when cores exist."
+        ),
+        "results": _RESULTS,
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {_BENCH_JSON}")

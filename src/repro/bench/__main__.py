@@ -7,6 +7,8 @@ Usage::
     python -m repro.bench all             # everything (Figs 4-13)
     python -m repro.bench --smoke         # fast CI pass (tiny scale)
     python -m repro.bench --smoke fig10   # fast pass of one figure
+    python -m repro.bench --workers 8 fig4       # wider pipeline pool
+    python -m repro.bench --pipeline reference fig4  # serial execution
     REPRO_BENCH_SCALE=0.25 python -m repro.bench all   # quick pass
 
 ``--smoke`` shrinks the sweeps via ``REPRO_BENCH_SCALE`` (unless the
@@ -14,6 +16,11 @@ variable is already set) and serves benchmark identities from a
 recycling RSA keypair pool, so a full figure runs in seconds.  Smoke
 numbers are for wiring checks only — simulated-time *shapes* survive
 scaling, absolute values do not.
+
+``--workers N`` sizes the parallel pipeline's worker pool and
+``--pipeline {parallel,reference}`` selects the host-side execution
+backend (see :mod:`repro.fabric.parallel`) — both change wall-clock
+only, never a simulated-time result.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from contextlib import nullcontext
 from repro.bench import harness, runners
 from repro.bench.report import print_series
 from repro.crypto.rsa import keypair_pool
+from repro.fabric import parallel
 
 #: Scale applied by --smoke when REPRO_BENCH_SCALE is not already set.
 SMOKE_SCALE = "0.05"
@@ -53,6 +61,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     smoke = "--smoke" in args
     args = [a for a in args if a != "--smoke"]
+    try:
+        workers, args = _pop_option(args, "--workers", int)
+        pipeline_name, args = _pop_option(args, "--pipeline", str)
+        if pipeline_name is not None:
+            parallel.resolve_backend(pipeline_name)  # validate early
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
     if not args and not smoke:
         print(__doc__)
         print("figures:", ", ".join(FIGURES), "| 'all' runs everything")
@@ -68,15 +84,43 @@ def main(argv: list[str] | None = None) -> int:
     scale_override = smoke and "REPRO_BENCH_SCALE" not in os.environ
     if scale_override:
         os.environ["REPRO_BENCH_SCALE"] = SMOKE_SCALE
+    pipeline_ctx = (
+        parallel.use_backend(pipeline_name)
+        if pipeline_name is not None
+        else nullcontext()
+    )
+    workers_ctx = (
+        parallel.use_workers(workers) if workers is not None else nullcontext()
+    )
     try:
         with keypair_pool(size=8) if smoke else nullcontext():
-            for name in selected:
-                FIGURES[name]()
+            with pipeline_ctx, workers_ctx:
+                for name in selected:
+                    FIGURES[name]()
     finally:
         if scale_override:
             del os.environ["REPRO_BENCH_SCALE"]
     _print_phase_breakdown()
     return 0
+
+
+def _pop_option(args: list[str], flag: str, parse):
+    """Extract ``flag VALUE`` from ``args``; returns (value, rest).
+
+    Raises ``ValueError`` (with a printable message) when the flag is
+    present without a value or the value does not parse.
+    """
+    if flag not in args:
+        return None, args
+    index = args.index(flag)
+    if index + 1 >= len(args):
+        raise ValueError(f"{flag} requires a value")
+    raw = args[index + 1]
+    try:
+        value = parse(raw)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"invalid {flag} value {raw!r}: {exc}") from exc
+    return value, args[:index] + args[index + 2 :]
 
 
 def _print_phase_breakdown() -> None:

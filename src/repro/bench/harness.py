@@ -17,11 +17,13 @@ from __future__ import annotations
 
 from contextlib import ExitStack
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any
 
 from repro import build_network
 from repro.crypto import rsa as _rsa
 from repro.crypto.backend import use_backend
+from repro.fabric import parallel as _pipeline
 from repro.ledger import backend as _ledger
 from repro.baseline.multichain import CrossChainDeployment
 from repro.errors import LedgerViewError
@@ -62,6 +64,12 @@ class RunResult:
     onchain_txs: int
     storage_bytes: int
     timed_out: bool = False
+    #: Host wall-clock spent driving the run's client traffic (seconds)
+    #: and the resulting committed-requests-per-host-second rate.  These
+    #: are the quantities the pipeline backend moves; ``tps`` above is
+    #: simulated-time throughput, identical under every backend.
+    host_wall_s: float = 0.0
+    host_tps: float = 0.0
     extra: dict[str, Any] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, Any]:
@@ -76,6 +84,8 @@ class RunResult:
             "onchain_txs": self.onchain_txs,
             "storage_kib": round(self.storage_bytes / 1024, 1),
         }
+        if self.host_tps:
+            row["host_tps"] = round(self.host_tps, 1)
         if self.timed_out:
             row["timed_out"] = True
         return row
@@ -90,6 +100,9 @@ PHASE_TOTALS: dict[str, float] = {}
 def _record_phases(network: FabricNetwork, result: RunResult) -> None:
     """Attach a network's per-phase wall-clock to ``result`` and the totals."""
     result.extra["phase_wall_s"] = network.phase_wall.summary()
+    parallelism = network.phase_wall.parallelism()
+    if any(peak > 1 for peak in parallelism.values()):
+        result.extra["phase_parallelism"] = parallelism
     network.phase_wall.merge_into(PHASE_TOTALS)
 
 
@@ -97,6 +110,8 @@ def _backend_context(
     crypto_backend: str | None,
     rsa_key_pool: int | None,
     ledger_backend: str | None = None,
+    pipeline_backend: str | None = None,
+    pipeline_workers: int | None = None,
 ):
     """Context manager applying the harness's backend knobs for one run.
 
@@ -106,9 +121,12 @@ def _backend_context(
     :class:`repro.crypto.rsa.KeyPairPool` for the caveats);
     ``ledger_backend`` scopes the ledger hot-path selection
     ("fast"/"reference" — incremental state digest and indexed scans)
-    so every peer built inside the run captures it.  None leaves the
-    process default untouched.  None of these change simulated-time
-    results, only wall-clock.
+    so every peer built inside the run captures it;
+    ``pipeline_backend``/``pipeline_workers`` scope the host-side
+    execution strategy ("parallel"/"reference") and worker-pool width
+    (see :mod:`repro.fabric.parallel`).  None leaves the process
+    default untouched.  None of these change simulated-time results,
+    only wall-clock.
     """
     stack = ExitStack()
     if crypto_backend is not None:
@@ -117,6 +135,10 @@ def _backend_context(
         stack.enter_context(_rsa.keypair_pool(rsa_key_pool))
     if ledger_backend is not None:
         stack.enter_context(_ledger.use_backend(ledger_backend))
+    if pipeline_backend is not None:
+        stack.enter_context(_pipeline.use_backend(pipeline_backend))
+    if pipeline_workers is not None:
+        stack.enter_context(_pipeline.use_workers(pipeline_workers))
     return stack
 
 
@@ -234,21 +256,31 @@ def run_view_workload(
     secret_size: int = 0,
     ledger_backend: str | None = None,
     track_state_roots: bool = False,
+    pipeline_backend: str | None = None,
+    pipeline_workers: int | None = None,
 ) -> RunResult:
     """Run the supply-chain workload against one LedgerView method.
 
     ``max_requests_per_client`` truncates each client's trace — the
     measured rates stabilise after a few batches, so shorter runs keep
     benchmark wall-clock time in check without changing the shapes.
-    ``crypto_backend``/``rsa_key_pool``/``ledger_backend`` scope the
-    fast-path knobs around the whole run (see :func:`_backend_context`);
-    none changes any measured simulated-time quantity, only wall-clock.
+    ``crypto_backend``/``rsa_key_pool``/``ledger_backend`` and
+    ``pipeline_backend``/``pipeline_workers`` scope the fast-path knobs
+    around the whole run (see :func:`_backend_context`); none changes
+    any measured simulated-time quantity, only wall-clock (reported as
+    ``host_wall_s``/``host_tps``).
     ``secret_size`` pads each transfer's secret part to roughly that
     many bytes (0 = natural size), for sweeps over payload size.
     ``track_state_roots`` makes every committed block record a state
     root — the commit-path cost the ledger backend sweep measures.
     """
-    with _backend_context(crypto_backend, rsa_key_pool, ledger_backend):
+    with _backend_context(
+        crypto_backend,
+        rsa_key_pool,
+        ledger_backend,
+        pipeline_backend,
+        pipeline_workers,
+    ):
         return _run_view_workload(
             method,
             topology,
@@ -335,6 +367,7 @@ def _run_view_workload(
                     valid["count"] += 1
 
     started = env.now
+    host_started = perf_counter()
     client_events = [env.process(client_process(trace)) for trace in traces]
     done = env.all_of(client_events)
     timed_out = False
@@ -343,6 +376,7 @@ def _run_view_workload(
         timed_out = not done.processed
     else:
         env.run(until=done)
+    host_wall = max(perf_counter() - host_started, 1e-9)
 
     attempted = sum(len(trace) for trace in traces)
     duration = max(env.now - started, 1e-9)
@@ -361,6 +395,8 @@ def _run_view_workload(
         onchain_txs=network.metrics.onchain_txs.value - setup_onchain,
         storage_bytes=network.total_storage_bytes(),
         timed_out=timed_out,
+        host_wall_s=host_wall,
+        host_tps=valid["count"] / host_wall,
         extra={"invalid_txs": network.metrics.invalid_txs.value},
     )
     _record_phases(network, result)
@@ -379,13 +415,21 @@ def run_baseline_workload(
     crypto_backend: str | None = None,
     rsa_key_pool: int | None = None,
     ledger_backend: str | None = None,
+    pipeline_backend: str | None = None,
+    pipeline_workers: int | None = None,
 ) -> RunResult:
     """Run the same workload against the cross-chain 2PC baseline.
 
     The baseline registers one identity per client per chain, so the
     opt-in ``rsa_key_pool`` saves the most wall-clock here.
     """
-    with _backend_context(crypto_backend, rsa_key_pool, ledger_backend):
+    with _backend_context(
+        crypto_backend,
+        rsa_key_pool,
+        ledger_backend,
+        pipeline_backend,
+        pipeline_workers,
+    ):
         return _run_baseline_workload(
             topology,
             clients,
@@ -497,6 +541,8 @@ def run_view_scaling(
     rsa_key_pool: int | None = None,
     ledger_backend: str | None = None,
     track_state_roots: bool = False,
+    pipeline_backend: str | None = None,
+    pipeline_workers: int | None = None,
 ) -> RunResult:
     """The Fig 10/11 sweep: vary view count and per-transaction membership.
 
@@ -506,7 +552,13 @@ def run_view_scaling(
     """
     if inclusion not in ("all", "single"):
         raise LedgerViewError("inclusion must be 'all' or 'single'")
-    with _backend_context(crypto_backend, rsa_key_pool, ledger_backend):
+    with _backend_context(
+        crypto_backend,
+        rsa_key_pool,
+        ledger_backend,
+        pipeline_backend,
+        pipeline_workers,
+    ):
         return _run_view_scaling(
             n_views,
             inclusion,

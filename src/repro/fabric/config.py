@@ -121,6 +121,15 @@ class NetworkConfig:
     #: only changes wall-clock, like the crypto backend switch.
     ledger_backend: str | None = None
 
+    # -- pipeline ------------------------------------------------------------
+    #: Host-side execution backend for this network's transaction
+    #: pipeline ("parallel"/"reference"; see
+    #: :mod:`repro.fabric.parallel`).  ``None`` uses the process-wide
+    #: default (``REPRO_PIPELINE_BACKEND``, or "parallel").  Simulated
+    #: results are identical either way — the knob only changes
+    #: wall-clock, like the crypto and ledger backend switches.
+    pipeline_backend: str | None = None
+
     def payload_delay_ms(self, size_bytes: int, per_kib: float) -> float:
         """Size-proportional component of a service time."""
         return per_kib * (size_bytes / 1024.0)

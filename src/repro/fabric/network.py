@@ -13,12 +13,14 @@ for real; only *durations* are simulated.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
 from repro.errors import LedgerError
+from repro.fabric import parallel
 from repro.fabric.chaincode import Chaincode, ChaincodeRegistry, TxContext
 from repro.fabric.config import NetworkConfig
 from repro.fabric.endorser import Proposal, assemble_transaction
@@ -39,7 +41,6 @@ class CommitNotice:
     response: Any = None
 
 
-@dataclass
 class PhaseWallClock:
     """Wall-clock seconds spent in each pipeline phase of one network.
 
@@ -48,19 +49,69 @@ class PhaseWallClock:
     state-root / query), so a perf PR can see which layer its change
     moved.  Tracking costs two ``perf_counter`` calls per operation —
     noise next to the work being timed.
+
+    Safe under concurrent use: the parallel pipeline backend runs many
+    ``track`` blocks at once from worker threads, so each thread
+    accumulates into its own bucket and :attr:`seconds` merges the
+    buckets on read — no phase total is lost or double-counted to a
+    racing read-modify-write.  ``track`` also maintains a per-phase
+    concurrency high-water mark (:meth:`parallelism`) so benchmark
+    output can show how much of each phase actually overlapped.
     """
 
-    seconds: dict[str, float] = field(default_factory=dict)
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._buckets: list[dict[str, float]] = []
+        self._active: dict[str, int] = {}
+        self._peak: dict[str, int] = {}
+
+    def _bucket(self) -> dict[str, float]:
+        bucket = getattr(self._local, "bucket", None)
+        if bucket is None:
+            bucket = {}
+            self._local.bucket = bucket
+            with self._lock:
+                self._buckets.append(bucket)
+        return bucket
 
     @contextmanager
     def track(self, phase: str):
+        bucket = self._bucket()
+        with self._lock:
+            active = self._active.get(phase, 0) + 1
+            self._active[phase] = active
+            if active > self._peak.get(phase, 0):
+                self._peak[phase] = active
         started = perf_counter()
         try:
             yield
         finally:
-            self.seconds[phase] = (
-                self.seconds.get(phase, 0.0) + perf_counter() - started
-            )
+            elapsed = perf_counter() - started
+            if phase in bucket:
+                # Existing-key update: no dict resize, so the merged
+                # read below can iterate this bucket without the lock.
+                bucket[phase] += elapsed
+            else:
+                with self._lock:
+                    bucket[phase] = elapsed
+            with self._lock:
+                self._active[phase] -= 1
+
+    @property
+    def seconds(self) -> dict[str, float]:
+        """Per-phase totals (seconds), merged across all threads."""
+        merged: dict[str, float] = {}
+        with self._lock:
+            for bucket in self._buckets:
+                for phase, total in bucket.items():
+                    merged[phase] = merged.get(phase, 0.0) + total
+        return merged
+
+    def parallelism(self) -> dict[str, int]:
+        """Peak number of threads concurrently inside each phase."""
+        with self._lock:
+            return dict(sorted(self._peak.items()))
 
     def summary(self) -> dict[str, float]:
         """Per-phase totals in seconds, rounded, sorted by phase name."""
@@ -111,6 +162,15 @@ class FabricNetwork:
         self.registry = ChaincodeRegistry()
         self.metrics = NetworkMetrics.fresh()
         self.phase_wall = PhaseWallClock()
+        #: Host-side execution strategy (see repro.fabric.parallel).
+        self.pipeline = parallel.resolve_backend(self.config.pipeline_backend)
+        #: In-flight endorsement jobs plus the commit barrier that keeps
+        #: them serial-equivalent (parallel backend only).
+        self._fanout = (
+            parallel.EndorsementFanout()
+            if self.pipeline.concurrent_endorsement
+            else None
+        )
 
         self.peers: list[Peer] = []
         self._peer_cpus: list[Resource] = []
@@ -216,18 +276,41 @@ class FabricNetwork:
         # --- endorsement phase ---
         yield env.timeout(latency.client_to_peer)
         endorsing = self.peers[: self.config.endorsement_policy]
-        responses = []
         payload_size = len(proposal.concealed) + 256  # args + headers estimate
-        for peer, cpu in zip(endorsing, self._endorse_cpus):
-            request = cpu.request()
-            yield request
-            try:
-                yield env.timeout(self._endorse_service_ms(payload_size))
-                with self.phase_wall.track("endorse"):
-                    responses.append(peer.endorse(proposal))
-            finally:
-                cpu.release(request)
-        yield env.timeout(latency.client_to_peer)
+        if self._fanout is not None:
+            # Parallel backend: queue each endorsement on the worker
+            # pool at the exact simulated instant the serial path would
+            # have executed it (peer state only changes at commits, and
+            # commits drain the fanout first, so the job reads the same
+            # committed state).  Joining in endorsing-peer order keeps
+            # the assembled transaction byte-identical.
+            endorse_futures = []
+            for peer, cpu in zip(endorsing, self._endorse_cpus):
+                request = cpu.request()
+                yield request
+                try:
+                    yield env.timeout(self._endorse_service_ms(payload_size))
+                    endorse_futures.append(
+                        self._fanout.submit(
+                            peer.peer_id, self._endorse_job(peer, proposal)
+                        )
+                    )
+                finally:
+                    cpu.release(request)
+            yield env.timeout(latency.client_to_peer)
+            responses = self._fanout.collect(endorse_futures)
+        else:
+            responses = []
+            for peer, cpu in zip(endorsing, self._endorse_cpus):
+                request = cpu.request()
+                yield request
+                try:
+                    yield env.timeout(self._endorse_service_ms(payload_size))
+                    with self.phase_wall.track("endorse"):
+                        responses.append(peer.endorse(proposal))
+                finally:
+                    cpu.release(request)
+            yield env.timeout(latency.client_to_peer)
 
         tx = assemble_transaction(proposal, responses)
         self._responses[tx.tid] = responses[0].response
@@ -243,6 +326,15 @@ class FabricNetwork:
         self.metrics.committed_requests.increment()
         self.metrics.latencies_ms.record(env.now, env.now - started)
         return notice
+
+    def _endorse_job(self, peer: Peer, proposal: Proposal):
+        """Endorsement closure for the worker pool (read-only on peer)."""
+
+        def job():
+            with self.phase_wall.track("endorse"):
+                return peer.endorse(proposal)
+
+        return job
 
     def submit_sync(self, proposal: Proposal) -> CommitNotice:
         """Submit and drive the simulation until the commit completes.
@@ -350,13 +442,22 @@ class FabricNetwork:
                 with self.phase_wall.track("order"):
                     block = self.ordering.build_block(decision, timestamp=env.now)
                 self.metrics.onchain_txs.increment(len(block.transactions))
+                # One memo per block, shared by every peer's delivery:
+                # the pure per-transaction checks (endorsement policy,
+                # rwset parse) are peer-independent, so the first peer
+                # to validate fills it and the rest reuse it.
+                memo = (
+                    parallel.BlockValidationMemo()
+                    if self.pipeline.dependency_aware_validation
+                    else None
+                )
                 for index, peer in enumerate(self.peers):
-                    env.process(self._deliver(index, peer, block))
+                    env.process(self._deliver(index, peer, block, memo))
                 if self._cutter.should_cut() is None:
                     break
                 reason = self._cutter.should_cut()
 
-    def _deliver(self, index: int, peer: Peer, block):
+    def _deliver(self, index: int, peer: Peer, block, memo=None):
         """Ship one block to one peer; validate, commit, notify clients."""
         env = self.env
         yield env.timeout(self.config.latency.orderer_to_peer)
@@ -368,12 +469,18 @@ class FabricNetwork:
                 self._validate_service_ms(tx) for tx in block.transactions
             )
             yield env.timeout(service)
+            if self._fanout is not None:
+                # Commit barrier: in-flight endorsements against this
+                # peer finish reading the pre-block state before the
+                # commit mutates it.
+                self._fanout.drain(peer.peer_id)
             with self.phase_wall.track("commit"):
                 result = peer.validate_and_commit(
                     block,
                     self._peer_keys,
                     self._peer_secrets,
                     policy=self.config.endorsement_policy,
+                    memo=memo,
                 )
         finally:
             cpu.release(request)

@@ -1,0 +1,420 @@
+"""Parallel transaction pipeline: the third pluggable backend layer.
+
+PR 1 made the crypto hot paths fast and PR 2 the ledger hot paths; this
+module applies the same switch-point pattern to how the simulator
+*executes* the Fabric pipeline on the host:
+
+``parallel`` (default)
+    - **Concurrent endorsement** — proposals are endorsed on a shared
+      :class:`~concurrent.futures.ThreadPoolExecutor`: one job per
+      endorsing peer, many in-flight proposals at once.  A commit
+      barrier (:meth:`EndorsementFanout.drain`) guarantees every job
+      reads exactly the committed state it would have read in the
+      serial execution, and responses are collected in endorsing-peer
+      order, so assembled transactions are byte-identical.
+    - **Dependency-aware block validation** — per block, the pure
+      per-transaction checks (endorsement policy, rwset parse) are
+      fanned out to the pool and shared across peers (they do not
+      depend on peer state), a read/write-set conflict schedule decides
+      which MVCC verdicts can be computed concurrently against the
+      pre-block state, and write sets are applied in serial-equivalent
+      block order — validation codes, state roots, and audit verdicts
+      match the reference execution exactly.
+    - **Batched view maintenance** — ``ViewManager.invoke_many``
+      coalesces ViewStorage merges and TxListContract updates per batch
+      instead of per transaction (see :mod:`repro.views.manager`).
+
+``reference``
+    The seed behaviour: one endorsement at a time, transaction-by-
+    transaction validation, one view-maintenance transaction per
+    request.  Kept verbatim as the ground truth the differential tests
+    compare against.
+
+Selection mirrors the other layers: the process-wide default comes from
+``REPRO_PIPELINE_BACKEND`` (``parallel`` if unset); :func:`set_backend`
+switches it programmatically, :func:`use_backend` scopes a switch to a
+``with`` block, and ``NetworkConfig.pipeline_backend`` pins one network.
+The pool width comes from ``REPRO_PIPELINE_WORKERS`` (default
+:data:`DEFAULT_WORKERS`) with :func:`set_workers`/:func:`use_workers`
+and the bench harness's ``pipeline_workers=...`` / ``--workers`` knobs.
+
+Like the other backend switches, this one changes **host wall-clock
+only**: the discrete-event trajectory, every block, every validation
+code, and every simulated-time metric are identical under both
+backends (pinned by ``tests/fabric/test_pipeline_backends.py``).  On a
+single-core host the throughput gain comes from the batching and the
+cross-peer memoisation; on multi-core hosts the thread pool adds real
+endorsement/validation overlap on top.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+#: Environment variable naming the default backend.
+BACKEND_ENV_VAR = "REPRO_PIPELINE_BACKEND"
+#: Environment variable sizing the shared worker pool.
+WORKERS_ENV_VAR = "REPRO_PIPELINE_WORKERS"
+#: Pool width when REPRO_PIPELINE_WORKERS is unset.  Deliberately more
+#: than one even on single-core hosts so the concurrent code paths are
+#: genuinely exercised everywhere.
+DEFAULT_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class PipelineBackend:
+    """One selectable implementation of the host-side pipeline."""
+
+    name: str
+    #: Whether endorsements run as jobs on the shared thread pool.
+    concurrent_endorsement: bool
+    #: Whether block validation uses the shared-memo + conflict-schedule
+    #: path instead of the serial per-transaction loop.
+    dependency_aware_validation: bool
+    #: Whether ``ViewManager.invoke_many`` coalesces view maintenance
+    #: (ViewStorage merges, TLC updates) per batch instead of per
+    #: transaction.
+    batched_view_maintenance: bool
+
+
+_BACKENDS: dict[str, PipelineBackend] = {
+    "parallel": PipelineBackend(
+        "parallel",
+        concurrent_endorsement=True,
+        dependency_aware_validation=True,
+        batched_view_maintenance=True,
+    ),
+    "reference": PipelineBackend(
+        "reference",
+        concurrent_endorsement=False,
+        dependency_aware_validation=False,
+        batched_view_maintenance=False,
+    ),
+}
+
+_lock = threading.Lock()
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`set_backend`, sorted."""
+    return sorted(_BACKENDS)
+
+
+def _resolve(name: str) -> PipelineBackend:
+    backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown pipeline backend {name!r}; "
+            f"expected one of {available_backends()}"
+        )
+    return backend
+
+
+_active: PipelineBackend = _resolve(
+    os.environ.get(BACKEND_ENV_VAR, "parallel")
+)
+
+
+def get_backend() -> PipelineBackend:
+    """The currently active backend."""
+    return _active
+
+
+def resolve_backend(name: str | None) -> PipelineBackend:
+    """``name`` resolved to a backend; ``None`` means the active one."""
+    if name is None:
+        return _active
+    return _resolve(name)
+
+
+def set_backend(name: str) -> PipelineBackend:
+    """Switch the process-wide backend; returns the new backend."""
+    global _active
+    backend = _resolve(name)
+    with _lock:
+        _active = backend
+    return backend
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[PipelineBackend]:
+    """Temporarily switch backends within a ``with`` block."""
+    previous = _active.name
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+
+
+# -- the shared worker pool --------------------------------------------------
+
+
+def _workers_from_env() -> int:
+    raw = os.environ.get(WORKERS_ENV_VAR)
+    if raw is None:
+        return DEFAULT_WORKERS
+    workers = int(raw)
+    if workers < 1:
+        raise ValueError(f"{WORKERS_ENV_VAR} must be >= 1, got {workers}")
+    return workers
+
+
+_workers: int = _workers_from_env()
+_executor: ThreadPoolExecutor | None = None
+_executor_workers: int | None = None
+
+
+def get_workers() -> int:
+    """Current worker-pool width."""
+    return _workers
+
+
+def set_workers(workers: int) -> int:
+    """Resize the shared pool (takes effect on next use).
+
+    The previous executor, if any, is shut down after its in-flight
+    jobs finish; a new pool of the requested width is created lazily.
+    """
+    global _workers
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    with _lock:
+        _workers = workers
+    return _workers
+
+
+@contextmanager
+def use_workers(workers: int) -> Iterator[int]:
+    """Temporarily resize the pool within a ``with`` block."""
+    previous = _workers
+    set_workers(workers)
+    try:
+        yield workers
+    finally:
+        set_workers(previous)
+
+
+def shared_executor() -> ThreadPoolExecutor:
+    """The process-wide endorsement/validation pool (lazily created)."""
+    global _executor, _executor_workers
+    with _lock:
+        if _executor is None or _executor_workers != _workers:
+            previous = _executor
+            _executor = ThreadPoolExecutor(
+                max_workers=_workers, thread_name_prefix="repro-pipeline"
+            )
+            _executor_workers = _workers
+        else:
+            previous = None
+    if previous is not None:
+        previous.shutdown(wait=True)
+    return _executor
+
+
+#: Below this many items per worker a fan-out costs more in future
+#: bookkeeping than the work it scatters; such calls run inline.
+MIN_CHUNK = 24
+
+
+def map_in_order(
+    fn: Callable[[Any], Any], items: Sequence[Any], min_chunk: int = MIN_CHUNK
+) -> list[Any]:
+    """Apply ``fn`` to every item on the pool; results in input order.
+
+    Items are scattered into at most ``workers`` contiguous chunks so
+    per-future overhead is amortised over many small tasks (MVCC checks
+    are microseconds each), and inputs smaller than ``min_chunk`` are
+    not scattered at all.  Exceptions raised by ``fn`` propagate to the
+    caller, for the first failing item in input order.
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    workers = _workers
+    if n <= max(1, min_chunk) or workers == 1:
+        return [fn(item) for item in items]
+    chunk_size = max((n + workers - 1) // workers, min_chunk)
+    chunks = [items[i : i + chunk_size] for i in range(0, n, chunk_size)]
+    executor = shared_executor()
+    futures = [
+        executor.submit(lambda c=chunk: [fn(item) for item in c])
+        for chunk in chunks
+    ]
+    results: list[Any] = []
+    for future in futures:
+        results.extend(future.result())
+    return results
+
+
+# -- concurrent endorsement ---------------------------------------------------
+
+
+class EndorsementFanout:
+    """In-flight endorsement jobs of one network, with a commit barrier.
+
+    Endorsement jobs only *read* peer state, so any number of them may
+    run concurrently — with each other and with the event loop — as
+    long as no commit mutates a peer's state database underneath them.
+    Commits are the only writers and they run on the event-loop thread,
+    so the barrier is simple: before a peer applies a block,
+    :meth:`drain` waits for every endorsement job submitted against
+    that peer.  Jobs are submitted at exactly the simulated instant the
+    serial code called ``peer.endorse`` and state only changes at
+    commits, so each job observes precisely the committed state the
+    reference execution would have observed.
+
+    On a host with a single CPU core a thread handoff cannot overlap
+    anything — it only adds scheduling latency — so ``inline`` (which
+    defaults to ``os.cpu_count() <= 1``) executes each job immediately
+    on the submitting thread and returns an already-completed future.
+    That is exactly the instant the job would have been submitted, so
+    it reads the same committed state either way; :meth:`collect` and
+    :meth:`drain` keep their contracts unchanged.
+    """
+
+    def __init__(self, inline: bool | None = None) -> None:
+        if inline is None:
+            inline = (os.cpu_count() or 1) <= 1
+        self._inline = inline
+        self._inflight: dict[str, list[Future]] = {}
+
+    def submit(self, peer_id: str, job: Callable[[], Any]) -> Future:
+        """Queue one endorsement job against ``peer_id``'s state."""
+        if self._inline:
+            future: Future = Future()
+            try:
+                future.set_result(job())
+            except BaseException as exc:  # collect() re-raises, like a pool
+                future.set_exception(exc)
+            return future
+        future = shared_executor().submit(job)
+        self._inflight.setdefault(peer_id, []).append(future)
+        return future
+
+    def collect(self, futures: Sequence[Future]) -> list[Any]:
+        """Join endorsement jobs in submission (= endorsing peer) order.
+
+        Raises the first job's exception in that order, mirroring where
+        the serial loop would have raised.
+        """
+        return [future.result() for future in futures]
+
+    def drain(self, peer_id: str) -> None:
+        """Commit barrier: block until ``peer_id`` has no job in flight.
+
+        Exceptions are not consumed here — they stay with the future
+        for the submitting process to re-raise at :meth:`collect`.
+        """
+        pending = self._inflight.pop(peer_id, None)
+        if pending:
+            wait(pending)
+
+
+# -- dependency-aware validation ----------------------------------------------
+
+
+@dataclass
+class BlockValidationMemo:
+    """Per-block validation results, shared across a block's peers.
+
+    Endorsement-policy verification and read/write-set parsing depend
+    only on the transaction bytes and the channel's key material —
+    never on a peer's state database — so every peer validating the
+    same block computes identical results.  The network hands one memo
+    to all of a block's deliveries: the first peer fills it, the rest
+    reuse it.
+
+    MVCC verdicts *do* read the state database, but a peer's state is a
+    deterministic fold of its chain: two peers whose chains end in the
+    same tip hash hold identical state, and therefore compute identical
+    verdicts for the same block.  The first peer's verdicts are stored
+    together with the tip hash they were computed against
+    (:attr:`codes` / :attr:`codes_tip`); a later peer reuses them only
+    when its own tip hash matches, and falls back to computing its own
+    otherwise — so the sharing is a pure memoisation, never a change in
+    behaviour.
+
+    Sharing the parsed write sets means peers store the same decoded
+    value objects; state values are already immutable-once-written by
+    the :class:`~repro.ledger.statedb.StateDatabase` contract, so the
+    aliasing is unobservable.
+    """
+
+    #: tid -> endorsement policy satisfied.
+    endorsement_ok: dict[str, bool] = field(default_factory=dict)
+    #: tid -> (read_set, write_set) parsed once per block.
+    rwsets: dict[str, tuple[dict, dict]] = field(default_factory=dict)
+    #: tid -> validation code, as computed by the first peer (valid
+    #: only for peers whose chain tip equals :attr:`codes_tip`).
+    codes: dict[str, Any] | None = None
+    #: Chain-tip hash the stored verdicts were computed against.
+    codes_tip: bytes | None = None
+    #: Whether the block's internal structure (tx count, Merkle root)
+    #: has been verified; pure in the block bytes, so once per block.
+    structure_checked: bool = False
+    #: Cached ``block.size_bytes`` (re-serialises every transaction).
+    block_size: int | None = None
+
+    def admit(self, block) -> int:
+        """Structure-check ``block`` once for all replicas; return its size.
+
+        ``Block.validate_structure`` (a Merkle rebuild over every
+        transaction's serialisation) and ``Block.size_bytes`` (another
+        full serialisation pass) depend only on the block object, which
+        all of a block's deliveries share — so the first replica pays
+        for them and the rest reuse the results.  A malformed block
+        still raises, on the first replica to see it.
+        """
+        if not self.structure_checked:
+            block.validate_structure()
+            self.block_size = block.size_bytes
+            self.structure_checked = True
+        return self.block_size
+
+    def verdicts_for(self, tip_hash: bytes) -> dict[str, Any] | None:
+        """Stored verdicts if they apply to a chain ending at ``tip_hash``."""
+        if self.codes is not None and self.codes_tip == tip_hash:
+            return self.codes
+        return None
+
+    def store_verdicts(self, tip_hash: bytes, codes: dict[str, Any]) -> None:
+        """Record the first replica's verdicts and their pre-state tip."""
+        if self.codes is None:
+            self.codes = dict(codes)
+            self.codes_tip = tip_hash
+
+
+def conflict_schedule(
+    rwsets: Sequence[tuple[dict, dict]],
+) -> tuple[list[int], list[int]]:
+    """Split a block's transactions by intra-block read/write conflicts.
+
+    Returns ``(independent, dependent)`` index lists.  A transaction is
+    *independent* when none of its read keys is written by any earlier
+    transaction in the block: its MVCC verdict against the pre-block
+    state equals its verdict in the serial execution, so it can be
+    checked concurrently.  Every other transaction is *dependent* and
+    must be checked serially, in block order, against the evolving
+    state.
+
+    The earlier writer's own validity is ignored — treating an invalid
+    writer's keys as conflicts is conservative (it only forces a serial
+    check that returns the same verdict), which keeps the schedule a
+    pure function of the read/write sets.
+    """
+    written: set[str] = set()
+    independent: list[int] = []
+    dependent: list[int] = []
+    for index, (read_set, write_set) in enumerate(rwsets):
+        if written and any(key in written for key in read_set):
+            dependent.append(index)
+        else:
+            independent.append(index)
+        written.update(write_set)
+    return independent, dependent

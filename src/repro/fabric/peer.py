@@ -124,10 +124,16 @@ class Peer:
         peer_keys: dict[str, object],
         peer_secrets: dict[str, bytes],
         policy: int,
+        rwset: tuple[dict, dict] | None = None,
     ) -> bool:
-        """Check the endorsement policy: ``policy`` valid peer signatures."""
+        """Check the endorsement policy: ``policy`` valid peer signatures.
+
+        ``rwset`` is an already-parsed ``(read_set, write_set)`` pair;
+        the parallel validation path parses once per block and passes
+        it in so the payload is not re-derived per peer.
+        """
         endorsements = tx.nonsecret.get("endorsements", [])
-        read_set, write_set = parse_rwset(tx)
+        read_set, write_set = rwset if rwset is not None else parse_rwset(tx)
         proposal_like = Proposal(
             chaincode=tx.nonsecret.get("cc", ""),
             fn=tx.nonsecret.get("fn", ""),
@@ -160,12 +166,45 @@ class Peer:
         peer_keys: dict[str, object],
         peer_secrets: dict[str, bytes],
         policy: int = 1,
+        memo=None,
     ) -> CommitResult:
         """Validate every transaction in ``block`` and commit the block.
 
         Follows Fabric semantics: invalid transactions stay in the block
         (and in storage) but their write sets are not applied.
+
+        With ``memo`` (a :class:`repro.fabric.parallel
+        .BlockValidationMemo`), the dependency-aware parallel path runs
+        instead of the serial loop: pure per-transaction checks are
+        fanned out to the shared worker pool and shared across peers,
+        and MVCC verdicts for transactions without intra-block read/
+        write conflicts are computed concurrently.  Verdicts, writes,
+        and versions are serial-equivalent by construction (see
+        ``_validate_parallel``); the differential suite pins this.
         """
+        if memo is not None:
+            codes = self._validate_parallel(
+                block, peer_keys, peer_secrets, policy, memo
+            )
+            # Structure check and size are pure in the (shared) block
+            # object — the memo computes them once for all replicas.
+            self.chain.append(
+                block, prevalidated=True, size_bytes=memo.admit(block)
+            )
+        else:
+            codes = self._validate_serial(block, peer_keys, peer_secrets, policy)
+            self.chain.append(block)
+        self.validation_codes.update(codes)
+        return CommitResult(block_number=block.number, codes=codes)
+
+    def _validate_serial(
+        self,
+        block: Block,
+        peer_keys: dict[str, object],
+        peer_secrets: dict[str, bytes],
+        policy: int,
+    ) -> dict[str, ValidationCode]:
+        """The reference validation loop, transaction by transaction."""
         codes: dict[str, ValidationCode] = {}
         # Fabric validates transactions in block order, with each valid
         # transaction's writes visible to the MVCC checks of the ones
@@ -188,9 +227,102 @@ class Peer:
             version = Version(block=block.number, position=position)
             for key, value in write_set.items():
                 self.statedb.put(key, value, version)
-        self.chain.append(block)
-        self.validation_codes.update(codes)
-        return CommitResult(block_number=block.number, codes=codes)
+        return codes
+
+    def _validate_parallel(
+        self,
+        block: Block,
+        peer_keys: dict[str, object],
+        peer_secrets: dict[str, bytes],
+        policy: int,
+        memo,
+    ) -> dict[str, ValidationCode]:
+        """Dependency-aware validation; serial-equivalent to the loop above.
+
+        Serial equivalence, stage by stage:
+
+        1. Endorsement verification and rwset parsing depend only on
+           the transaction bytes and key material, so computing them on
+           worker threads — and reusing another peer's results via the
+           shared ``memo`` — returns exactly what the serial loop's
+           per-transaction calls return.
+        2. A transaction whose read keys are disjoint from every
+           earlier in-block write set sees the same state versions
+           whether checked against the pre-block state or mid-loop, so
+           its MVCC verdict can be precomputed concurrently.  The
+           schedule is conservative (it counts the writes of
+           transactions that later turn out invalid), which can only
+           move a transaction to the serial pass — never change a
+           verdict.
+        3. The final pass walks the block in order: dependent verdicts
+           are evaluated against the evolving state exactly as the
+           serial loop would, and valid writes are applied with the
+           same ``Version(block, position)``.
+
+        Additionally, verdicts are shared across replicas: state is a
+        deterministic fold of the chain, so a peer whose tip hash
+        equals the one the first validator computed against must reach
+        the same codes — it reuses them and only applies the writes.
+        A peer whose tip differs computes everything itself.
+        """
+        from repro.fabric import parallel
+
+        txs = block.transactions
+        shared = memo.verdicts_for(self.chain.tip_hash)
+        if shared is not None:
+            for position, tx in enumerate(txs):
+                if shared[tx.tid] is not ValidationCode.VALID:
+                    continue
+                version = Version(block=block.number, position=position)
+                for key, value in memo.rwsets[tx.tid][1].items():
+                    self.statedb.put(key, value, version)
+            return dict(shared)
+        missing = [tx for tx in txs if tx.tid not in memo.endorsement_ok]
+        if missing:
+
+            def check(tx):
+                rwset = parse_rwset(tx)
+                ok = self._verify_endorsements(
+                    tx, peer_keys, peer_secrets, policy, rwset=rwset
+                )
+                return ok, rwset
+
+            for tx, (ok, rwset) in zip(
+                missing, parallel.map_in_order(check, missing)
+            ):
+                memo.endorsement_ok[tx.tid] = ok
+                memo.rwsets[tx.tid] = rwset
+
+        rwsets = [memo.rwsets[tx.tid] for tx in txs]
+
+        def mvcc_clean(position: int) -> bool:
+            return all(
+                self.statedb.version_of(key) == version
+                for key, version in rwsets[position][0].items()
+            )
+
+        independent, _dependent = parallel.conflict_schedule(rwsets)
+        verdicts = dict(
+            zip(independent, parallel.map_in_order(mvcc_clean, independent))
+        )
+
+        codes: dict[str, ValidationCode] = {}
+        for position, tx in enumerate(txs):
+            if not memo.endorsement_ok[tx.tid]:
+                codes[tx.tid] = ValidationCode.ENDORSEMENT_POLICY_FAILURE
+                continue
+            clean = verdicts.get(position)
+            if clean is None:
+                clean = mvcc_clean(position)
+            if not clean:
+                codes[tx.tid] = ValidationCode.MVCC_CONFLICT
+                continue
+            codes[tx.tid] = ValidationCode.VALID
+            version = Version(block=block.number, position=position)
+            for key, value in rwsets[position][1].items():
+                self.statedb.put(key, value, version)
+        memo.store_verdicts(self.chain.tip_hash, codes)
+        return codes
 
     def state_digest(self):
         """A digest of current world state with ``root``/``prove``/``verify``.

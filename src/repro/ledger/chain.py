@@ -45,8 +45,23 @@ class Blockchain:
             return GENESIS_PREVIOUS_HASH
         return self._blocks[-1].hash()
 
-    def append(self, block: Block) -> None:
+    def append(
+        self,
+        block: Block,
+        *,
+        prevalidated: bool = False,
+        size_bytes: int | None = None,
+    ) -> None:
         """Validate and append ``block``.
+
+        ``prevalidated`` asserts that :meth:`Block.validate_structure`
+        has already been run on this exact block object (the parallel
+        pipeline checks each block once and shares the result across
+        replicas); ``size_bytes`` likewise passes in a precomputed
+        ``block.size_bytes``.  Both are pure functions of the block, so
+        skipping the recomputation cannot change what is accepted.
+        Linkage, numbering, and duplicate-tid checks always run — they
+        depend on *this* chain, not just the block.
 
         Raises
         ------
@@ -54,7 +69,8 @@ class Blockchain:
             If the block is internally inconsistent, numbered wrongly,
             or does not link to the current tip.
         """
-        block.validate_structure()
+        if not prevalidated:
+            block.validate_structure()
         expected_number = len(self._blocks)
         if block.number != expected_number:
             raise BlockValidationError(
@@ -72,7 +88,7 @@ class Blockchain:
                 )
             self._tx_index[tx.tid] = (block.number, position)
         self._blocks.append(block)
-        self._total_bytes += block.size_bytes
+        self._total_bytes += block.size_bytes if size_bytes is None else size_bytes
 
     def block(self, number: int) -> Block:
         """The block at height ``number``."""

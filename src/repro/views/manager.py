@@ -20,7 +20,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.crypto.envelope import open_sealed, seal
+from repro.crypto.envelope import open_sealed, seal, seal_many
 from repro.crypto.symmetric import SymmetricKey
 from repro.errors import (
     AccessDeniedError,
@@ -54,6 +54,21 @@ class InvokeOutcome:
 
 
 @dataclass
+class ViewInvocation:
+    """One client request in a :meth:`ViewManager.invoke_many` batch."""
+
+    fn: str
+    args: dict[str, Any]
+    public: dict[str, Any]
+    secret: bytes
+    extra_views: dict[str, list[str]] = field(default_factory=dict)
+    #: Explicit transaction id; ``None`` draws a fresh one.  Benchmarks
+    #: pin tids so runs under different pipeline backends stay
+    #: key-for-key comparable.
+    tid: str | None = None
+
+
+@dataclass
 class QueryResult:
     """Decrypted, validated view contents as seen by a reader.
 
@@ -80,6 +95,7 @@ class ViewManager(ABC):
         business_chaincode: str = "supply",
         use_txlist: bool = False,
         txlist_flush_interval_ms: float = 30_000.0,
+        txlist_max_pending: int | None = None,
         crypto_backend: str | None = None,
     ):
         # ``crypto_backend`` selects the AES implementation used for all
@@ -99,7 +115,11 @@ class ViewManager(ABC):
         self.buffer = ViewBuffer()
         self.use_txlist = use_txlist
         self.txlist: TxListService | None = (
-            TxListService(gateway, txlist_flush_interval_ms) if use_txlist else None
+            TxListService(
+                gateway, txlist_flush_interval_ms, max_pending=txlist_max_pending
+            )
+            if use_txlist
+            else None
         )
         #: tids of access-dissemination transactions, per view (newest last).
         self.access_tx_ids: dict[str, list[str]] = {}
@@ -191,12 +211,13 @@ class ViewManager(ABC):
         public: dict[str, Any],
         secret: bytes,
         extra_views: dict[str, list[str]],
+        tid: str | None = None,
     ):
         network = self.gateway.network
         processed = self.process_secret(secret)
         matching = self.buffer.matching(public)
 
-        tid = fresh_tid()
+        tid = tid or fresh_tid()
         annotation = self._annotate(matching, tid, processed)
         annotated_public = dict(public)
         annotated_public["views"] = annotation
@@ -250,6 +271,156 @@ class ViewManager(ABC):
         return InvokeOutcome(
             tid=tid, notice=notice, views=view_names, processed=processed
         )
+
+    # -- batched request path (parallel pipeline backend) -------------------------
+
+    def invoke_many(self, invocations: list[ViewInvocation]) -> list[InvokeOutcome]:
+        """Handle a batch of client requests, coalescing view maintenance.
+
+        Under the parallel pipeline backend all secrets are processed
+        up front, every business transaction is submitted concurrently,
+        and the per-request view maintenance is coalesced: **one**
+        ViewStorage ``merge_many`` transaction (or one TLC flush when
+        it falls due) carries the whole batch's irrevocable entries,
+        instead of one merge transaction per request.  That amortises
+        the gateway round-trips and the per-transaction ordering and
+        validation overhead the reference path pays for each request.
+
+        Under the reference backend this degrades to the per-request
+        path (every request runs :meth:`_invoke_process` concurrently),
+        so differential tests can compare like for like.
+
+        Outcomes are returned in request order either way.
+        """
+        event = self.invoke_many_async(invocations)
+        return self.gateway.network.env.run(until=event)
+
+    def invoke_many_async(self, invocations: list[ViewInvocation]):
+        """Asynchronous :meth:`invoke_many`: returns a process event
+        whose value is the list of :class:`InvokeOutcome`."""
+        return self.gateway.network.env.process(
+            self._invoke_many_process(list(invocations))
+        )
+
+    def _invoke_many_process(self, invocations: list[ViewInvocation]):
+        network = self.gateway.network
+        env = network.env
+        if not invocations:
+            return []
+        if not network.pipeline.batched_view_maintenance:
+            events = [
+                env.process(
+                    self._invoke_process(
+                        inv.fn,
+                        inv.args,
+                        inv.public,
+                        inv.secret,
+                        dict(inv.extra_views),
+                        tid=inv.tid,
+                    )
+                )
+                for inv in invocations
+            ]
+            outcomes = yield env.all_of(events)
+            return outcomes
+
+        # Process every secret up front (main thread: the concealment
+        # crypto shares per-key caches), then put all business
+        # transactions in flight at once.
+        processed_list = self.process_secrets([inv.secret for inv in invocations])
+        staged = []
+        events = []
+        for inv, processed in zip(invocations, processed_list):
+            matching = self.buffer.matching(inv.public)
+            tid = inv.tid or fresh_tid()
+            annotated_public = dict(inv.public)
+            annotated_public["views"] = self._annotate(matching, tid, processed)
+            proposal = Proposal(
+                chaincode=self.business_chaincode,
+                fn=inv.fn,
+                args=inv.args,
+                public=annotated_public,
+                concealed=processed.concealed,
+                salt=processed.salt,
+                creator=self.owner.user_id,
+                tid=tid,
+            )
+            staged.append((inv, processed, matching, tid, annotated_public))
+            events.append(network.submit(proposal))
+        notices = yield env.all_of(events)
+
+        # Retain all processed secrets before applying extra views, so a
+        # request in this batch can grant historical access to an
+        # earlier transaction of the same batch.
+        for _inv, processed, _matching, tid, _public in staged:
+            self._retained[tid] = processed
+        self._after_commit_many(
+            [(tid, processed) for _i, processed, _m, tid, _p in staged]
+        )
+
+        batch_merges: dict[str, dict[str, bytes]] = {}
+        outcomes = []
+        for notice, (inv, processed, matching, tid, annotated_public) in zip(
+            notices, staged
+        ):
+            for record in matching:
+                self.insert_into_view(record, tid, processed)
+            historical, assignments = self._apply_extra_views(dict(inv.extra_views))
+
+            merges: dict[str, dict[str, bytes]] = {
+                record.name: {tid: self.view_entry(record, tid, processed)}
+                for record in matching
+                if record.mode is ViewMode.IRREVOCABLE
+            }
+            for view_name, entries in historical.items():
+                merges.setdefault(view_name, {}).update(entries)
+            for view_name, entries in merges.items():
+                batch_merges.setdefault(view_name, {}).update(entries)
+
+            if self.txlist is not None:
+                self.txlist.record(
+                    tid,
+                    annotated_public,
+                    view_data=merges,
+                    extra_assignments=assignments,
+                )
+            outcomes.append(
+                InvokeOutcome(
+                    tid=tid,
+                    notice=notice,
+                    views=[record.name for record in matching],
+                    processed=processed,
+                )
+            )
+
+        # One maintenance transaction for the whole batch.
+        if self.txlist is not None:
+            if self.txlist.due():
+                flush = self.txlist.build_flush_proposal()
+                if flush is not None:
+                    yield network.submit(flush)
+        elif batch_merges:
+            merge_proposal = Proposal(
+                chaincode=storage_contract.CHAINCODE_NAME,
+                fn="merge_many",
+                args={"merges": batch_merges},
+                creator=self.owner.user_id,
+                contract_write=True,
+                kind="view-merge",
+            )
+            yield network.submit(merge_proposal)
+        return outcomes
+
+    def process_secrets(self, secrets: list[bytes]) -> list[ProcessedSecret]:
+        """Vectorised ``ProcessSecret`` over a batch (order preserved)."""
+        return [self.process_secret(secret) for secret in secrets]
+
+    def _after_commit_many(
+        self, committed: list[tuple[str, ProcessedSecret]]
+    ) -> None:
+        """Vectorised :meth:`_after_commit` hook for batched commits."""
+        for tid, processed in committed:
+            self._after_commit(tid, processed)
 
     def _apply_extra_views(
         self, extra_views: dict[str, list[str]]
@@ -359,10 +530,20 @@ class ViewManager(ABC):
     def _publish_access(
         self, record: ViewRecord, recipients: dict[str, Any]
     ) -> str:
-        """Write one ``V_access`` transaction with sealed view keys."""
+        """Write one ``V_access`` transaction with sealed view keys.
+
+        The key is sealed for all recipients in one :func:`seal_many`
+        pass (sorted for a deterministic grant order in the payload);
+        each envelope is byte-compatible with a per-recipient ``seal``.
+        """
+        principals = sorted(recipients)
+        envelopes = seal_many(
+            [recipients[principal] for principal in principals],
+            record.key.to_bytes(),
+        )
         grants = {
-            principal: seal(public_key, record.key.to_bytes()).hex()
-            for principal, public_key in recipients.items()
+            principal: envelope.hex()
+            for principal, envelope in zip(principals, envelopes)
         }
         notice = self.gateway.invoke(
             notary.CHAINCODE_NAME,

@@ -86,3 +86,18 @@ class ViewStorageContract(Chaincode):
     def fn_get_entry(self, ctx: TxContext, view: str, tid: str) -> Any | None:
         """Read one transaction's encrypted entry (query only)."""
         return ctx.get_state(f"data~{view}~{tid}")
+
+    def fn_view_sizes(self, ctx: TxContext) -> dict[str, int]:
+        """Entry count per view (query only).
+
+        One scan over the data keyspace instead of one ``get_view`` per
+        view — used by benchmarks and tests to check that batched and
+        per-request maintenance materialised the same views without
+        shipping every encrypted entry back.
+        """
+        sizes: dict[str, int] = {}
+        prefix = "data~"
+        for key, _value in ctx.scan_prefix(prefix):
+            view = key[len(prefix):].rsplit("~", 1)[0]
+            sizes[view] = sizes.get(view, 0) + 1
+        return sizes

@@ -126,13 +126,28 @@ class TxListService:
     """Owner-side batching of TLC updates (the paper's 30 s intervals).
 
     ``record`` buffers one transaction; ``maybe_flush`` writes a flush
-    transaction when the interval elapsed.  Time comes from the
-    simulation environment through the gateway's network.
+    transaction when the batch is due.  Time comes from the simulation
+    environment through the gateway's network.
+
+    A flush is due when updates are pending and either the interval
+    elapsed **or** the buffer reached ``max_pending`` entries.  The
+    count threshold bounds owner memory between slow flushes and keeps
+    completeness coverage (which only extends to the latest flush) from
+    lagging arbitrarily far behind a burst of traffic; ``None`` (the
+    default) preserves the paper's purely interval-based behaviour.
     """
 
-    def __init__(self, gateway, flush_interval_ms: float = 30_000.0):
+    def __init__(
+        self,
+        gateway,
+        flush_interval_ms: float = 30_000.0,
+        max_pending: int | None = None,
+    ):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.gateway = gateway
         self.flush_interval_ms = flush_interval_ms
+        self.max_pending = max_pending
         self._pending: list[list[Any]] = []
         self._pending_view_data: dict[str, dict[str, Any]] = {}
         self._pending_extra: list[list[str]] = []
@@ -174,9 +189,15 @@ class TxListService:
             self._pending_extra.append([view, granted_tid])
 
     def due(self) -> bool:
-        """Whether the flush interval has elapsed with pending updates."""
+        """Whether a flush should happen now.
+
+        True when updates are pending and either the interval elapsed
+        or the buffer reached ``max_pending``.
+        """
         if not self._pending:
             return False
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            return True
         return self._now() - self._last_flush_at >= self.flush_interval_ms
 
     def build_flush_proposal(self):
@@ -224,7 +245,8 @@ class TxListService:
         return pending
 
     def maybe_flush(self) -> int:
-        """Flush if the interval elapsed; returns updates written."""
+        """Flush if due (interval elapsed or buffer at ``max_pending``);
+        returns the number of updates written."""
         if self.due():
             return self.flush()
         return 0

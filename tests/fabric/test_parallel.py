@@ -1,0 +1,332 @@
+"""Unit tests for the parallel-pipeline primitives.
+
+Covers the backend registry, the shared worker pool, ordered fan-out,
+the read/write-set conflict schedule, the endorsement fan-out's commit
+barrier, and the thread-safety of :class:`PhaseWallClock`.  End-to-end
+equivalence of the two backends lives in ``test_pipeline_backends.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import build_network
+from repro.fabric import parallel
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.network import PhaseWallClock
+
+
+# -- backend registry ---------------------------------------------------------
+
+
+def test_available_backends():
+    assert parallel.available_backends() == ["parallel", "reference"]
+
+
+def test_use_backend_round_trip():
+    before = parallel.get_backend().name
+    with parallel.use_backend("reference") as backend:
+        assert backend.name == "reference"
+        assert parallel.get_backend() is backend
+        assert not backend.concurrent_endorsement
+        assert not backend.dependency_aware_validation
+        assert not backend.batched_view_maintenance
+    assert parallel.get_backend().name == before
+
+
+def test_resolve_backend_none_means_active():
+    assert parallel.resolve_backend(None) is parallel.get_backend()
+
+
+def test_resolve_backend_by_name():
+    backend = parallel.resolve_backend("parallel")
+    assert backend.concurrent_endorsement
+    assert backend.dependency_aware_validation
+    assert backend.batched_view_maintenance
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown pipeline backend"):
+        parallel.resolve_backend("martian")
+    with pytest.raises(ValueError, match="unknown pipeline backend"):
+        parallel.set_backend("martian")
+
+
+# -- worker pool --------------------------------------------------------------
+
+
+def test_worker_count_validation():
+    with pytest.raises(ValueError, match=">= 1"):
+        parallel.set_workers(0)
+
+
+def test_use_workers_restores_previous_width():
+    before = parallel.get_workers()
+    with parallel.use_workers(before + 3):
+        assert parallel.get_workers() == before + 3
+    assert parallel.get_workers() == before
+
+
+def test_map_in_order_preserves_input_order():
+    with parallel.use_workers(4):
+        items = list(range(100))
+        assert parallel.map_in_order(lambda x: x * x, items) == [
+            x * x for x in items
+        ]
+
+
+def test_map_in_order_empty():
+    assert parallel.map_in_order(lambda x: x, []) == []
+
+
+def test_map_in_order_single_worker_runs_inline():
+    with parallel.use_workers(1):
+        threads = parallel.map_in_order(
+            lambda _: threading.current_thread(), range(8)
+        )
+    assert all(t is threading.main_thread() for t in threads)
+
+
+def test_map_in_order_uses_pool_threads():
+    with parallel.use_workers(4):
+        names = parallel.map_in_order(
+            lambda _: threading.current_thread().name, range(32)
+        )
+    assert any(name.startswith("repro-pipeline") for name in names)
+
+
+def test_map_in_order_propagates_exceptions():
+    def boom(x):
+        if x == 37:
+            raise RuntimeError("boom at 37")
+        return x
+
+    with parallel.use_workers(4):
+        with pytest.raises(RuntimeError, match="boom at 37"):
+            parallel.map_in_order(boom, list(range(64)))
+
+
+# -- conflict schedule --------------------------------------------------------
+
+
+def _rw(reads, writes):
+    """Build an rwset pair from key lists (values are irrelevant)."""
+    return ({k: "v" for k in reads}, {k: "x" for k in writes})
+
+
+def test_conflict_schedule_empty():
+    assert parallel.conflict_schedule([]) == ([], [])
+
+
+def test_conflict_schedule_disjoint_keys_all_independent():
+    rwsets = [_rw(["a"], ["a"]), _rw(["b"], ["b"]), _rw(["c"], ["c"])]
+    assert parallel.conflict_schedule(rwsets) == ([0, 1, 2], [])
+
+
+def test_conflict_schedule_read_after_write_is_dependent():
+    rwsets = [
+        _rw(["k"], ["k"]),  # writes k
+        _rw(["k"], ["k"]),  # reads k after the write -> dependent
+        _rw(["j"], ["j"]),  # untouched key -> independent
+    ]
+    assert parallel.conflict_schedule(rwsets) == ([0, 2], [1])
+
+
+def test_conflict_schedule_only_earlier_writes_matter():
+    # tx0 reads k, tx1 writes k: the read happens "before" the write in
+    # block order, so both verdicts against the pre-block state stand.
+    rwsets = [_rw(["k"], []), _rw([], ["k"])]
+    assert parallel.conflict_schedule(rwsets) == ([0, 1], [])
+
+
+def test_conflict_schedule_blind_writes_are_independent():
+    # Write/write on the same key without reads never conflicts under
+    # Fabric's MVCC (only reads are version-checked).
+    rwsets = [_rw([], ["k"]), _rw([], ["k"]), _rw([], ["k"])]
+    assert parallel.conflict_schedule(rwsets) == ([0, 1, 2], [])
+
+
+def test_conflict_schedule_partitions_every_index():
+    rwsets = [
+        _rw(["a"], ["b"]),
+        _rw(["b"], ["c"]),
+        _rw(["c", "z"], ["a"]),
+        _rw(["z"], ["z"]),
+        _rw(["q"], []),
+    ]
+    independent, dependent = parallel.conflict_schedule(rwsets)
+    assert sorted(independent + dependent) == list(range(len(rwsets)))
+    assert not set(independent) & set(dependent)
+    assert dependent == [1, 2]  # read b after write b; read c after write c
+
+
+# -- endorsement fan-out ------------------------------------------------------
+
+
+def test_fanout_collect_preserves_submission_order():
+    fanout = parallel.EndorsementFanout()
+    with parallel.use_workers(4):
+        futures = [fanout.submit("p1", lambda i=i: i) for i in range(16)]
+        assert fanout.collect(futures) == list(range(16))
+        fanout.drain("p1")
+
+
+def test_fanout_drain_unknown_peer_is_noop():
+    parallel.EndorsementFanout().drain("ghost")
+
+
+def test_fanout_inline_mode_runs_on_the_submitting_thread():
+    """With ``inline=True`` (the single-core default) jobs execute
+    immediately on the caller's thread as already-completed futures —
+    same contract, no pool handoff."""
+    fanout = parallel.EndorsementFanout(inline=True)
+    main = threading.main_thread()
+    futures = [
+        fanout.submit("p1", lambda i=i: (i, threading.current_thread()))
+        for i in range(4)
+    ]
+    assert all(future.done() for future in futures)
+    results = fanout.collect(futures)
+    assert [i for i, _thread in results] == list(range(4))
+    assert all(thread is main for _i, thread in results)
+    fanout.drain("p1")  # nothing in flight: a no-op
+
+
+def test_fanout_inline_mode_keeps_exceptions_for_collect():
+    fanout = parallel.EndorsementFanout(inline=True)
+
+    def boom():
+        raise RuntimeError("endorse failed inline")
+
+    future = fanout.submit("p1", boom)
+    fanout.drain("p1")
+    with pytest.raises(RuntimeError, match="endorse failed inline"):
+        fanout.collect([future])
+
+
+def test_fanout_drain_blocks_until_jobs_finish():
+    fanout = parallel.EndorsementFanout(inline=False)
+    release = threading.Event()
+    started = threading.Event()
+
+    def job():
+        started.set()
+        assert release.wait(timeout=10)
+        return "endorsed"
+
+    try:
+        with parallel.use_workers(2):
+            future = fanout.submit("p1", job)
+            assert started.wait(timeout=10)
+            drained = threading.Event()
+
+            def drainer():
+                fanout.drain("p1")
+                drained.set()
+
+            waiter = threading.Thread(target=drainer)
+            waiter.start()
+            # The barrier must not fall while the job is still running.
+            assert not drained.wait(timeout=0.05)
+            release.set()
+            waiter.join(timeout=10)
+            assert drained.is_set()
+            assert future.result() == "endorsed"
+    finally:
+        release.set()
+
+
+def test_fanout_drain_leaves_exceptions_for_collect():
+    fanout = parallel.EndorsementFanout(inline=False)
+
+    def boom():
+        raise RuntimeError("endorse failed")
+
+    with parallel.use_workers(2):
+        future = fanout.submit("p1", boom)
+        fanout.drain("p1")  # must not raise: the barrier only waits
+        with pytest.raises(RuntimeError, match="endorse failed"):
+            fanout.collect([future])
+
+
+# -- PhaseWallClock under concurrency -----------------------------------------
+
+
+def test_phase_wall_clock_serial_accounting():
+    clock = PhaseWallClock()
+    with clock.track("endorse"):
+        time.sleep(0.002)
+    with clock.track("endorse"):
+        pass
+    with clock.track("commit"):
+        pass
+    seconds = clock.seconds
+    assert seconds["endorse"] >= 0.0018
+    assert set(seconds) == {"endorse", "commit"}
+    assert set(clock.summary()) == {"commit", "endorse"}
+    totals: dict[str, float] = {"endorse": 1.0}
+    clock.merge_into(totals)
+    assert totals["endorse"] >= 1.0018
+    assert "commit" in totals
+
+
+def test_phase_wall_clock_concurrent_tracking_loses_nothing():
+    clock = PhaseWallClock()
+    n_threads, laps, nap = 8, 25, 0.001
+    barrier = threading.Barrier(n_threads)
+
+    def work():
+        for lap in range(laps):
+            with clock.track("endorse"):
+                if lap == 0:
+                    # All threads inside track() at once: pins the peak.
+                    barrier.wait(timeout=10)
+                time.sleep(nap)
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    # sleep() guarantees a lower bound per lap; a racy read-modify-write
+    # losing updates would undercount below it.
+    assert clock.seconds["endorse"] >= n_threads * laps * nap * 0.9
+    assert clock.parallelism()["endorse"] == n_threads
+
+
+# -- network wiring -----------------------------------------------------------
+
+
+def _config(**overrides):
+    return NetworkConfig(
+        latency=SINGLE_REGION,
+        real_signatures=False,
+        batch_timeout_ms=50.0,
+        **overrides,
+    )
+
+
+def test_network_pins_reference_backend():
+    network = build_network(_config(pipeline_backend="reference"))
+    assert network.pipeline.name == "reference"
+    assert network._fanout is None
+
+
+def test_network_pins_parallel_backend():
+    network = build_network(_config(pipeline_backend="parallel"))
+    assert network.pipeline.name == "parallel"
+    assert network._fanout is not None
+
+
+def test_network_defaults_to_process_backend():
+    with parallel.use_backend("reference"):
+        network = build_network(_config())
+    assert network.pipeline.name == "reference"
+
+
+def test_network_rejects_unknown_pipeline_backend():
+    with pytest.raises(ValueError, match="unknown pipeline backend"):
+        build_network(_config(pipeline_backend="warp"))

@@ -1,0 +1,342 @@
+"""Differential suite: the parallel pipeline backend is observationally
+identical to the reference execution.
+
+Both legs of each test run the same workload with the same seeded
+randomness (a DRBG patched behind the ``secrets`` module) and the same
+transaction-id sequence, so *every* observable — validation codes,
+block contents, chain tip hash, per-block state roots, served view
+contents, and auditor verdicts — must match byte for byte; anything
+that differs is attributable to the backend.  The workload forces MVCC
+conflicts (two transfers of the same item landing in one block) so the
+dependency-aware validator's conflict handling is exercised, not just
+the happy path.
+
+The batched-maintenance path (``invoke_many``) intentionally changes
+*which* maintenance transactions exist (one coalesced merge per batch
+instead of one per request), so its differential test compares
+semantics — business state, served secrets, view sizes, audit verdicts
+— rather than chain bytes, and separately pins the coalescing itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import secrets as secrets_module
+
+import pytest
+
+from repro import build_network
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.network import Gateway
+from repro.ledger import transaction as transaction_module
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewInvocation, ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.types import ViewMode
+from repro.views.verification import ViewVerifier
+
+METHODS = {
+    "EI": (EncryptionBasedManager, ViewMode.IRREVOCABLE),
+    "ER": (EncryptionBasedManager, ViewMode.REVOCABLE),
+    "HI": (HashBasedManager, ViewMode.IRREVOCABLE),
+    "HR": (HashBasedManager, ViewMode.REVOCABLE),
+}
+
+PREDICATE = AttributeEquals("to", "W1")
+
+
+@pytest.fixture
+def rearm(monkeypatch):
+    """Give every leg the identical randomness and tid sequence.
+
+    Returns a callable that (re-)arms a seeded DRBG behind the
+    ``secrets`` module and resets the process-wide tid counter; called
+    immediately before each leg so the reference and parallel
+    executions draw the same bytes in the same order.
+    """
+
+    def arm():
+        rng = random.Random(0x1EDE9)
+        monkeypatch.setattr(
+            secrets_module, "token_bytes", lambda n=32: rng.randbytes(n)
+        )
+        monkeypatch.setattr(secrets_module, "randbits", rng.getrandbits)
+        monkeypatch.setattr(secrets_module, "randbelow", lambda n: rng.randrange(n))
+        monkeypatch.setattr(
+            transaction_module, "_tid_counter", itertools.count(7_000_000)
+        )
+
+    return arm
+
+
+def _config(pipeline_name):
+    return NetworkConfig(
+        latency=SINGLE_REGION,
+        real_signatures=False,
+        batch_timeout_ms=50.0,
+        pipeline_backend=pipeline_name,
+    )
+
+
+def _report_tuple(report):
+    return (
+        report.check,
+        report.view,
+        report.ok,
+        report.checked,
+        tuple(report.violations),
+        tuple(report.missing),
+        report.ledger_accesses,
+    )
+
+
+def _run_scenario(pipeline_name, method):
+    """One full run: creates, a forced MVCC conflict, read + audit.
+
+    Returns every observable as a plain comparable structure.
+    """
+    manager_cls, mode = METHODS[method]
+    network = build_network(_config(pipeline_name))
+    network.track_state_roots = True
+    env = network.env
+    owner = network.register_user("owner")
+    manager = manager_cls(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, mode)
+
+    def wave(requests):
+        events = [
+            manager.invoke_with_secret_async(fn, args, public, secret)
+            for fn, args, public, secret in requests
+        ]
+        env.run(until=env.all_of(events))
+        return [event.value for event in events]
+
+    wave(
+        [
+            (
+                "create_item",
+                {"item": f"i{i}", "owner": "W1"},
+                {"item": f"i{i}", "from": None, "to": "W1"},
+                f"manifest-{i}".encode(),
+            )
+            for i in range(4)
+        ]
+    )
+    # Two transfers of i0 start at the same instant: both endorse
+    # against the same pre-state, land in the same block, and exactly
+    # one must lose with MVCC_CONFLICT.  The i1 transfer is the
+    # independent bystander the conflict must not disturb.
+    transfers = wave(
+        [
+            (
+                "transfer",
+                {"item": "i0", "sender": "W1", "receiver": "W2"},
+                {"item": "i0", "from": "W1", "to": "W2"},
+                b"waybill-a",
+            ),
+            (
+                "transfer",
+                {"item": "i0", "sender": "W1", "receiver": "W3"},
+                {"item": "i0", "from": "W1", "to": "W3"},
+                b"waybill-b",
+            ),
+            (
+                "transfer",
+                {"item": "i1", "sender": "W1", "receiver": "W2"},
+                {"item": "i1", "from": "W1", "to": "W2"},
+                b"waybill-c",
+            ),
+        ]
+    )
+    network.verify_convergence()
+
+    reader_user = network.register_user("bob")
+    reader = ViewReader(reader_user, Gateway(network, reader_user))
+    reader.accept_offchain_grant(manager.grant_access_offchain("w1", "bob"))
+    if mode is ViewMode.IRREVOCABLE:
+        result = reader.read_irrevocable_view(manager, "w1")
+    else:
+        result = reader.read_view(manager, "w1")
+    verifier = ViewVerifier(Gateway(network, reader_user))
+    soundness = verifier.verify_soundness(
+        "w1", PREDICATE, result, manager.concealment
+    )
+    completeness = verifier.verify_completeness(
+        "w1", PREDICATE, set(result.secrets)
+    )
+
+    peer = network.reference_peer
+    chain = peer.chain
+    conflict_locations = [chain.locate(out.tid)[0] for out in transfers[:2]]
+    return {
+        "tip": chain.tip_hash.hex(),
+        "blocks": [
+            (block.number, [tx.tid for tx in block.transactions])
+            for block in chain
+        ],
+        "codes": {
+            tid: code.value
+            for tid, code in sorted(peer.validation_codes.items())
+        },
+        "roots": {
+            number: root.hex()
+            for number, root in sorted(network.state_roots.items())
+        },
+        "transfer_codes": [out.notice.code.value for out in transfers],
+        "conflict_blocks": conflict_locations,
+        "served": dict(sorted(result.secrets.items())),
+        "key_version": result.key_version,
+        "soundness": _report_tuple(soundness),
+        "completeness": _report_tuple(completeness),
+        "sim_now": env.now,
+    }
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_backends_byte_identical(method, rearm):
+    rearm()
+    reference = _run_scenario("reference", method)
+    rearm()
+    parallel_leg = _run_scenario("parallel", method)
+    assert parallel_leg == reference
+
+    # The scenario really exercised what it claims to: a conflicting
+    # pair in one block, one winner, one MVCC loser, bystander intact.
+    assert reference["transfer_codes"] == ["valid", "mvcc_conflict", "valid"]
+    assert reference["conflict_blocks"][0] == reference["conflict_blocks"][1]
+    assert list(reference["codes"].values()).count("mvcc_conflict") == 1
+    assert reference["soundness"][2] is True  # audit passed ...
+    assert reference["completeness"][2] is True
+    assert reference["soundness"][4] == ()  # ... with no violations
+    assert reference["completeness"][5] == ()  # ... and nothing missing
+    assert reference["served"]  # the audit ran over real served data
+
+
+def test_conflicting_writes_with_three_way_race(rearm):
+    """A denser conflict pattern: three same-item transfers in one wave."""
+
+    def run(pipeline_name):
+        network = build_network(_config(pipeline_name))
+        network.track_state_roots = True
+        env = network.env
+        user = network.register_user("owner")
+        manager = HashBasedManager(Gateway(network, user))
+        manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+        manager.invoke_with_secret(
+            "create_item",
+            {"item": "hot", "owner": "W1"},
+            {"item": "hot", "from": None, "to": "W1"},
+            b"hot-manifest",
+        )
+        events = [
+            manager.invoke_with_secret_async(
+                "transfer",
+                {"item": "hot", "sender": "W1", "receiver": f"W{n}"},
+                {"item": "hot", "from": "W1", "to": f"W{n}"},
+                f"race-{n}".encode(),
+            )
+            for n in (2, 3, 4)
+        ]
+        env.run(until=env.all_of(events))
+        network.verify_convergence()
+        peer = network.reference_peer
+        return {
+            "tip": peer.chain.tip_hash.hex(),
+            "codes": {
+                tid: code.value
+                for tid, code in sorted(peer.validation_codes.items())
+            },
+            "race": [event.value.notice.code.value for event in events],
+            "roots": {
+                number: root.hex()
+                for number, root in sorted(network.state_roots.items())
+            },
+        }
+
+    rearm()
+    reference = run("reference")
+    rearm()
+    parallel_leg = run("parallel")
+    assert parallel_leg == reference
+    # First contender wins, the other two lose to its write.
+    assert reference["race"] == ["valid", "mvcc_conflict", "mvcc_conflict"]
+
+
+# -- batched view maintenance (invoke_many) -----------------------------------
+
+
+def _merge_tx_count(network):
+    return sum(
+        1
+        for block in network.reference_peer.chain
+        for tx in block.transactions
+        if tx.kind == "view-merge"
+    )
+
+
+def _run_batched(pipeline_name, batch_size=12):
+    network = build_network(_config(pipeline_name))
+    owner = network.register_user("owner")
+    gateway = Gateway(network, owner)
+    manager = EncryptionBasedManager(gateway)
+    manager.create_view("wi", PREDICATE, ViewMode.IRREVOCABLE)
+    invocations = [
+        ViewInvocation(
+            fn="create_item",
+            args={"item": f"b{i}", "owner": "W1"},
+            public={"item": f"b{i}", "from": None, "to": "W1"},
+            secret=f"batch-secret-{i}".encode(),
+            tid=f"tx-batched-{i:04d}",
+        )
+        for i in range(batch_size)
+    ]
+    outcomes = manager.invoke_many(invocations)
+    network.verify_convergence()
+
+    reader_user = network.register_user("bob")
+    reader = ViewReader(reader_user, Gateway(network, reader_user))
+    reader.accept_offchain_grant(manager.grant_access_offchain("wi", "bob"))
+    result = reader.read_irrevocable_view(manager, "wi")
+    verifier = ViewVerifier(Gateway(network, reader_user))
+    soundness = verifier.verify_soundness(
+        "wi", PREDICATE, result, manager.concealment
+    )
+    completeness = verifier.verify_completeness(
+        "wi", PREDICATE, set(result.secrets)
+    )
+    summary = {
+        "codes": {out.tid: out.notice.code.value for out in outcomes},
+        "items": {
+            f"b{i}": gateway.query("supply", "get_item", {"item": f"b{i}"})
+            for i in range(batch_size)
+        },
+        "view_sizes": gateway.query("viewstorage", "view_sizes", {}),
+        "served": dict(sorted(result.secrets.items())),
+        "sound_ok": (soundness.ok, soundness.checked, tuple(soundness.violations)),
+        "complete_ok": (completeness.ok, tuple(completeness.missing)),
+    }
+    return summary, _merge_tx_count(network)
+
+
+def test_invoke_many_semantics_match_across_backends():
+    reference, reference_merges = _run_batched("reference")
+    parallel_leg, parallel_merges = _run_batched("parallel")
+    assert parallel_leg == reference
+    assert set(reference["codes"].values()) == {"valid"}
+    assert reference["view_sizes"] == {"wi": 12}
+    # Pinned tids make the served plaintexts key-for-key comparable.
+    assert reference["served"] == {
+        f"tx-batched-{i:04d}": f"batch-secret-{i}".encode() for i in range(12)
+    }
+    assert reference["sound_ok"][0] and reference["complete_ok"][0]
+    # The whole point of batching: one coalesced merge transaction for
+    # the batch instead of one per request.
+    assert reference_merges == 12
+    assert parallel_merges == 1
+
+
+def test_invoke_many_falls_back_per_request_on_reference_backend():
+    _summary, merges = _run_batched("reference", batch_size=5)
+    assert merges == 5
