@@ -1,0 +1,123 @@
+"""Chaos microbenchmark: throughput under message loss with retry.
+
+Runs the WL1 hash-revocable workload while a seeded :class:`FaultPlan`
+drops a fraction of client broadcasts and block deliveries on the
+simulated network (0 / 5 / 10 %).  The client gateway's retry policy
+and the peers' block redelivery absorb the loss; the harness heals the
+network afterwards and asserts the safety invariants (every tid
+committed exactly once, all replicas on one tip hash), so a recorded
+row is also a passed chaos experiment.
+
+The headline series is **simulated-time** throughput and latency — a
+deterministic function of the seed, not of the machine — showing how
+gracefully commit rates degrade as loss grows.
+
+Results are written to ``BENCH_faults.json`` at the repo root.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_faults_microbench.py -v -s
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.harness import run_view_workload
+from repro.crypto.rsa import keypair_pool
+from repro.fabric.config import benchmark_config
+from repro.faults import FaultPlan, MessageFaultRule, RetryPolicy
+from repro.workload.presets import wl1_topology
+
+_RESULTS: dict[str, dict] = {}
+_BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+
+LOSS_SWEEP = (0.0, 0.05, 0.10)
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 12
+SEED = 23
+
+
+def _plan(loss: float) -> FaultPlan:
+    return FaultPlan(
+        seed=SEED,
+        retry=RetryPolicy(timeout_ms=8_000.0, backoff_ms=250.0),
+        messages=(
+            MessageFaultRule(channel="client_to_orderer", drop=loss),
+            MessageFaultRule(channel="orderer_to_peer", drop=loss),
+        ),
+    )
+
+
+def test_throughput_under_message_loss():
+    """Every request commits exactly once at every loss level; rates
+    degrade smoothly rather than collapsing."""
+    topology = wl1_topology()
+    config = benchmark_config()
+    rows = {}
+    with keypair_pool(size=8):
+        for loss in LOSS_SWEEP:
+            result = run_view_workload(
+                "HR",
+                topology,
+                clients=CLIENTS,
+                items_per_client=25,
+                config=config,
+                max_requests_per_client=REQUESTS_PER_CLIENT,
+                fault_plan=_plan(loss),
+            )
+            # run_view_workload healed the network and ran the
+            # InvariantMonitor before returning; a row existing means
+            # exactly-once + convergence held under this loss level.
+            assert result.committed == result.attempted
+            summary = result.extra["faults"]
+            if loss > 0.0:
+                assert summary["messages_dropped"], (
+                    f"{loss:.0%} loss dropped nothing; sweep is vacuous"
+                )
+            rows[f"loss_{round(loss * 100)}pct"] = {
+                "drop_probability": loss,
+                "attempted": result.attempted,
+                "committed": result.committed,
+                "sim_tps": round(result.tps, 1),
+                "latency_mean_ms": round(result.latency_mean_ms),
+                "latency_p95_ms": round(result.latency_p95_ms),
+                "retries": summary["retries"],
+                "rescued_notices": summary["rescued_notices"],
+                "deduped_txs": summary["deduped_txs"],
+                "redeliveries": summary["redeliveries"],
+                "messages_dropped": summary["messages_dropped"],
+            }
+
+    clean = rows["loss_0pct"]
+    worst = rows["loss_10pct"]
+    # Graceful degradation, not a stall: the lossy run still commits
+    # everything, at a lower but non-zero rate.
+    assert worst["sim_tps"] > 0
+    assert worst["latency_mean_ms"] >= clean["latency_mean_ms"]
+    _RESULTS["wl1_hr_message_loss"] = {
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "seed": SEED,
+        "rows": rows,
+    }
+
+
+def test_write_bench_json():
+    """Persist the numbers gathered above (runs last in file order)."""
+    assert _RESULTS, "no benchmark results collected"
+    payload = {
+        "description": (
+            "fault injection: simulated-time throughput/latency under "
+            "0/5/10% message loss with client retry and block redelivery"
+        ),
+        "machine_note": (
+            "simulated-time numbers: deterministic in the plan seed, "
+            "machine-independent.  Every row healed to converged "
+            "replicas with exactly-once commits before being recorded."
+        ),
+        "results": _RESULTS,
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {_BENCH_JSON}")

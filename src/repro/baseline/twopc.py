@@ -61,12 +61,27 @@ class CoordinatorContract(Chaincode):
         }
 
     def fn_decide(self, ctx: TxContext, xid: str, outcome: str) -> None:
-        """Record the global commit/abort decision."""
+        """Record the global commit/abort decision.
+
+        2PC decisions are final: a repeated identical ``decide`` (a
+        recovering coordinator replaying its log) is an idempotent
+        no-op, while a conflicting one is an error — without this
+        check, a second decision could flip ``aborted`` → ``committed``
+        after shards already acted on the first.
+        """
         record = ctx.get_state(f"xact~{xid}")
         if record is None:
             raise ChaincodeError(f"unknown cross-chain transaction {xid!r}")
         if outcome not in ("committed", "aborted"):
             raise ChaincodeError(f"invalid 2PC outcome {outcome!r}")
+        current = record["state"]
+        if current == outcome:
+            return
+        if current in ("committed", "aborted"):
+            raise ChaincodeError(
+                f"cross-chain transaction {xid!r} already decided "
+                f"{current!r}; cannot re-decide {outcome!r}"
+            )
         ctx.put_state(
             f"xact~{xid}", {"views": record["views"], "state": outcome}
         )
@@ -92,6 +107,13 @@ class ShardContract(Chaincode):
         holder = ctx.get_state(f"lock~{lock_key}")
         if holder is not None and holder != xid:
             return {"prepared": False, "conflict_with": holder}
+        pending = ctx.get_state(f"pending~{xid}")
+        if pending is not None and pending["lock_key"] != lock_key:
+            # Re-prepare under a different key (a coordinator retry
+            # after a partial failure): release the first lock, or it
+            # would be held forever — commit/abort only release the
+            # lock named in the *current* pending record.
+            ctx.put_state(f"lock~{pending['lock_key']}", None)
         ctx.put_state(f"lock~{lock_key}", xid)
         ctx.put_state(f"pending~{xid}", {"lock_key": lock_key, "payload": payload})
         return {"prepared": True}

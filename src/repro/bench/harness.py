@@ -258,6 +258,7 @@ def run_view_workload(
     track_state_roots: bool = False,
     pipeline_backend: str | None = None,
     pipeline_workers: int | None = None,
+    fault_plan=None,
 ) -> RunResult:
     """Run the supply-chain workload against one LedgerView method.
 
@@ -273,6 +274,11 @@ def run_view_workload(
     many bytes (0 = natural size), for sweeps over payload size.
     ``track_state_roots`` makes every committed block record a state
     root — the commit-path cost the ledger backend sweep measures.
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) runs the whole
+    workload under fault injection: the plan's message faults, crashes,
+    and retry policy apply for the duration, the network is healed
+    afterwards, the safety invariants are asserted, and the injector's
+    counters land in ``result.extra["faults"]``.
     """
     with _backend_context(
         crypto_backend,
@@ -298,6 +304,7 @@ def run_view_workload(
             crypto_backend,
             secret_size,
             track_state_roots,
+            fault_plan,
         )
 
 
@@ -318,6 +325,7 @@ def _run_view_workload(
     crypto_backend: str | None,
     secret_size: int = 0,
     track_state_roots: bool = False,
+    fault_plan=None,
 ) -> RunResult:
     env, network, manager = build_view_setup(
         method,
@@ -329,6 +337,12 @@ def _run_view_workload(
         crypto_backend=crypto_backend,
     )
     network.track_state_roots = track_state_roots
+    injector = monitor = None
+    if fault_plan is not None:
+        from repro.faults import FaultInjector, InvariantMonitor
+
+        injector = FaultInjector(network, fault_plan)
+        monitor = InvariantMonitor(network)
     traces = _client_traces(topology, clients, items_per_client, seed, secret_size)
     if max_requests_per_client is not None:
         traces = [trace[:max_requests_per_client] for trace in traces]
@@ -399,6 +413,10 @@ def _run_view_workload(
         host_tps=valid["count"] / host_wall,
         extra={"invalid_txs": network.metrics.invalid_txs.value},
     )
+    if injector is not None:
+        injector.heal()
+        monitor.check()
+        result.extra["faults"] = injector.summary()
     _record_phases(network, result)
     return result
 

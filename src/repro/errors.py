@@ -95,3 +95,19 @@ class SimulationError(LedgerViewError):
 
 class TwoPhaseCommitError(LedgerError):
     """A cross-chain 2PC transaction could not reach a decision."""
+
+
+class FaultInjectionError(SimulationError):
+    """An invalid fault plan, or a workload the injected faults defeated
+    (e.g. a transaction that never committed within the retry budget)."""
+
+
+class InvariantViolationError(LedgerViewError):
+    """A safety invariant broke under fault injection: duplicate commit,
+    replica divergence, or audit verdicts drifting from the fault-free
+    run (see :class:`repro.faults.InvariantMonitor`)."""
+
+
+class OwnerUnavailableError(AccessControlError):
+    """The view owner is offline (injected outage); synchronous
+    owner-mediated operations cannot be served right now."""

@@ -130,6 +130,15 @@ class NetworkConfig:
     #: wall-clock, like the crypto and ledger backend switches.
     pipeline_backend: str | None = None
 
+    # -- faults --------------------------------------------------------------
+    #: Fault-injection plan for this network: inline JSON or a path to
+    #: a JSON file (see :class:`repro.faults.FaultPlan`); an injector
+    #: is attached at network construction.  ``None`` falls back to the
+    #: process-wide ``REPRO_FAULT_PLAN`` environment variable; when
+    #: that is unset too, the network is fault-free and every fault
+    #: hook is skipped.
+    fault_plan: str | None = None
+
     def payload_delay_ms(self, size_bytes: int, per_kib: float) -> float:
         """Size-proportional component of a service time."""
         return per_kib * (size_bytes / 1024.0)

@@ -13,13 +13,14 @@ for real; only *durations* are simulated.
 
 from __future__ import annotations
 
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
-from repro.errors import LedgerError
+from repro.errors import FaultInjectionError, LedgerError
 from repro.fabric import parallel
 from repro.fabric.chaincode import Chaincode, ChaincodeRegistry, TxContext
 from repro.fabric.config import NetworkConfig
@@ -218,9 +219,28 @@ class FabricNetwork:
         #: service).  Listener errors propagate — a broken listener is a
         #: programming error, not something to swallow.
         self._block_listeners: list = []
+        #: Fault hooks (attached by :class:`repro.faults.FaultInjector`);
+        #: ``None`` keeps every fault branch below dead, so fault-free
+        #: runs follow exactly the original flow.
+        self.faults = None
+        #: The ordered block log (index = block number): the recovery
+        #: source for peers that missed deliveries while crashed.
+        self.block_log: list = []
+        #: Transaction ids already accepted for ordering — resubmitted
+        #: or duplicated copies are dropped here (only consulted when a
+        #: fault injector is attached).
+        self._ordered_tids: set[str] = set()
 
         env.process(self._pump())
         env.process(self._cut_loop())
+
+        plan_source = self.config.fault_plan or os.environ.get(
+            "REPRO_FAULT_PLAN"
+        )
+        if plan_source:
+            from repro.faults import FaultInjector, FaultPlan
+
+            FaultInjector(self, FaultPlan.from_source(plan_source))
 
     # -- administration ------------------------------------------------------
 
@@ -264,14 +284,73 @@ class FabricNetwork:
 
         Returns the process completion event; its value is a
         :class:`CommitNotice`.  Endorsement or chaincode failures fail
-        the event with the underlying exception.
+        the event with the underlying exception.  With a fault injector
+        and retry policy attached, submissions that produce no commit
+        notice in time are resubmitted with seeded backoff.
         """
+        if self.faults is not None and self.faults.retry is not None:
+            return self.env.process(self._submit_with_retry(proposal))
         return self.env.process(self._submit_process(proposal))
 
-    def _submit_process(self, proposal: Proposal):
+    def _committed_notice(self, tid: str) -> CommitNotice | None:
+        """Synthesise the notice for a tid the reference peer committed.
+
+        The rescue path for a notification lost to fault timing: an
+        earlier attempt's commit event can be consumed (or overwritten
+        by a resubmission) while the transaction itself lands on chain.
+        The ledger is the source of truth, so the notice is rebuilt
+        from the reference peer's validation code and block index.
+        """
+        peer = self.reference_peer
+        code = peer.validation_codes.get(tid)
+        if code is None:
+            return None
+        block_number, _position = peer.chain.locate(tid)
+        return CommitNotice(tid=tid, code=code, block_number=block_number)
+
+    def _submit_with_retry(self, proposal: Proposal):
+        """Submission with timeout + capped, seeded exponential backoff.
+
+        Chaincode and endorsement errors propagate immediately —
+        retrying a logic error cannot help.  Only a missing commit
+        notice (lost or delayed messages, crashed nodes) triggers a
+        resubmission, which reuses the proposal's transaction id so a
+        slow-but-alive original is deduplicated at the orderer rather
+        than committed twice.
+        """
+        env = self.env
+        faults = self.faults
+        policy = faults.retry
+        tid = proposal.tid
+        started = env.now
+        for attempt in range(1, policy.max_attempts + 1):
+            inner = env.process(self._submit_process(proposal, started=started))
+            yield env.any_of([inner, env.timeout(policy.timeout_ms)])
+            if inner.triggered:
+                return inner.value
+            notice = self._committed_notice(tid)
+            if notice is not None:
+                # Committed, but the notice went to an abandoned
+                # attempt: rebuild it from the ledger.
+                self._commit_events.pop(tid, None)
+                notice.response = self._responses.pop(tid, None)
+                faults.stats["rescued_notices"] += 1
+                self.metrics.committed_requests.increment()
+                self.metrics.latencies_ms.record(env.now, env.now - started)
+                return notice
+            faults.stats["retries"] += 1
+            yield env.timeout(policy.backoff_for(attempt, faults.rng))
+        raise FaultInjectionError(
+            f"transaction {tid!r} produced no commit notice after "
+            f"{policy.max_attempts} attempts"
+        )
+
+    def _submit_process(self, proposal: Proposal, started: float | None = None):
         env = self.env
         latency = self.config.latency
-        started = env.now
+        # Retried submissions pass the first attempt's start time so the
+        # recorded latency is the client-perceived end-to-end one.
+        started = env.now if started is None else started
 
         # --- endorsement phase ---
         yield env.timeout(latency.client_to_peer)
@@ -319,6 +398,25 @@ class FabricNetwork:
         commit_event = env.event()
         self._commit_events[tx.tid] = commit_event
         yield env.timeout(latency.client_to_orderer)
+        if self.faults is not None:
+            decision = self.faults.message_decision(
+                "client_to_orderer", kind=proposal.kind
+            )
+            if decision.delay_ms:
+                yield env.timeout(decision.delay_ms)
+            if decision.drop:
+                # The broadcast is lost in flight: the orderer never
+                # sees it, and this attempt blocks until a commit
+                # notice arrives another way (retry, or a duplicate).
+                notice = yield commit_event
+                notice.response = self._responses.pop(tx.tid, None)
+                self.metrics.committed_requests.increment()
+                self.metrics.latencies_ms.record(env.now, env.now - started)
+                return notice
+            if decision.duplicate:
+                # Network-level duplicate of the broadcast; the orderer
+                # pump deduplicates by tid.
+                yield self._order_inbox.put(tx)
         yield self._order_inbox.put(tx)
 
         notice: CommitNotice = yield commit_event
@@ -406,6 +504,14 @@ class FabricNetwork:
         """Move submitted transactions into the block cutter."""
         while True:
             tx = yield self._order_inbox.get()
+            if self.faults is not None:
+                # Deduplicate resubmissions and duplicated broadcasts:
+                # a retried proposal keeps its tid, so ordering the
+                # same tid twice would double-commit it.
+                if tx.tid in self._ordered_tids:
+                    self.faults.stats["deduped_txs"] += 1
+                    continue
+                self._ordered_tids.add(tx.tid)
             self._cutter.add(tx)
             arrival = self._arrival
             self._arrival = self.env.event()
@@ -441,6 +547,7 @@ class FabricNetwork:
                     yield env.timeout(self.config.ordering_consensus_ms)
                 with self.phase_wall.track("order"):
                     block = self.ordering.build_block(decision, timestamp=env.now)
+                self.block_log.append(block)
                 self.metrics.onchain_txs.increment(len(block.transactions))
                 # One memo per block, shared by every peer's delivery:
                 # the pure per-transaction checks (endorsement policy,
@@ -458,13 +565,49 @@ class FabricNetwork:
                 reason = self._cutter.should_cut()
 
     def _deliver(self, index: int, peer: Peer, block, memo=None):
-        """Ship one block to one peer; validate, commit, notify clients."""
+        """Ship one block to one peer; validate, commit, notify clients.
+
+        With a fault injector attached, a dropped delivery (or a
+        delivery to a crashed peer) is retried after
+        ``redeliver_after_ms`` until it lands — Fabric's deliver
+        service re-sends blocks a peer has not acknowledged.  A peer
+        that missed earlier blocks replays them from the orderer's
+        block log before committing this one, preserving chain order.
+        """
         env = self.env
         yield env.timeout(self.config.latency.orderer_to_peer)
+        if self.faults is not None:
+            while True:
+                decision = self.faults.message_decision(
+                    "orderer_to_peer", kind="block"
+                )
+                if decision.delay_ms:
+                    yield env.timeout(decision.delay_ms)
+                if decision.drop or self.faults.peer_down(peer):
+                    self.faults.stats["redeliveries"] += 1
+                    yield env.timeout(self.faults.plan.redeliver_after_ms)
+                    continue
+                break
+            while peer.chain.height < block.number:
+                yield from self._commit_and_notify(
+                    index, peer, self.block_log[peer.chain.height], None
+                )
+        yield from self._commit_and_notify(index, peer, block, memo)
+
+    def _commit_one(self, index: int, peer: Peer, block, memo=None):
+        """Validate and commit one block on one peer (CPU + service time).
+
+        Returns the commit result, or ``None`` when the peer's chain
+        already moved past this block while waiting for the CPU — a
+        redelivered copy or a catch-up replay committed it first.
+        """
+        env = self.env
         cpu = self._peer_cpus[index]
         request = cpu.request()
         yield request
         try:
+            if self.faults is not None and peer.chain.height != block.number:
+                return None
             service = self.config.commit_block_overhead_ms + sum(
                 self._validate_service_ms(tx) for tx in block.transactions
             )
@@ -484,6 +627,14 @@ class FabricNetwork:
                 )
         finally:
             cpu.release(request)
+        return result
+
+    def _commit_and_notify(self, index: int, peer: Peer, block, memo=None):
+        """Commit one block; on the reference peer, notify the clients."""
+        env = self.env
+        result = yield from self._commit_one(index, peer, block, memo)
+        if result is None:
+            return
         if peer is self.reference_peer:
             if self.track_state_roots:
                 with self.phase_wall.track("state_root"):

@@ -324,6 +324,38 @@ class Peer:
         memo.store_verdicts(self.chain.tip_hash, codes)
         return codes
 
+    # -- crash recovery ------------------------------------------------------
+
+    def recover_from_chain(
+        self,
+        peer_keys: dict[str, object],
+        peer_secrets: dict[str, bytes],
+        policy: int = 1,
+    ) -> int:
+        """Rebuild world state by replaying this peer's own blockchain.
+
+        Models crash recovery: the crash lost everything in memory —
+        state database, incremental digest, validation codes — but the
+        blockchain is durable.  State is a deterministic fold of the
+        chain, so replaying every block through the normal validation
+        path reproduces exactly the state (and digest root) held before
+        the crash.  The digest is rebuilt through the same ledger
+        backend the peer was constructed with.  Returns the number of
+        blocks replayed.
+        """
+        blocks = list(self.chain)
+        self.chain = Blockchain(self.chain.name)
+        self.statedb = StateDatabase()
+        self._digest = (
+            IncrementalStateDigest(self.statedb)
+            if self.ledger_backend.incremental_state_digest
+            else None
+        )
+        self.validation_codes = {}
+        for block in blocks:
+            self.validate_and_commit(block, peer_keys, peer_secrets, policy=policy)
+        return len(blocks)
+
     def state_digest(self):
         """A digest of current world state with ``root``/``prove``/``verify``.
 

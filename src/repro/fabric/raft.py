@@ -20,6 +20,7 @@ Ousterhout §5) specialised to the ordering use case:
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Any
@@ -42,6 +43,12 @@ class LogEntry:
     #: retried payload appended as a fresh entry cannot be confused
     #: with an abandoned one on a dead leader's log).
     waiters: list = field(default_factory=list)
+    #: Id of the ``replicate()`` call that appended this entry.  A retry
+    #: after a replication timeout looks the id up on the current
+    #: leader's log before appending again: if the original entry is
+    #: still there (the leader was slow, not dead), re-appending it
+    #: would commit the payload twice.
+    request_id: int | None = None
 
 
 @dataclass
@@ -93,6 +100,7 @@ class RaftCluster:
         self._rng = random.Random(seed)
         self.nodes = [_NodeState(node_id=i) for i in range(node_count)]
         self._majority = node_count // 2 + 1
+        self._request_ids = itertools.count(1)
         #: Election statistics (observable by tests).
         self.elections_held = 0
         for node in self.nodes:
@@ -133,9 +141,23 @@ class RaftCluster:
         self._reset_election_deadline(node)
 
     def committed_payloads(self, node_id: int | None = None) -> list[Any]:
-        """Committed log as seen by one node (default: the leader)."""
+        """Committed log as seen by one node (default: the leader).
+
+        Deduplicated by request id, first occurrence wins: a log written
+        before the duplicate-append fix (or replayed from one) can carry
+        the same replicate() call twice, and consumers of the committed
+        sequence must still see each payload exactly once.
+        """
         node = self.nodes[node_id] if node_id is not None else (self.leader or self.nodes[0])
-        return [entry.payload for entry in node.log[: node.commit_index + 1]]
+        payloads: list[Any] = []
+        seen: set[int] = set()
+        for entry in node.log[: node.commit_index + 1]:
+            if entry.request_id is not None:
+                if entry.request_id in seen:
+                    continue
+                seen.add(entry.request_id)
+            payloads.append(entry.payload)
+        return payloads
 
     # -- internals ------------------------------------------------------------
 
@@ -236,15 +258,39 @@ class RaftCluster:
             for peer in self._alive():
                 peer.commit_index = max(peer.commit_index, leader.commit_index)
 
+    def _find_entry(self, node: _NodeState, request_id: int) -> int | None:
+        """Index of the entry with ``request_id`` on a node's log."""
+        for index, entry in enumerate(node.log):
+            if entry.request_id == request_id:
+                return index
+        return None
+
     def _replicate_process(self, payload: Any, done: Event):
         env = self.env
+        request_id = next(self._request_ids)
         while True:
             leader = self.leader
             if leader is None:
                 yield env.timeout(self.heartbeat_ms)
                 continue
-            entry = LogEntry(term=leader.current_term, payload=payload)
-            leader.log.append(entry)
+            # Look the request up on the current leader's log before
+            # appending.  After a replication timeout the original
+            # entry is still there when the leader was slow rather than
+            # dead — blindly appending again (as this loop once did)
+            # committed the payload twice.
+            index = self._find_entry(leader, request_id)
+            if index is not None and index <= leader.commit_index:
+                done.succeed(index)
+                return
+            if index is None:
+                entry = LogEntry(
+                    term=leader.current_term,
+                    payload=payload,
+                    request_id=request_id,
+                )
+                leader.log.append(entry)
+            else:
+                entry = leader.log[index]
             waiter = env.event()
             entry.waiters.append(waiter)
             committed = yield env.any_of(
@@ -253,6 +299,8 @@ class RaftCluster:
             if waiter.triggered:
                 done.succeed(committed)
                 return
-            # Leader may have crashed before committing: drop the
-            # uncommitted entry from the dead leader's log copy is not
-            # needed (it is not on the new leader's log) — retry.
+            # Timed out.  Either the leader crashed before committing
+            # (the entry is not on the new leader's log and the next
+            # iteration appends a fresh copy), or the leader is slow
+            # but alive (the next iteration finds the entry by request
+            # id and just waits again).

@@ -1,0 +1,185 @@
+"""The fault injector: attaches a :class:`FaultPlan` to a live network.
+
+Construction wires the injector into ``network.faults`` (the network's
+fault hooks are no-ops while that attribute is ``None``) and schedules
+one simulation process per timed event.  All randomness — message
+fates, retry jitter — comes from RNGs seeded by the plan, so a chaos
+run is as deterministic as a fault-free one.
+
+``heal()`` ends the experiment: it cancels future scheduled faults,
+recovers every crashed node, closes owner-outage windows, and replays
+missed blocks everywhere so the converged state can be asserted.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import FaultInjectionError
+from repro.faults import recovery
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.sim.faults import NO_FAULT, FaultDecision, MessageFaultModel
+
+
+class FaultInjector:
+    """Runs one fault plan against one :class:`FabricNetwork`."""
+
+    def __init__(self, network, plan: FaultPlan):
+        self.network = network
+        self.plan = plan
+        self.env = network.env
+        #: Jitter/backoff randomness, separate from the message stream so
+        #: adding a retry does not shift later message decisions.
+        self.rng = random.Random(plan.seed)
+        self.messages = MessageFaultModel(plan.messages, seed=plan.seed ^ 0x5EED5)
+        self.retry = plan.retry
+        self.attached_at = self.env.now
+        self._down_peers: set[str] = set()
+        #: Closed-open absolute [start, end) owner-outage windows,
+        #: appended when their events fire (mutable so heal() can close
+        #: an in-progress window early).
+        self._owner_windows: list[list[float]] = []
+        self._healed = False
+        self.stats: dict[str, int] = {
+            "retries": 0,
+            "rescued_notices": 0,
+            "deduped_txs": 0,
+            "redeliveries": 0,
+            "peer_crashes": 0,
+            "peer_recoveries": 0,
+            "orderer_crashes": 0,
+            "owner_outages": 0,
+        }
+        self._validate(plan)
+        network.faults = self
+        for event in plan.events:
+            self.env.process(self._event_process(event))
+
+    def _validate(self, plan: FaultPlan) -> None:
+        network = self.network
+        for event in plan.events:
+            if event.kind == "crash_peer":
+                if not 0 <= (event.target or 0) < len(network.peers):
+                    raise FaultInjectionError(
+                        f"crash_peer target {event.target} out of range "
+                        f"for {len(network.peers)} peers"
+                    )
+                if event.target < network.config.endorsement_policy:
+                    raise FaultInjectionError(
+                        f"peer {event.target} endorses proposals (and peer 0 "
+                        "serves clients); endorser/reference-peer outages are "
+                        "not modelled — crash a validating peer instead"
+                    )
+            elif event.kind in ("crash_orderer", "crash_leader"):
+                if network.raft is None:
+                    raise FaultInjectionError(
+                        f"{event.kind} events need NetworkConfig.use_raft"
+                    )
+                if event.kind == "crash_orderer" and not (
+                    0 <= event.target < len(network.raft.nodes)
+                ):
+                    raise FaultInjectionError(
+                        f"crash_orderer target {event.target} out of range"
+                    )
+
+    # -- hooks the network consults ------------------------------------------
+
+    def message_decision(
+        self, channel: str, kind: str | None = None
+    ) -> FaultDecision:
+        """Fate of one message, relative to plan-attachment time."""
+        if self._healed:
+            return NO_FAULT
+        return self.messages.decide(
+            channel, self.env.now - self.attached_at, kind=kind
+        )
+
+    def peer_down(self, peer) -> bool:
+        return peer.peer_id in self._down_peers
+
+    def owner_available(self) -> bool:
+        now = self.env.now
+        return not any(start <= now < end for start, end in self._owner_windows)
+
+    def owner_unavailable_for(self) -> float:
+        """Milliseconds until the owner is back (0 when available)."""
+        now = self.env.now
+        remaining = [
+            end - now for start, end in self._owner_windows if start <= now < end
+        ]
+        return max(remaining, default=0.0)
+
+    # -- timed events ---------------------------------------------------------
+
+    def _event_process(self, event: FaultEvent):
+        env = self.env
+        yield env.timeout(max(event.at_ms, 0.0))
+        if self._healed:
+            return
+        if event.kind == "owner_outage":
+            self.stats["owner_outages"] += 1
+            self._owner_windows.append([env.now, env.now + event.for_ms])
+            return
+        if event.kind == "crash_peer":
+            peer = self.network.peers[event.target]
+            self._down_peers.add(peer.peer_id)
+            self.stats["peer_crashes"] += 1
+            if event.for_ms is None:
+                return
+            yield env.timeout(event.for_ms)
+            if not self._healed:
+                self.recover_peer(event.target)
+            return
+        raft = self.network.raft
+        if event.kind == "crash_leader":
+            leader = raft.leader
+            node_id = leader.node_id if leader is not None else 0
+        else:
+            node_id = event.target
+        raft.crash(node_id)
+        self.stats["orderer_crashes"] += 1
+        if event.for_ms is not None:
+            yield env.timeout(event.for_ms)
+            if not self._healed:
+                raft.recover(node_id)
+
+    # -- recovery --------------------------------------------------------------
+
+    def recover_peer(self, index: int) -> None:
+        """Bring a crashed peer back: replay its chain, catch up the rest."""
+        peer = self.network.peers[index]
+        self._down_peers.discard(peer.peer_id)
+        self.stats["peer_recoveries"] += 1
+        with self.network.phase_wall.track("recover"):
+            recovery.recover_peer(self.network, peer)
+
+    def heal(self) -> None:
+        """End the experiment: recover everything, stop further faults.
+
+        After ``heal()`` the network must satisfy every invariant a
+        fault-free run does — replicas converge, each tid is committed
+        exactly once — which is what the chaos differential suite
+        asserts.
+        """
+        self._healed = True
+        now = self.env.now
+        for window in self._owner_windows:
+            window[1] = min(window[1], now)
+        for index, peer in enumerate(self.network.peers):
+            if peer.peer_id in self._down_peers:
+                self.recover_peer(index)
+        if self.network.raft is not None:
+            for node in self.network.raft.nodes:
+                if node.crashed:
+                    self.network.raft.recover(node.node_id)
+        for peer in self.network.peers:
+            recovery.catch_up(self.network, peer)
+
+    def summary(self) -> dict:
+        """Counters for reports: injected faults and their handling."""
+        return {
+            **self.stats,
+            "messages_dropped": dict(self.messages.dropped),
+            "messages_duplicated": dict(self.messages.duplicated),
+            "messages_delayed": dict(self.messages.delayed),
+        }

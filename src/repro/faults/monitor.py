@@ -1,0 +1,88 @@
+"""Continuous safety assertions while faults are being injected.
+
+The :class:`InvariantMonitor` watches a network for the properties that
+must hold *regardless of timing*: every transaction id appears in the
+ordered log exactly once (no retry may double-commit), the Raft group
+never commits a block digest twice, replicas converge to one tip hash
+and one world state once faults heal, and audit verdicts match the
+fault-free run of the same seed.  The per-block check runs inside the
+block-event stream, so a violation aborts the run at the block that
+introduced it rather than surfacing as a diff at the end.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvariantViolationError, LedgerError
+
+
+class InvariantMonitor:
+    """Safety watchdog for one (possibly fault-injected) network."""
+
+    def __init__(self, network):
+        self.network = network
+        self._seen_tids: dict[str, int] = {}
+        self.blocks_checked = 0
+        network.on_block(self._on_block)
+
+    def _on_block(self, block, result) -> None:
+        """Per-block exactly-once check, on the live block-event stream."""
+        for tx in block.transactions:
+            first = self._seen_tids.setdefault(tx.tid, block.number)
+            if first != block.number:
+                raise InvariantViolationError(
+                    f"transaction {tx.tid!r} committed in block {first} "
+                    f"and again in block {block.number}"
+                )
+        self.blocks_checked += 1
+
+    # -- end-of-run assertions ----------------------------------------------
+
+    def assert_exactly_once(self) -> None:
+        """Each tid appears once in the ordered log; Raft digests unique."""
+        seen: dict[str, int] = {}
+        for block in self.network.block_log:
+            for tx in block.transactions:
+                if tx.tid in seen:
+                    raise InvariantViolationError(
+                        f"transaction {tx.tid!r} ordered in block "
+                        f"{seen[tx.tid]} and again in block {block.number}"
+                    )
+                seen[tx.tid] = block.number
+        raft = self.network.raft
+        if raft is not None:
+            for node in raft.nodes:
+                tids = [
+                    tid
+                    for digest in raft.committed_payloads(node.node_id)
+                    for tid in digest
+                ]
+                if len(tids) != len(set(tids)):
+                    raise InvariantViolationError(
+                        f"raft node {node.node_id} committed a transaction "
+                        "digest more than once"
+                    )
+
+    def assert_convergence(self) -> None:
+        """All replicas hold one chain and one world state (post-heal)."""
+        try:
+            self.network.verify_convergence()
+        except LedgerError as exc:
+            raise InvariantViolationError(str(exc)) from exc
+
+    def check(self) -> None:
+        """The full post-heal safety check."""
+        self.assert_exactly_once()
+        self.assert_convergence()
+
+    @staticmethod
+    def assert_audits_match(baseline: dict, observed: dict) -> None:
+        """Audit verdicts must equal the fault-free run's, key by key."""
+        if baseline != observed:
+            drifted = sorted(
+                key
+                for key in set(baseline) | set(observed)
+                if baseline.get(key) != observed.get(key)
+            )
+            raise InvariantViolationError(
+                f"audit verdicts drifted from the fault-free run: {drifted}"
+            )

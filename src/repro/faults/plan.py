@@ -1,0 +1,193 @@
+"""Fault plans: declarative, seeded schedules of what goes wrong when.
+
+A :class:`FaultPlan` is the single input to the fault-injection layer:
+message-fault rules for the latency model, timed crash/outage events,
+and the client gateway's retry policy.  Plans serialise to/from JSON so
+a failing chaos run can be reproduced from one string — the
+``REPRO_FAULT_PLAN`` environment variable (or
+``NetworkConfig.fault_plan``) accepts either inline JSON or a path to a
+JSON file.
+
+Event kinds:
+
+``crash_peer``
+    Take a peer down at ``at_ms`` (time relative to plan attachment)
+    and, when ``for_ms`` is given, bring it back up with a full
+    crash-recovery replay (state rebuilt from its blockchain) plus
+    catch-up of the blocks it missed.
+``crash_orderer`` / ``crash_leader``
+    Crash one Raft ordering node (``target``) or whoever leads at fire
+    time; requires ``NetworkConfig.use_raft``.
+``owner_outage``
+    The view owner is unreachable for ``for_ms``: owner-mediated
+    invocations queue until it returns, synchronous view queries raise
+    :class:`~repro.errors.OwnerUnavailableError`, and no TLC flush is
+    issued meanwhile.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjectionError
+from repro.sim.faults import MessageFaultRule
+
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+EVENT_KINDS = ("crash_peer", "crash_orderer", "crash_leader", "owner_outage")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client gateway retry: timeout + capped exponential backoff.
+
+    A submission that produces no commit notice within ``timeout_ms``
+    is resubmitted (same transaction id, so a duplicate that was merely
+    slow is deduplicated at the orderer) after an exponential backoff —
+    ``backoff_ms · backoff_factor^(attempt-1)``, capped at
+    ``max_backoff_ms``, plus uniform jitter from the plan's seeded RNG.
+    """
+
+    max_attempts: int = 8
+    timeout_ms: float = 4_000.0
+    backoff_ms: float = 200.0
+    backoff_factor: float = 2.0
+    max_backoff_ms: float = 5_000.0
+    jitter_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultInjectionError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_ms <= 0:
+            raise FaultInjectionError("timeout_ms must be positive")
+
+    def backoff_for(self, attempt: int, rng) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = min(
+            self.backoff_ms * self.backoff_factor ** max(attempt - 1, 0),
+            self.max_backoff_ms,
+        )
+        if self.jitter_ms:
+            base += rng.uniform(0.0, self.jitter_ms)
+        return base
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault: what, when, for how long, to whom."""
+
+    kind: str
+    at_ms: float
+    for_ms: float | None = None
+    target: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault event kind {self.kind!r}; "
+                f"expected one of {EVENT_KINDS}"
+            )
+        if self.at_ms < 0:
+            raise FaultInjectionError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.for_ms is not None and self.for_ms <= 0:
+            raise FaultInjectionError(f"for_ms must be > 0, got {self.for_ms}")
+        if self.kind in ("crash_peer", "crash_orderer") and self.target is None:
+            raise FaultInjectionError(f"{self.kind} event needs a target")
+        if self.kind == "owner_outage" and self.for_ms is None:
+            raise FaultInjectionError("owner_outage needs for_ms")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the injector needs, in one reproducible bundle."""
+
+    seed: int = 1
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    messages: tuple[MessageFaultRule, ...] = ()
+    events: tuple[FaultEvent, ...] = ()
+    #: How long a peer's deliver service waits before re-fetching a
+    #: block whose push was lost (Fabric peers pull blocks and retry;
+    #: without redelivery a single dropped block would wedge a replica
+    #: until an external heal).
+    redeliver_after_ms: float = 250.0
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        known = {"seed", "retry", "messages", "events", "redeliver_after_ms"}
+        unknown = set(raw) - known
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown fault-plan keys {sorted(unknown)!r}"
+            )
+        retry_raw = raw.get("retry", {})
+        retry = None if retry_raw is None else RetryPolicy(**retry_raw)
+        messages = tuple(
+            MessageFaultRule(
+                **{
+                    **rule,
+                    "delay_range_ms": tuple(
+                        rule.get("delay_range_ms", (0.0, 0.0))
+                    ),
+                }
+            )
+            for rule in raw.get("messages", [])
+        )
+        events = tuple(FaultEvent(**event) for event in raw.get("events", []))
+        return cls(
+            seed=raw.get("seed", 1),
+            retry=retry,
+            messages=messages,
+            events=events,
+            redeliver_after_ms=raw.get("redeliver_after_ms", 250.0),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "retry": None if self.retry is None else vars(self.retry).copy(),
+            "messages": [
+                {
+                    key: list(value) if isinstance(value, tuple) else value
+                    for key, value in vars(rule).items()
+                }
+                for rule in self.messages
+            ],
+            "events": [vars(event).copy() for event in self.events],
+            "redeliver_after_ms": self.redeliver_after_ms,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultInjectionError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise FaultInjectionError("fault plan JSON must be an object")
+        return cls.from_dict(raw)
+
+    @classmethod
+    def from_source(cls, source: str) -> "FaultPlan":
+        """Parse a plan from inline JSON or from a JSON file path."""
+        text = source.strip()
+        if not text.startswith("{") and os.path.exists(source):
+            with open(source, encoding="utf-8") as handle:
+                text = handle.read()
+        return cls.from_json(text)
+
+    @classmethod
+    def from_env(cls, env_var: str = ENV_VAR) -> "FaultPlan | None":
+        """The process-wide plan from ``REPRO_FAULT_PLAN``, if set."""
+        source = os.environ.get(env_var)
+        if not source:
+            return None
+        return cls.from_source(source)

@@ -25,6 +25,7 @@ Example
 """
 
 from repro.sim.core import Environment, Event, Interrupt, Process, Timeout
+from repro.sim.faults import FaultDecision, MessageFaultModel, MessageFaultRule
 from repro.sim.monitor import Counter, TimeSeries
 from repro.sim.resources import Container, Resource, Store
 
@@ -39,4 +40,7 @@ __all__ = [
     "Container",
     "Counter",
     "TimeSeries",
+    "FaultDecision",
+    "MessageFaultModel",
+    "MessageFaultRule",
 ]

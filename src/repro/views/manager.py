@@ -25,6 +25,7 @@ from repro.crypto.symmetric import SymmetricKey
 from repro.errors import (
     AccessDeniedError,
     DecryptionError,
+    OwnerUnavailableError,
     RevocationError,
     VerificationError,
 )
@@ -159,6 +160,25 @@ class ViewManager(ABC):
             self.txlist.register_view(name, predicate.descriptor())
         return record
 
+    # -- fault model --------------------------------------------------------------
+
+    def _owner_offline(self) -> bool:
+        """Is the view owner inside an injected outage window?"""
+        faults = self.gateway.network.faults
+        return faults is not None and not faults.owner_available()
+
+    def _await_owner(self):
+        """Queue until the view owner is back online (fault injection).
+
+        Owner-mediated invocations are buffered rather than lost: the
+        client's request waits out the outage window and proceeds when
+        the owner returns.  Multiple windows may overlap, so re-check
+        after each wait.
+        """
+        network = self.gateway.network
+        while network.faults is not None and not network.faults.owner_available():
+            yield network.env.timeout(network.faults.owner_unavailable_for())
+
     # -- client request path ------------------------------------------------------
 
     def invoke_with_secret(
@@ -214,6 +234,7 @@ class ViewManager(ABC):
         tid: str | None = None,
     ):
         network = self.gateway.network
+        yield from self._await_owner()
         processed = self.process_secret(secret)
         matching = self.buffer.matching(public)
 
@@ -307,6 +328,7 @@ class ViewManager(ABC):
         env = network.env
         if not invocations:
             return []
+        yield from self._await_owner()
         if not network.pipeline.batched_view_maintenance:
             events = [
                 env.process(
@@ -663,7 +685,18 @@ class ViewManager(ABC):
         ------
         AccessDeniedError
             If the requester is not currently authorized.
+        OwnerUnavailableError
+            If the view owner is inside an injected outage window —
+            queries are synchronous owner interactions, so an offline
+            owner cannot serve them (the caller retries after the
+            outage; invocations, by contrast, queue via
+            :meth:`_await_owner`).
         """
+        if self._owner_offline():
+            raise OwnerUnavailableError(
+                f"owner of view {view_name!r} is offline "
+                f"(back in {self.gateway.network.faults.owner_unavailable_for():.0f} ms)"
+            )
         record = self.buffer.get(view_name)
         if requester_id not in record.authorized:
             raise AccessDeniedError(

@@ -160,7 +160,16 @@ class TxListService:
 
     @property
     def pending_count(self) -> int:
-        return len(self._pending)
+        """Buffered flush work across all three buffers: business
+        updates, explicit extra assignments, and irrevocable view-data
+        entries.  ``due()`` and ``build_flush_proposal`` must agree on
+        what counts as pending, or buffers flushable only by one of
+        them starve."""
+        return (
+            len(self._pending)
+            + len(self._pending_extra)
+            + sum(len(entries) for entries in self._pending_view_data.values())
+        )
 
     def register_view(self, view: str, descriptor: dict[str, Any]) -> None:
         """Put the view definition on chain (one-time, per view)."""
@@ -188,15 +197,34 @@ class TxListService:
         for view, granted_tid in extra_assignments or []:
             self._pending_extra.append([view, granted_tid])
 
+    def record_extra(
+        self,
+        extra_assignments: list[tuple[str, str]],
+        view_data: dict[str, dict[str, Any]] | None = None,
+    ) -> None:
+        """Buffer explicit ``(view, tid)`` grants with no new business
+        transaction — a historical-access grant issued on its own.  The
+        assignments (and any irrevocable entries accompanying them) ride
+        in the next flush like any other pending work."""
+        for view, granted_tid in extra_assignments:
+            self._pending_extra.append([view, granted_tid])
+        for view, entries in (view_data or {}).items():
+            self._pending_view_data.setdefault(view, {}).update(entries)
+
     def due(self) -> bool:
         """Whether a flush should happen now.
 
-        True when updates are pending and either the interval elapsed
-        or the buffer reached ``max_pending``.
+        True when work is pending in *any* buffer — business updates,
+        extra assignments, or view data — and either the interval
+        elapsed or the buffers reached ``max_pending``.  Testing only
+        ``self._pending`` (as this method once did) starved extra-only
+        grants and view-data-only batches: they sat unflushed until an
+        unrelated business transaction arrived, silently lagging
+        completeness coverage.
         """
-        if not self._pending:
+        if not self.pending_count:
             return False
-        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+        if self.max_pending is not None and self.pending_count >= self.max_pending:
             return True
         return self._now() - self._last_flush_at >= self.flush_interval_ms
 
@@ -209,7 +237,7 @@ class TxListService:
         """
         from repro.fabric.endorser import Proposal
 
-        if not self._pending and not self._pending_extra:
+        if not self.pending_count:
             return None
         batch, self._pending = self._pending, []
         view_data, self._pending_view_data = self._pending_view_data, {}
@@ -235,9 +263,9 @@ class TxListService:
     def flush(self) -> int:
         """Write all buffered updates in one on-chain transaction.
 
-        Returns the number of flushed updates (0 when nothing pending).
+        Returns the number of flushed items (0 when nothing pending).
         """
-        pending = len(self._pending)
+        pending = self.pending_count
         proposal = self.build_flush_proposal()
         if proposal is None:
             return 0

@@ -1,0 +1,157 @@
+"""Regression: a replication retry must never commit a payload twice.
+
+The bug: ``RaftCluster._replicate_process`` retried after a replication
+timeout by blindly appending the payload again.  When the leader was
+*slow* rather than dead — e.g. temporarily without a majority — the
+original entry was still on its log, so the retry put a second copy
+there and both eventually committed.  The fix tags each ``replicate()``
+call with a request id and looks it up on the current leader's log
+before appending.
+
+The property test drives seeded crash/recover schedules against the
+cluster and asserts exactly-once commitment everywhere.
+"""
+
+import random
+
+from repro.fabric.raft import LEADER, RaftCluster
+from repro.sim import Environment
+
+
+def _cluster(env=None, **kwargs):
+    env = env or Environment()
+    params = {"node_count": 3, "heartbeat_ms": 50.0}
+    params.update(kwargs)
+    return env, RaftCluster(env, **params)
+
+
+def _crash_followers(cluster):
+    leader = cluster.leader
+    followers = [n for n in cluster.nodes if n is not leader]
+    for node in followers:
+        cluster.crash(node.node_id)
+    return leader, followers
+
+
+def test_slow_leader_retry_appends_no_duplicate():
+    """The regression itself: retries against a live minority leader.
+
+    With only the leader up, replication cannot commit, so the client's
+    replicate() call times out and retries repeatedly — against a
+    leader whose log still holds the original entry.  Pre-fix, every
+    retry appended another copy.
+    """
+    env, cluster = _cluster()
+    env.run(until=1_000)
+    leader, followers = _crash_followers(cluster)
+
+    pending = cluster.replicate("exactly-once")
+    # Several internal retry timeouts (2x election_timeout_ms upper
+    # bound each) elapse while the leader lacks a majority.
+    env.run(until=env.now + 3_000)
+    assert not pending.triggered
+    copies = [entry for entry in leader.log if entry.payload == "exactly-once"]
+    assert len(copies) == 1, (
+        f"retry duplicated the entry {len(copies)} times on a slow leader"
+    )
+
+    for node in followers:
+        cluster.recover(node.node_id)
+    env.run(until=pending)
+    assert cluster.committed_payloads().count("exactly-once") == 1
+    for node in cluster.nodes:
+        committed = [e.payload for e in node.log[: node.commit_index + 1]]
+        assert committed.count("exactly-once") == 1
+
+
+def test_retry_rescues_commit_from_before_crash():
+    """An entry committed on a crashed-then-replaced leader is found by
+    request id, not re-replicated, when the waiter raced the crash."""
+    env, cluster = _cluster()
+    env.run(until=1_000)
+    first = cluster.replicate("survivor")
+    env.run(until=first)
+    # Crash the leader after commit; a new leader emerges with the
+    # committed entry on its (adopted) log.
+    cluster.crash(cluster.leader.node_id)
+    second = cluster.replicate("after-crash")
+    env.run(until=second)
+    payloads = cluster.committed_payloads()
+    assert payloads.count("survivor") == 1
+    assert payloads.count("after-crash") == 1
+
+
+def test_committed_payloads_deduplicates_legacy_duplicate_logs():
+    """Logs written before the fix (duplicate entries for one request)
+    must still read back exactly-once through committed_payloads()."""
+    from repro.fabric.raft import LogEntry
+
+    env, cluster = _cluster(node_count=1)
+    env.run(until=1_000)
+    node = cluster.nodes[0]
+    assert node.role == LEADER
+    node.log.append(LogEntry(term=1, payload="dup", request_id=77))
+    node.log.append(LogEntry(term=1, payload="dup", request_id=77))
+    node.log.append(LogEntry(term=1, payload="other", request_id=78))
+    node.commit_index = len(node.log) - 1
+    assert cluster.committed_payloads(0).count("dup") == 1
+    assert cluster.committed_payloads(0).count("other") == 1
+
+
+def _exactly_once_everywhere(cluster, payloads):
+    for node in cluster.nodes:
+        committed = cluster.committed_payloads(node.node_id)
+        for payload in payloads:
+            count = committed.count(payload)
+            assert count <= 1, (
+                f"node {node.node_id} committed {payload!r} {count} times"
+            )
+        request_ids = [
+            e.request_id for e in node.log if e.request_id is not None
+        ]
+        assert len(request_ids) == len(set(request_ids)), (
+            f"node {node.node_id} log holds a request twice"
+        )
+    leader_committed = cluster.committed_payloads()
+    for payload in payloads:
+        assert leader_committed.count(payload) == 1
+
+
+def test_exactly_once_under_seeded_crash_schedules():
+    """Property: across seeded crash/recover/slow-leader schedules,
+    every replicate() call commits its payload exactly once on every
+    replica."""
+    for seed in range(8):
+        rng = random.Random(seed)
+        env, cluster = _cluster(seed=seed + 1)
+        env.run(until=1_000)
+
+        payloads = [f"s{seed}-p{i}" for i in range(5)]
+        done = []
+
+        def client():
+            for payload in payloads:
+                done.append(cluster.replicate(payload))
+                yield env.timeout(rng.uniform(50.0, 400.0))
+
+        def chaos():
+            for _round in range(3):
+                yield env.timeout(rng.uniform(100.0, 800.0))
+                alive = [n for n in cluster.nodes if not n.crashed]
+                if len(alive) < 3:
+                    continue  # keep a majority reachable
+                victim = rng.choice(alive)
+                cluster.crash(victim.node_id)
+                yield env.timeout(rng.uniform(200.0, 1_500.0))
+                cluster.recover(victim.node_id)
+
+        env.process(client())
+        env.process(chaos())
+        env.run(until=30_000)
+        for node in cluster.nodes:
+            if node.crashed:
+                cluster.recover(node.node_id)
+        env.run(until=90_000)
+
+        assert all(event.triggered for event in done), f"seed {seed} stalled"
+        _exactly_once_everywhere(cluster, payloads)

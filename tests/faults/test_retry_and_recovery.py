@@ -1,0 +1,304 @@
+"""Fault-injection integration: retries, redelivery, crash recovery,
+and owner outages on a live simulated network."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import build_network
+from repro.errors import FaultInjectionError, OwnerUnavailableError
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.network import Gateway
+from repro.fabric.peer import ValidationCode
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    InvariantMonitor,
+    MessageFaultRule,
+    RetryPolicy,
+    recover_peer,
+)
+from repro.views.hash_based import HashBasedManager
+from repro.views.predicates import AttributeEquals
+from repro.views.types import ViewMode
+
+RETRY = RetryPolicy(timeout_ms=1_000.0, backoff_ms=50.0, jitter_ms=10.0)
+
+
+def _network(plan=None, **config_overrides):
+    config = NetworkConfig(
+        latency=SINGLE_REGION,
+        real_signatures=False,
+        batch_timeout_ms=50.0,
+        fault_plan=plan.to_json() if plan is not None else None,
+        **config_overrides,
+    )
+    return build_network(config)
+
+
+def _invoke_items(network, user, count, prefix="i"):
+    return [
+        network.invoke_sync(
+            user, "supply", "create_item", {"item": f"{prefix}{i}", "owner": "M"}
+        )
+        for i in range(count)
+    ]
+
+
+def test_config_fault_plan_attaches_injector():
+    plan = FaultPlan(seed=3, retry=RETRY)
+    network = _network(plan)
+    assert network.faults is not None
+    assert network.faults.plan == plan
+
+
+def test_env_var_fault_plan_attaches_injector(monkeypatch):
+    plan = FaultPlan(seed=5, retry=RETRY)
+    monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+    network = _network()
+    assert network.faults is not None
+    assert network.faults.plan == plan
+
+
+def test_no_plan_means_no_injector(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+    network = _network()
+    assert network.faults is None
+    assert network.block_log == []
+
+
+def test_dropped_broadcast_is_retried_exactly_once():
+    plan = FaultPlan(
+        seed=1,
+        retry=RETRY,
+        messages=(
+            MessageFaultRule(channel="client_to_orderer", drop=1.0, max_drops=1),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    user = network.register_user("u")
+    notices = _invoke_items(network, user, 3)
+    assert all(n.code is ValidationCode.VALID for n in notices)
+    assert network.faults.stats["retries"] == 1
+    network.faults.heal()
+    monitor.check()
+    tids = [tx.tid for block in network.block_log for tx in block.transactions]
+    assert len(tids) == len(set(tids))
+
+
+def test_duplicated_broadcast_is_deduplicated_at_orderer():
+    plan = FaultPlan(
+        seed=1,
+        retry=RETRY,
+        messages=(
+            MessageFaultRule(channel="client_to_orderer", duplicate=1.0),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    user = network.register_user("u")
+    notices = _invoke_items(network, user, 3)
+    assert all(n.code is ValidationCode.VALID for n in notices)
+    assert network.faults.stats["deduped_txs"] >= 3
+    network.faults.heal()
+    monitor.check()
+
+
+def test_dropped_block_delivery_is_redelivered():
+    plan = FaultPlan(
+        seed=1,
+        retry=RETRY,
+        redeliver_after_ms=25.0,
+        messages=(
+            MessageFaultRule(channel="orderer_to_peer", drop=1.0, max_drops=2),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    user = network.register_user("u")
+    notices = _invoke_items(network, user, 4)
+    assert all(n.code is ValidationCode.VALID for n in notices)
+    assert network.faults.stats["redeliveries"] >= 2
+    network.faults.heal()
+    monitor.check()
+
+
+def test_delayed_messages_commit_without_retry_duplicates():
+    plan = FaultPlan(
+        seed=1,
+        retry=RETRY,
+        messages=(
+            MessageFaultRule(
+                channel="orderer_to_peer",
+                delay=1.0,
+                delay_range_ms=(5.0, 40.0),
+            ),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    user = network.register_user("u")
+    notices = _invoke_items(network, user, 3)
+    assert all(n.code is ValidationCode.VALID for n in notices)
+    network.faults.heal()
+    monitor.check()
+
+
+def test_crashed_peer_recovers_by_replaying_its_chain():
+    plan = FaultPlan(
+        seed=1,
+        retry=RETRY,
+        events=(
+            FaultEvent(kind="crash_peer", at_ms=100.0, for_ms=400.0, target=1),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    user = network.register_user("u")
+    notices = _invoke_items(network, user, 6)
+    assert all(n.code is ValidationCode.VALID for n in notices)
+    network.env.run(until=network.env.now + 1_000)
+    assert network.faults.stats["peer_crashes"] == 1
+    assert network.faults.stats["peer_recoveries"] == 1
+    network.faults.heal()
+    monitor.check()
+    network.verify_convergence()
+
+
+def test_crash_leader_mid_run_with_raft():
+    plan = FaultPlan(
+        seed=1,
+        retry=replace(RETRY, timeout_ms=3_000.0),
+        events=(FaultEvent(kind="crash_leader", at_ms=150.0, for_ms=1_500.0),),
+    )
+    network = _network(plan, use_raft=True)
+    monitor = InvariantMonitor(network)
+    user = network.register_user("u")
+    notices = _invoke_items(network, user, 5)
+    assert all(n.code is ValidationCode.VALID for n in notices)
+    assert network.faults.stats["orderer_crashes"] == 1
+    network.faults.heal()
+    monitor.check()
+
+
+def test_recover_peer_rebuilds_identical_state():
+    network = _network()
+    user = network.register_user("u")
+    _invoke_items(network, user, 5)
+    peer = network.peers[1]
+    reference_root = network.reference_peer.current_state_root()
+    assert peer.current_state_root() == reference_root
+    # Wipe and rebuild from the blockchain alone.
+    replayed = peer.recover_from_chain(
+        network._peer_keys,
+        network._peer_secrets,
+        policy=network.config.endorsement_policy,
+    )
+    assert replayed == peer.chain.height
+    assert peer.current_state_root() == reference_root
+    network.verify_convergence()
+
+
+def test_recover_peer_catches_up_missed_blocks():
+    plan = FaultPlan(seed=1, retry=RETRY)
+    network = _network(plan)
+    user = network.register_user("u")
+    _invoke_items(network, user, 2)
+    peer = network.peers[1]
+    # Simulate a long outage: the peer missed blocks entirely.
+    network.faults._down_peers.add(peer.peer_id)
+    _invoke_items(network, user, 2, prefix="late")
+    assert peer.chain.height < len(network.block_log)
+    network.faults._down_peers.discard(peer.peer_id)
+    applied = recover_peer(network, peer)
+    assert applied >= 1
+    assert peer.chain.height == len(network.block_log)
+    network.env.run(until=network.env.now + 500)
+    network.verify_convergence()
+
+
+def test_owner_outage_queues_invocations_and_fails_queries():
+    plan = FaultPlan(
+        seed=1,
+        retry=RETRY,
+        events=(FaultEvent(kind="owner_outage", at_ms=100.0, for_ms=1_000.0),),
+    )
+    network = _network(plan)
+    env = network.env
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", AttributeEquals("to", "W1"), ViewMode.REVOCABLE)
+    env.run(until=200)  # inside the outage window
+    assert not network.faults.owner_available()
+    with pytest.raises(OwnerUnavailableError):
+        manager.query_view("w1", "anyone")
+
+    event = manager.invoke_with_secret_async(
+        "create_item",
+        {"item": "i1", "owner": "W1"},
+        {"item": "i1", "to": "W1"},
+        b"secret",
+    )
+    env.run(until=400)
+    assert not event.triggered  # queued behind the outage
+    env.run(until=event)
+    assert env.now > 1_100.0  # completed only after the owner returned
+    assert event.value.notice.code is ValidationCode.VALID
+    assert network.faults.owner_available()
+    assert network.faults.stats["owner_outages"] == 1
+
+
+def test_heal_closes_open_owner_window():
+    plan = FaultPlan(
+        seed=1,
+        retry=RETRY,
+        events=(FaultEvent(kind="owner_outage", at_ms=0.0, for_ms=1e9),),
+    )
+    network = _network(plan)
+    network.env.run(until=100)
+    assert not network.faults.owner_available()
+    network.faults.heal()
+    assert network.faults.owner_available()
+
+
+def test_plan_validation_rejects_endorser_crash():
+    plan = FaultPlan(
+        seed=1,
+        events=(FaultEvent(kind="crash_peer", at_ms=0.0, target=0),),
+    )
+    with pytest.raises(FaultInjectionError, match="reference-peer"):
+        _network(plan)
+
+
+def test_plan_validation_rejects_out_of_range_peer():
+    plan = FaultPlan(
+        seed=1,
+        events=(FaultEvent(kind="crash_peer", at_ms=0.0, target=99),),
+    )
+    with pytest.raises(FaultInjectionError, match="out of range"):
+        _network(plan)
+
+
+def test_plan_validation_requires_raft_for_orderer_crash():
+    plan = FaultPlan(
+        seed=1,
+        events=(FaultEvent(kind="crash_orderer", at_ms=0.0, target=0),),
+    )
+    with pytest.raises(FaultInjectionError, match="use_raft"):
+        _network(plan)
+
+
+def test_retry_exhaustion_fails_the_submission():
+    plan = FaultPlan(
+        seed=1,
+        retry=RetryPolicy(max_attempts=2, timeout_ms=200.0, backoff_ms=10.0),
+        messages=(MessageFaultRule(channel="client_to_orderer", drop=1.0),),
+    )
+    network = _network(plan)
+    user = network.register_user("u")
+    with pytest.raises(FaultInjectionError, match="no commit notice"):
+        network.invoke_sync(
+            user, "supply", "create_item", {"item": "lost", "owner": "M"}
+        )
