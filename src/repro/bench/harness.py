@@ -103,6 +103,8 @@ def _record_phases(network: FabricNetwork, result: RunResult) -> None:
     parallelism = network.phase_wall.parallelism()
     if any(peak > 1 for peak in parallelism.values()):
         result.extra["phase_parallelism"] = parallelism
+    if network.storage is not None:
+        result.extra["storage"] = network.storage.summary()
     network.phase_wall.merge_into(PHASE_TOTALS)
 
 

@@ -111,3 +111,28 @@ class InvariantViolationError(LedgerViewError):
 class OwnerUnavailableError(AccessControlError):
     """The view owner is offline (injected outage); synchronous
     owner-mediated operations cannot be served right now."""
+
+
+class StorageError(LedgerViewError):
+    """Base class for durability-layer failures (WAL, snapshots)."""
+
+
+class WalCorruptionError(StorageError):
+    """A write-ahead-log record failed its length/CRC framing check
+    somewhere other than the truncatable tail."""
+
+
+class SnapshotIntegrityError(StorageError):
+    """A snapshot file failed its checksum or its recorded tip/state
+    anchors do not match the chain it claims to checkpoint."""
+
+
+class SimulatedCrashError(StorageError):
+    """An injected crash point fired mid-durability-operation: the node
+    process is considered dead at this instant (see
+    :class:`repro.storage.CrashPointGuard`).  Carries the torn prefix
+    that made it to the log, if the crash interrupted an append."""
+
+    def __init__(self, message: str, torn_prefix: bytes | None = None):
+        super().__init__(message)
+        self.torn_prefix = torn_prefix

@@ -139,6 +139,23 @@ class NetworkConfig:
     #: hook is skipped.
     fault_plan: str | None = None
 
+    # -- durability ----------------------------------------------------------
+    #: Durability backend for this network's nodes ("memory"/"disk"/
+    #: "none"; see :mod:`repro.storage`).  ``None`` falls back to the
+    #: process-wide ``REPRO_STORAGE_BACKEND`` environment variable;
+    #: when that is unset too, durability is off and peers are purely
+    #: in-memory (the seed behaviour).  With a backend, every peer
+    #: write-ahead-logs committed blocks, checkpoints state every
+    #: ``snapshot_interval_blocks``, and restarts recover from
+    #: snapshot + WAL suffix instead of genesis replay.
+    storage_backend: str | None = None
+    #: Root directory for the "disk" backend (a fresh temporary
+    #: directory when ``None``).  Ignored by "memory".
+    storage_dir: str | None = None
+    #: Blocks between state checkpoints; bounds the WAL suffix a
+    #: restart must re-apply.
+    snapshot_interval_blocks: int = 25
+
     def payload_delay_ms(self, size_bytes: int, per_kib: float) -> float:
         """Size-proportional component of a service time."""
         return per_kib * (size_bytes / 1024.0)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any
 
-from repro.errors import FaultInjectionError, LedgerError
+from repro.errors import FaultInjectionError, LedgerError, SimulatedCrashError
 from repro.fabric import parallel
 from repro.fabric.chaincode import Chaincode, ChaincodeRegistry, TxContext
 from repro.fabric.config import NetworkConfig
@@ -30,6 +30,7 @@ from repro.fabric.orderer import BlockCutter, OrderingService
 from repro.fabric.peer import Peer, ValidationCode
 from repro.ledger.transaction import Transaction
 from repro.sim import Counter, Environment, Event, Resource, Store, TimeSeries
+from repro.storage import StorageRuntime
 
 
 @dataclass
@@ -230,6 +231,16 @@ class FabricNetwork:
         #: or duplicated copies are dropped here (only consulted when a
         #: fault injector is attached).
         self._ordered_tids: set[str] = set()
+
+        #: Durability runtime (:class:`repro.storage.StorageRuntime`),
+        #: or ``None`` when the storage backend is off — peers are then
+        #: purely in-memory, exactly the pre-durability behaviour.
+        #: Built before the fault injector so crash-point plans can
+        #: validate against (and arm) the per-peer stores.
+        self.storage = StorageRuntime.from_config(self.config, chain_name)
+        if self.storage is not None:
+            for peer in self.peers:
+                self.storage.attach_peer(peer)
 
         env.process(self._pump())
         env.process(self._cut_loop())
@@ -548,6 +559,8 @@ class FabricNetwork:
                 with self.phase_wall.track("order"):
                     block = self.ordering.build_block(decision, timestamp=env.now)
                 self.block_log.append(block)
+                if self.storage is not None:
+                    self.storage.log_ordered_block(block)
                 self.metrics.onchain_txs.increment(len(block.transactions))
                 # One memo per block, shared by every peer's delivery:
                 # the pure per-transaction checks (endorsement policy,
@@ -618,13 +631,25 @@ class FabricNetwork:
                 # commit mutates it.
                 self._fanout.drain(peer.peer_id)
             with self.phase_wall.track("commit"):
-                result = peer.validate_and_commit(
-                    block,
-                    self._peer_keys,
-                    self._peer_secrets,
-                    policy=self.config.endorsement_policy,
-                    memo=memo,
-                )
+                try:
+                    result = peer.validate_and_commit(
+                        block,
+                        self._peer_keys,
+                        self._peer_secrets,
+                        policy=self.config.endorsement_policy,
+                        memo=memo,
+                    )
+                except SimulatedCrashError:
+                    # An armed crash point fired inside this peer's
+                    # durable commit path: the peer is dead mid-write.
+                    # Its in-memory containers are now untrusted (the
+                    # recovery path rebuilds them from the durable
+                    # store); the injector marks it down so deliveries
+                    # queue for redelivery until it recovers.
+                    if self.faults is None:
+                        raise
+                    self.faults.on_storage_crash(index)
+                    return None
         finally:
             cpu.release(request)
         return result

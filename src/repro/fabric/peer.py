@@ -84,6 +84,16 @@ class Peer:
         self.mac_secret = hmac_sha256(b"peer-secret", peer_id.encode())
         #: Validation codes for every transaction this peer committed.
         self.validation_codes: dict[str, ValidationCode] = {}
+        #: Durable store (:class:`repro.storage.NodeStore`) when the
+        #: network runs with a storage backend; None = purely in-memory.
+        self.store = None
+        #: :class:`repro.storage.RecoveryReport` of the most recent
+        #: ``recover_from_chain`` call (None until the first recovery).
+        self.last_recovery = None
+
+    def attach_store(self, store) -> None:
+        """Attach a durable store; subsequent commits are WAL-logged."""
+        self.store = store
 
     # -- endorsement -------------------------------------------------------
 
@@ -195,6 +205,16 @@ class Peer:
             codes = self._validate_serial(block, peer_keys, peer_secrets, policy)
             self.chain.append(block)
         self.validation_codes.update(codes)
+        if self.store is not None:
+            # Apply-then-log: the block is in memory before the WAL
+            # append, so a crash inside the append loses both together
+            # (process memory dies with the process) and the durable
+            # prefix stays consistent; the gap is re-fetched via
+            # catch-up.  A SimulatedCrashError here propagates to the
+            # network, which treats this peer as dead.
+            self.store.log_block(block, codes)
+            if self.store.snapshot_due(self.chain.height):
+                self.store.write_snapshot_for(self)
         return CommitResult(block_number=block.number, codes=codes)
 
     def _validate_serial(
@@ -326,24 +346,9 @@ class Peer:
 
     # -- crash recovery ------------------------------------------------------
 
-    def recover_from_chain(
-        self,
-        peer_keys: dict[str, object],
-        peer_secrets: dict[str, bytes],
-        policy: int = 1,
-    ) -> int:
-        """Rebuild world state by replaying this peer's own blockchain.
-
-        Models crash recovery: the crash lost everything in memory —
-        state database, incremental digest, validation codes — but the
-        blockchain is durable.  State is a deterministic fold of the
-        chain, so replaying every block through the normal validation
-        path reproduces exactly the state (and digest root) held before
-        the crash.  The digest is rebuilt through the same ledger
-        backend the peer was constructed with.  Returns the number of
-        blocks replayed.
-        """
-        blocks = list(self.chain)
+    def reset_world_state(self) -> None:
+        """Discard chain, state, digest, and codes — the crash model's
+        "everything in memory is gone" starting point for recovery."""
         self.chain = Blockchain(self.chain.name)
         self.statedb = StateDatabase()
         self._digest = (
@@ -352,8 +357,75 @@ class Peer:
             else None
         )
         self.validation_codes = {}
+
+    def apply_recovered_block(
+        self,
+        block: Block,
+        codes: dict[str, ValidationCode],
+        size_bytes: int | None = None,
+        apply_state: bool = True,
+    ) -> None:
+        """Re-commit a block from the durable log without re-validating.
+
+        The WAL records each block's validation codes, so recovery
+        applies exactly the writes the original commit applied (VALID
+        transactions' write sets, stamped ``Version(block, position)``)
+        instead of re-running signatures and MVCC — that is what makes
+        restart cost proportional to the replayed suffix.  The chain
+        append still checks the hash link, so a corrupted record cannot
+        splice in.  With ``apply_state=False`` only the chain and codes
+        are rebuilt (the state comes from a snapshot instead).
+        """
+        self.chain.append(block, prevalidated=True, size_bytes=size_bytes)
+        if apply_state:
+            for position, tx in enumerate(block.transactions):
+                if codes.get(tx.tid) is not ValidationCode.VALID:
+                    continue
+                _read_set, write_set = parse_rwset(tx)
+                version = Version(block=block.number, position=position)
+                for key, value in write_set.items():
+                    self.statedb.put(key, value, version)
+        self.validation_codes.update(codes)
+
+    def recover_from_chain(
+        self,
+        peer_keys: dict[str, object],
+        peer_secrets: dict[str, bytes],
+        policy: int = 1,
+    ) -> int:
+        """Rebuild world state after a crash; returns blocks recovered.
+
+        With a durable store attached, recovery loads the newest
+        verified snapshot and replays only the WAL suffix past it (see
+        :meth:`repro.storage.NodeStore.recover_peer`); the in-memory
+        chain is *not* trusted — it died with the process.  Without a
+        store, the legacy model applies: the chain object itself is
+        durable, and every block is replayed through the normal
+        validation path from genesis.  Both paths leave
+        :attr:`last_recovery` describing what was done, and both
+        reproduce byte-identical state, digest root, and validation
+        codes (state is a deterministic fold of the chain).
+        """
+        if self.store is not None:
+            report = self.store.recover_peer(self)
+            self.last_recovery = report
+            return report.chain_blocks_loaded
+        from repro.storage.node import RecoveryReport
+
+        blocks = list(self.chain)
+        self.reset_world_state()
         for block in blocks:
             self.validate_and_commit(block, peer_keys, peer_secrets, policy=policy)
+        self.last_recovery = RecoveryReport(
+            node_id=self.peer_id,
+            mode="genesis-replay",
+            snapshot_height=0,
+            chain_blocks_loaded=len(blocks),
+            state_blocks_replayed=len(blocks),
+            revalidated_blocks=len(blocks),
+            torn_tail=False,
+            wal_end_offset=0,
+        )
         return len(blocks)
 
     def state_digest(self):

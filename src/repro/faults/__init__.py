@@ -28,12 +28,19 @@ any run via the ``REPRO_FAULT_PLAN`` environment variable or
 
 from repro.faults.injector import FaultInjector
 from repro.faults.monitor import InvariantMonitor
-from repro.faults.plan import ENV_VAR, FaultEvent, FaultPlan, RetryPolicy
+from repro.faults.plan import (
+    ENV_VAR,
+    CrashPointSpec,
+    FaultEvent,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.faults.recovery import catch_up, recover_peer
 from repro.sim.faults import FaultDecision, MessageFaultModel, MessageFaultRule
 
 __all__ = [
     "ENV_VAR",
+    "CrashPointSpec",
     "FaultDecision",
     "FaultEvent",
     "FaultInjector",

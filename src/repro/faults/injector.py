@@ -49,11 +49,21 @@ class FaultInjector:
             "peer_recoveries": 0,
             "orderer_crashes": 0,
             "owner_outages": 0,
+            "storage_crashes": 0,
         }
         self._validate(plan)
         network.faults = self
         for event in plan.events:
             self.env.process(self._event_process(event))
+        #: recover_after_ms per armed crash point, keyed by peer index;
+        #: consulted when the point fires (op order, not sim time).
+        self._crash_point_recovery: dict[int, float | None] = {}
+        for point in plan.crash_points:
+            store = network.storage.node_store(
+                network.peers[point.target].peer_id
+            )
+            store.guard.arm(point.at_op, point.partial_fraction)
+            self._crash_point_recovery[point.target] = point.recover_after_ms
 
     def _validate(self, plan: FaultPlan) -> None:
         network = self.network
@@ -81,6 +91,25 @@ class FaultInjector:
                     raise FaultInjectionError(
                         f"crash_orderer target {event.target} out of range"
                     )
+        for point in plan.crash_points:
+            if network.storage is None:
+                raise FaultInjectionError(
+                    "crash_points need a storage backend "
+                    "(NetworkConfig.storage_backend or "
+                    "REPRO_STORAGE_BACKEND); without durable stores "
+                    "there is no WAL to crash mid-write"
+                )
+            if not 0 <= point.target < len(network.peers):
+                raise FaultInjectionError(
+                    f"crash point target {point.target} out of range "
+                    f"for {len(network.peers)} peers"
+                )
+            if point.target < network.config.endorsement_policy:
+                raise FaultInjectionError(
+                    f"peer {point.target} endorses proposals (and peer 0 "
+                    "serves clients); endorser/reference-peer outages are "
+                    "not modelled — crash a validating peer instead"
+                )
 
     # -- hooks the network consults ------------------------------------------
 
@@ -143,6 +172,32 @@ class FaultInjector:
             if not self._healed:
                 raft.recover(node_id)
 
+    # -- storage crash points ---------------------------------------------------
+
+    def on_storage_crash(self, index: int) -> None:
+        """A crash point fired inside peer ``index``'s durable commit.
+
+        Called by the network's commit path when a
+        :class:`~repro.errors.SimulatedCrashError` propagates out of
+        ``validate_and_commit``: the peer died mid-durability-op.  It
+        is marked down (deliveries queue for redelivery like any other
+        crash) and, when its crash point carried ``recover_after_ms``,
+        a restart — snapshot + WAL-suffix recovery plus catch-up — is
+        scheduled that far in the simulated future.
+        """
+        peer = self.network.peers[index]
+        self._down_peers.add(peer.peer_id)
+        self.stats["storage_crashes"] += 1
+        recover_after = self._crash_point_recovery.get(index)
+        if recover_after is not None:
+            self.env.process(self._storage_recovery(index, recover_after))
+
+    def _storage_recovery(self, index: int, after_ms: float):
+        yield self.env.timeout(after_ms)
+        peer = self.network.peers[index]
+        if not self._healed and peer.peer_id in self._down_peers:
+            self.recover_peer(index)
+
     # -- recovery --------------------------------------------------------------
 
     def recover_peer(self, index: int) -> None:
@@ -165,6 +220,11 @@ class FaultInjector:
         now = self.env.now
         for window in self._owner_windows:
             window[1] = min(window[1], now)
+        if self.network.storage is not None:
+            # Disarm un-fired crash points so the recovery commits
+            # below cannot trip them.
+            for peer in self.network.peers:
+                self.network.storage.node_store(peer.peer_id).guard.disarm()
         for index, peer in enumerate(self.network.peers):
             if peer.peer_id in self._down_peers:
                 self.recover_peer(index)

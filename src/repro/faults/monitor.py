@@ -4,15 +4,18 @@ The :class:`InvariantMonitor` watches a network for the properties that
 must hold *regardless of timing*: every transaction id appears in the
 ordered log exactly once (no retry may double-commit), the Raft group
 never commits a block digest twice, replicas converge to one tip hash
-and one world state once faults heal, and audit verdicts match the
-fault-free run of the same seed.  The per-block check runs inside the
+and one world state once faults heal, audit verdicts match the
+fault-free run of the same seed, and — when the network runs with a
+durable storage backend — no committed block or state write is lost
+across a restart (every peer's durable store must reproduce its live
+replica byte-for-byte).  The per-block check runs inside the
 block-event stream, so a violation aborts the run at the block that
 introduced it rather than surfacing as a diff at the end.
 """
 
 from __future__ import annotations
 
-from repro.errors import InvariantViolationError, LedgerError
+from repro.errors import InvariantViolationError, LedgerError, StorageError
 
 
 class InvariantMonitor:
@@ -69,10 +72,46 @@ class InvariantMonitor:
         except LedgerError as exc:
             raise InvariantViolationError(str(exc)) from exc
 
+    def assert_durability(self) -> None:
+        """Nothing committed is lost across a restart (storage runs only).
+
+        For every peer with a durable store, a shadow replica is
+        rebuilt purely from that store (newest snapshot + WAL suffix)
+        and caught up from the ordered log; it must match the live
+        peer byte-for-byte — tip hash, world state with versions,
+        validation codes, state root.  The orderer's own WAL must
+        likewise reproduce the ordered block log.  A no-op when the
+        network runs without a storage backend.
+        """
+        network = self.network
+        if network.storage is None:
+            return
+        from repro.storage import verify_restart
+
+        for peer in network.peers:
+            if peer.store is None:
+                continue
+            try:
+                verify_restart(network, peer)
+            except StorageError as exc:
+                raise InvariantViolationError(str(exc)) from exc
+        durable_log = network.storage.restore_block_log()
+        live_log = network.block_log
+        if len(durable_log) != len(live_log) or any(
+            durable.hash() != live.hash()
+            for durable, live in zip(durable_log, live_log)
+        ):
+            raise InvariantViolationError(
+                f"durability violation at the orderer: WAL restores "
+                f"{len(durable_log)} blocks, live ordered log has "
+                f"{len(live_log)}, or hashes diverge"
+            )
+
     def check(self) -> None:
         """The full post-heal safety check."""
         self.assert_exactly_once()
         self.assert_convergence()
+        self.assert_durability()
 
     @staticmethod
     def assert_audits_match(baseline: dict, observed: dict) -> None:

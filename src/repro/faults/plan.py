@@ -23,6 +23,13 @@ Event kinds:
     invocations queue until it returns, synchronous view queries raise
     :class:`~repro.errors.OwnerUnavailableError`, and no TLC flush is
     issued meanwhile.
+
+Separately from timed events, ``crash_points`` kill a peer at an exact
+*durable operation* rather than an instant of simulated time: each
+:class:`CrashPointSpec` arms the target peer's storage guard so its
+``at_op``-th WAL/snapshot/fsync operation aborts mid-write (optionally
+tearing the record with ``partial_fraction``).  Requires the network to
+run with a storage backend.
 """
 
 from __future__ import annotations
@@ -102,6 +109,44 @@ class FaultEvent:
 
 
 @dataclass(frozen=True)
+class CrashPointSpec:
+    """Kill peer ``target`` at its ``at_op``-th durable operation.
+
+    Op indices are 1-based and count every crash-guarded durability
+    operation the peer's store issues (WAL appends and fsyncs, snapshot
+    and manifest writes and their fsyncs, snapshot prunes) — a pure
+    function of the committed workload, so sweeps can enumerate them.
+    ``partial_fraction`` makes a crash that lands on a WAL append tear
+    the record, writing only that prefix fraction.  With
+    ``recover_after_ms`` the injector restarts the peer that long
+    (simulated) after the crash fires; without it the peer stays down
+    until :meth:`~repro.faults.FaultInjector.heal`.
+    """
+
+    target: int
+    at_op: int
+    partial_fraction: float | None = None
+    recover_after_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_op < 1:
+            raise FaultInjectionError(
+                f"crash point at_op must be >= 1, got {self.at_op}"
+            )
+        if self.partial_fraction is not None and not (
+            0.0 < self.partial_fraction < 1.0
+        ):
+            raise FaultInjectionError(
+                "crash point partial_fraction must be in (0, 1), got "
+                f"{self.partial_fraction}"
+            )
+        if self.recover_after_ms is not None and self.recover_after_ms <= 0:
+            raise FaultInjectionError(
+                f"recover_after_ms must be > 0, got {self.recover_after_ms}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything the injector needs, in one reproducible bundle."""
 
@@ -109,6 +154,8 @@ class FaultPlan:
     retry: RetryPolicy | None = field(default_factory=RetryPolicy)
     messages: tuple[MessageFaultRule, ...] = ()
     events: tuple[FaultEvent, ...] = ()
+    #: Durable-operation crash points (require a storage backend).
+    crash_points: tuple[CrashPointSpec, ...] = ()
     #: How long a peer's deliver service waits before re-fetching a
     #: block whose push was lost (Fabric peers pull blocks and retry;
     #: without redelivery a single dropped block would wedge a replica
@@ -119,7 +166,14 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, raw: dict) -> "FaultPlan":
-        known = {"seed", "retry", "messages", "events", "redeliver_after_ms"}
+        known = {
+            "seed",
+            "retry",
+            "messages",
+            "events",
+            "crash_points",
+            "redeliver_after_ms",
+        }
         unknown = set(raw) - known
         if unknown:
             raise FaultInjectionError(
@@ -139,11 +193,15 @@ class FaultPlan:
             for rule in raw.get("messages", [])
         )
         events = tuple(FaultEvent(**event) for event in raw.get("events", []))
+        crash_points = tuple(
+            CrashPointSpec(**point) for point in raw.get("crash_points", [])
+        )
         return cls(
             seed=raw.get("seed", 1),
             retry=retry,
             messages=messages,
             events=events,
+            crash_points=crash_points,
             redeliver_after_ms=raw.get("redeliver_after_ms", 250.0),
         )
 
@@ -159,6 +217,7 @@ class FaultPlan:
                 for rule in self.messages
             ],
             "events": [vars(event).copy() for event in self.events],
+            "crash_points": [vars(point).copy() for point in self.crash_points],
             "redeliver_after_ms": self.redeliver_after_ms,
         }
 

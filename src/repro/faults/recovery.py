@@ -2,14 +2,20 @@
 
 Two complementary mechanisms bring a replica back after a fault:
 
-- **Replay** (:meth:`repro.fabric.peer.Peer.recover_from_chain`): the
-  crash lost the peer's in-memory world state but not its blockchain;
-  the peer rebuilds state db, validation codes, and incremental digest
-  by re-validating its own chain from genesis.  Deterministic — the
-  rebuilt state is byte-identical to what it held before the crash.
+- **Replay** (:meth:`repro.fabric.peer.Peer.recover_from_chain`): with
+  a durable store attached, the peer loads its newest verified
+  snapshot and re-applies only the write-ahead-log suffix past it —
+  restart work proportional to the delta since the last checkpoint,
+  not chain length, with torn WAL tails truncated first.  Without a
+  store, the legacy model applies: the chain object itself is treated
+  as durable and every block is re-validated from genesis.  Either
+  way the rebuilt state db, validation codes, and digest root are
+  byte-identical to what the peer held before the crash.
 - **Catch-up** (:func:`catch_up`): the peer missed block deliveries
-  while down (or a delivery was dropped); the missing suffix is
-  replayed from the network's ordered block log.
+  while down (or a crash tore the tail off its WAL); the missing
+  suffix is replayed from the network's ordered block log.  These
+  re-commits go through the normal commit path, so a stored peer
+  WAL-logs the re-fetched blocks — the repaired log is durable too.
 
 Both reuse the ledger backend layer: a peer on the fast backend comes
 back with a fresh incremental state digest rebuilt from the replay.
@@ -42,13 +48,19 @@ def catch_up(network, peer) -> int:
 
 
 def recover_peer(network, peer) -> int:
-    """Full recovery: replay the local chain, then catch up the rest.
+    """Full recovery: restore from the durable store (or legacy chain
+    replay), then catch up the rest from the ordered log.
 
-    Returns the number of caught-up blocks.
+    Returns the number of caught-up blocks; ``peer.last_recovery``
+    holds the :class:`~repro.storage.RecoveryReport` with the restore
+    mode and replay counters.
     """
     peer.recover_from_chain(
         network._peer_keys,
         network._peer_secrets,
         policy=network.config.endorsement_policy,
     )
-    return catch_up(network, peer)
+    refetched = catch_up(network, peer)
+    if peer.last_recovery is not None:
+        peer.last_recovery.refetched_blocks = refetched
+    return refetched

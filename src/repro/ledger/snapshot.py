@@ -45,6 +45,12 @@ def _header_from_dict(body: dict[str, Any]) -> BlockHeader:
     )
 
 
+# Public aliases: the durability layer (repro.storage) frames WAL block
+# records with the same header encoding as chain snapshots.
+header_to_dict = _header_to_dict
+header_from_dict = _header_from_dict
+
+
 def export_chain(chain: Blockchain) -> str:
     """Serialize a chain to a JSON snapshot string."""
     blocks = []

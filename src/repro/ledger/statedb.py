@@ -167,6 +167,11 @@ class StateDatabase:
         """Plain dict copy of current values (for tests and digests)."""
         return {key: entry.value for key, entry in self._data.items()}
 
+    def entries(self) -> list[tuple[str, StateEntry]]:
+        """All (key, entry) pairs with versions, sorted by key — the
+        checkpoint serialization order used by ``repro.storage``."""
+        return [(key, self._data[key]) for key in sorted(self._data)]
+
 
 def _bytes_hex(value: Any) -> str:
     if isinstance(value, (bytes, bytearray)):

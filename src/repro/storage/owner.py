@@ -1,0 +1,74 @@
+"""Owner-side durability for transaction-list (TLC) buffers.
+
+The :class:`~repro.views.txlist_contract.TxListService` batches view
+updates in owner memory between flushes, so a crashed owner process
+would silently lose every entry recorded since the last flush — a
+durability hole the on-chain layer cannot see.  :class:`OwnerStore`
+closes it with a small journal:
+
+- ``record`` / ``extra`` entries mirror each buffered update as it is
+  accepted;
+- a ``flush_intent`` entry captures the exact flush proposal *before*
+  it is submitted;
+- a ``flush_done`` entry lands once the flush transaction commits,
+  after which the journal is compacted down to post-flush entries.
+
+On restart the service replays the journal: buffered entries repopulate
+the pending buffers, and a flush intent without a matching done marker
+is re-submitted as-is.  Re-submitting an intent that *did* commit (the
+crash hit between commit and the done marker) is harmless: it writes a
+duplicate segment under a fresh sequence number, and the contract's
+read path deduplicates by transaction id with first-occurrence-wins.
+
+The journal shares the WAL record framing (CRC per record, torn tail
+truncated on replay) but not the crash-point guard — crash injection
+targets peers; owner durability is exercised by explicit restart tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.storage.fs import Filesystem
+from repro.storage.wal import WriteAheadLog, encode_record
+
+
+class OwnerStore:
+    """Durable journal for one owner's TLC service."""
+
+    def __init__(self, fs: Filesystem, root: str, owner_id: str):
+        self.fs = fs
+        self.owner_id = owner_id
+        self.root = f"{root}/owners/{owner_id}"
+        self.wal = WriteAheadLog(fs, f"{self.root}/tlc.log")
+        self.records_logged = 0
+        self.compactions = 0
+        self.torn_tails_truncated = 0
+
+    def log(self, payload: dict[str, Any]) -> None:
+        self.wal.append(payload)
+        self.records_logged += 1
+
+    def replay(self) -> list[dict[str, Any]]:
+        """All intact journal entries; a torn tail is truncated first."""
+        replay = self.wal.replay(0)
+        if replay.torn:
+            self.wal.truncate_to(replay.end_offset)
+            self.torn_tails_truncated += 1
+        return replay.records
+
+    def rewrite(self, payloads: list[dict[str, Any]]) -> None:
+        """Compaction: atomically replace the journal with ``payloads``
+        (the entries still pending after a confirmed flush)."""
+        blob = b"".join(encode_record(payload) for payload in payloads)
+        self.fs.write(self.wal.path, blob)
+        self.fs.fsync(self.wal.path)
+        self.compactions += 1
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "records_logged": self.records_logged,
+            "compactions": self.compactions,
+            "torn_tails_truncated": self.torn_tails_truncated,
+            "journal_bytes": self.wal.size(),
+        }

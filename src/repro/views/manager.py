@@ -122,6 +122,13 @@ class ViewManager(ABC):
             if use_txlist
             else None
         )
+        if self.txlist is not None and gateway.network.storage is not None:
+            # Durable owner: journal the TLC buffers so a crashed owner
+            # process restores its pending batch and un-confirmed
+            # flushes instead of silently losing them.
+            self.txlist.attach_store(
+                gateway.network.storage.owner_store(gateway.user.user_id)
+            )
         #: tids of access-dissemination transactions, per view (newest last).
         self.access_tx_ids: dict[str, list[str]] = {}
         #: Per-transaction processed-secret data retained by the owner, so
@@ -278,7 +285,9 @@ class ViewManager(ABC):
                 extra_assignments=assignments,
             )
             if self.txlist.due():
-                yield network.submit(self.txlist.build_flush_proposal())
+                flush = self.txlist.build_flush_proposal()
+                yield network.submit(flush)
+                self.txlist.note_flush_committed(flush)
         elif merges:
             merge_proposal = Proposal(
                 chaincode=storage_contract.CHAINCODE_NAME,
@@ -421,6 +430,7 @@ class ViewManager(ABC):
                 flush = self.txlist.build_flush_proposal()
                 if flush is not None:
                     yield network.submit(flush)
+                    self.txlist.note_flush_committed(flush)
         elif batch_merges:
             merge_proposal = Proposal(
                 chaincode=storage_contract.CHAINCODE_NAME,

@@ -154,6 +154,13 @@ class TxListService:
         self._seq = 0
         self._last_flush_at = self._now()
         self.flush_count = 0
+        #: Durable journal (:class:`repro.storage.OwnerStore`) or None.
+        self.store = None
+        #: Flush proposals recovered by :meth:`restore` whose commit was
+        #: never confirmed — the caller re-submits them (idempotent: a
+        #: flush that did commit before the crash lands as a duplicate
+        #: segment, and ``fn_get_list`` deduplicates by tid).
+        self.recovered_flushes: list = []
 
     def _now(self) -> float:
         return self.gateway.network.env.now
@@ -196,6 +203,16 @@ class TxListService:
             self._pending_view_data.setdefault(view, {}).update(entries)
         for view, granted_tid in extra_assignments or []:
             self._pending_extra.append([view, granted_tid])
+        if self.store is not None:
+            self.store.log(
+                {
+                    "kind": "record",
+                    "tid": tid,
+                    "nonsecret": nonsecret,
+                    "view_data": view_data or {},
+                    "extra": [list(pair) for pair in extra_assignments or []],
+                }
+            )
 
     def record_extra(
         self,
@@ -210,6 +227,14 @@ class TxListService:
             self._pending_extra.append([view, granted_tid])
         for view, entries in (view_data or {}).items():
             self._pending_view_data.setdefault(view, {}).update(entries)
+        if self.store is not None:
+            self.store.log(
+                {
+                    "kind": "record_extra",
+                    "extra": [list(pair) for pair in extra_assignments],
+                    "view_data": view_data or {},
+                }
+            )
 
     def due(self) -> bool:
         """Whether a flush should happen now.
@@ -245,16 +270,22 @@ class TxListService:
         self._seq += 1
         self._last_flush_at = self._now()
         self.flush_count += 1
+        args = {
+            "seq": self._seq,
+            "updates": batch,
+            "timestamp": self._now(),
+            "view_data": view_data,
+            "extra": extra,
+        }
+        if self.store is not None:
+            # Journal the exact flush before it leaves the owner: after
+            # a crash, an intent without a matching flush_done marker is
+            # re-submitted verbatim.
+            self.store.log({"kind": "flush_intent", **args})
         return Proposal(
             chaincode=CHAINCODE_NAME,
             fn="flush",
-            args={
-                "seq": self._seq,
-                "updates": batch,
-                "timestamp": self._now(),
-                "view_data": view_data,
-                "extra": extra,
-            },
+            args=args,
             creator=self.gateway.user.user_id,
             contract_write=True,
             kind="txlist-flush",
@@ -270,6 +301,7 @@ class TxListService:
         if proposal is None:
             return 0
         self.gateway.network.submit_sync(proposal)
+        self.note_flush_committed(proposal)
         return pending
 
     def maybe_flush(self) -> int:
@@ -278,6 +310,111 @@ class TxListService:
         if self.due():
             return self.flush()
         return 0
+
+    # -- owner-side durability ------------------------------------------------
+
+    def attach_store(self, store, replay: bool = True) -> None:
+        """Attach a durable journal (:class:`repro.storage.OwnerStore`).
+
+        With ``replay`` (the default), an existing journal is restored
+        first — the pending buffers, the flush sequence counter, and
+        any un-confirmed flush intents come back exactly as the crashed
+        owner process left them.
+        """
+        self.store = store
+        if replay:
+            self.restore()
+
+    def restore(self) -> int:
+        """Rebuild owner state from the journal; returns entries replayed.
+
+        Un-confirmed flush intents (journaled but with no ``flush_done``
+        marker) are rebuilt as proposals in :attr:`recovered_flushes`
+        for the caller to re-submit; the sequence counter resumes past
+        the highest journaled sequence so a re-flush never collides
+        with a batch that did land.
+        """
+        from repro.fabric.endorser import Proposal
+
+        if self.store is None:
+            return 0
+        self._pending = []
+        self._pending_view_data = {}
+        self._pending_extra = []
+        pending_intents: dict[int, dict[str, Any]] = {}
+        entries = self.store.replay()
+        for entry in entries:
+            kind = entry.get("kind")
+            if kind == "state":
+                # Compaction record: the full buffered state at the
+                # time of the last confirmed flush.
+                self._pending = [list(pair) for pair in entry["pending"]]
+                self._pending_view_data = {
+                    view: dict(data)
+                    for view, data in entry["view_data"].items()
+                }
+                self._pending_extra = [list(pair) for pair in entry["extra"]]
+                self._seq = max(self._seq, entry["seq"])
+            elif kind == "record":
+                self._pending.append([entry["tid"], entry["nonsecret"]])
+                for view, data in entry["view_data"].items():
+                    self._pending_view_data.setdefault(view, {}).update(data)
+                self._pending_extra.extend(
+                    [list(pair) for pair in entry["extra"]]
+                )
+            elif kind == "record_extra":
+                self._pending_extra.extend(
+                    [list(pair) for pair in entry["extra"]]
+                )
+                for view, data in entry["view_data"].items():
+                    self._pending_view_data.setdefault(view, {}).update(data)
+            elif kind == "flush_intent":
+                args = {
+                    key: value for key, value in entry.items() if key != "kind"
+                }
+                pending_intents[entry["seq"]] = args
+                self._seq = max(self._seq, entry["seq"])
+                # Building the intent drained the buffers; the records
+                # replayed so far are inside it, not pending again.
+                # Anything journaled after this entry is new work.
+                self._pending = []
+                self._pending_view_data = {}
+                self._pending_extra = []
+            elif kind == "flush_done":
+                pending_intents.pop(entry["seq"], None)
+        self.recovered_flushes = [
+            Proposal(
+                chaincode=CHAINCODE_NAME,
+                fn="flush",
+                args=args,
+                creator=self.gateway.user.user_id,
+                contract_write=True,
+                kind="txlist-flush",
+            )
+            for _seq, args in sorted(pending_intents.items())
+        ]
+        return len(entries)
+
+    def note_flush_committed(self, proposal) -> None:
+        """Mark a flush durable-complete: journal the done marker, then
+        compact the journal down to one state record (the entries still
+        buffered now).  Crashing between the on-chain commit and this
+        marker is safe — the restored owner re-submits the intent and
+        the contract's read path deduplicates the resulting segment."""
+        if self.store is None or proposal is None:
+            return
+        self.store.log({"kind": "flush_done", "seq": proposal.args["seq"]})
+        self.store.rewrite(
+            [
+                {
+                    "kind": "state",
+                    "seq": self._seq,
+                    "pending": self._pending,
+                    "view_data": self._pending_view_data,
+                    "extra": self._pending_extra,
+                }
+            ]
+        )
 
     def get_list(self, view: str) -> list[str]:
         """Query the on-chain list for a view."""

@@ -1,0 +1,207 @@
+"""The durability invariant in the chaos suite, and owner-side journals.
+
+``InvariantMonitor.assert_durability`` must pass after any healed chaos
+run on a stored network (nothing committed was lost), and must *fail*
+loudly when live state and durable state genuinely diverge — both at a
+peer and at the orderer.  The owner-side half covers the TLC journal:
+buffered-but-unflushed updates and in-flight flush intents survive an
+owner process restart.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvariantViolationError
+from repro.fabric.chaincode import Chaincode
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.network import FabricNetwork, Gateway
+from repro.faults import (
+    FaultEvent,
+    FaultPlan,
+    InvariantMonitor,
+    MessageFaultRule,
+    RetryPolicy,
+)
+from repro.ledger.statedb import Version
+from repro.sim import Environment
+from repro.views.hash_based import HashBasedManager
+from repro.views.predicates import AttributeEquals
+from repro.views.txlist_contract import TxListService
+from repro.views.types import ViewMode
+
+
+class KV(Chaincode):
+    name = "kv"
+
+    def fn_put(self, ctx, key, value):
+        ctx.put_state(key, value)
+        return "ok"
+
+
+CHAOS_PLAN = FaultPlan(
+    seed=23,
+    retry=RetryPolicy(max_attempts=8, timeout_ms=3_000.0, backoff_ms=100.0),
+    messages=(
+        MessageFaultRule(channel="client_to_orderer", drop=0.15),
+        MessageFaultRule(channel="orderer_to_peer", drop=0.15),
+    ),
+    events=(FaultEvent(kind="crash_peer", at_ms=250.0, for_ms=1_500.0, target=1),),
+    redeliver_after_ms=150.0,
+)
+
+
+def _network(plan=None, **overrides):
+    config = NetworkConfig(
+        latency=SINGLE_REGION,
+        real_signatures=False,
+        batch_timeout_ms=50.0,
+        storage_backend="memory",
+        snapshot_interval_blocks=3,
+        fault_plan=plan.to_json() if plan is not None else None,
+        **overrides,
+    )
+    network = FabricNetwork(Environment(), config)
+    network.install_chaincode(KV())
+    return network
+
+
+def _workload(network, n=12):
+    user = network.register_user("alice")
+    for i in range(n):
+        notice = network.invoke_sync(
+            user, "kv", "put", {"key": f"k{i % 5}", "value": i}
+        )
+        assert notice.code.value == "valid"
+
+
+def test_durability_invariant_holds_after_healed_chaos():
+    network = _network(plan=CHAOS_PLAN)
+    monitor = InvariantMonitor(network)
+    _workload(network)
+    network.faults.heal()
+    network.env.run(until=network.env.now + 2_000.0)
+    # Chaos genuinely happened ...
+    summary = network.faults.summary()
+    disturbances = (
+        summary["peer_crashes"]
+        + summary["retries"]
+        + summary["redeliveries"]
+        + sum(summary["messages_dropped"].values())
+    )
+    assert disturbances > 0, f"plan injected nothing: {summary}"
+    # ... yet every durable store reproduces its live replica.
+    monitor.check()
+
+
+def test_tampered_live_peer_state_fails_durability():
+    network = _network()
+    monitor = InvariantMonitor(network)
+    _workload(network, n=4)
+    monitor.assert_durability()  # sanity: passes before the tamper
+    network.peers[1].statedb.put("evil", 1, Version(0, 0))
+    with pytest.raises(InvariantViolationError):
+        monitor.assert_durability()
+
+
+def test_lost_orderer_wal_record_fails_durability():
+    """A torn record at the orderer's WAL tail is a real durability
+    loss: unlike a peer (which heals via catch-up from the ordered
+    log), the ordered log has no upstream to re-fetch from."""
+    network = _network()
+    monitor = InvariantMonitor(network)
+    _workload(network, n=4)
+    store = network.storage.orderer_store
+    store.fs.truncate(store.wal.path, store.wal.size() - 3)
+    with pytest.raises(InvariantViolationError, match="orderer"):
+        monitor.assert_durability()
+
+
+# -- owner-side journal (TLC) -------------------------------------------------
+
+
+def _owner_setup():
+    from repro import build_network
+
+    network = build_network(
+        NetworkConfig(
+            latency=SINGLE_REGION,
+            real_signatures=False,
+            batch_timeout_ms=50.0,
+            storage_backend="memory",
+            snapshot_interval_blocks=3,
+        )
+    )
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner), use_txlist=True)
+    manager.create_view("w1", AttributeEquals("to", "W1"), ViewMode.IRREVOCABLE)
+    for i in range(3):
+        manager.invoke_with_secret(
+            "create_item",
+            {"item": f"t{i}", "owner": "W1"},
+            {"item": f"t{i}", "from": None, "to": "W1"},
+            f"tlc-{i}".encode(),
+        )
+    return network, owner, manager
+
+
+def test_owner_journal_restores_unflushed_buffers():
+    network, owner, manager = _owner_setup()
+    service = manager.txlist
+    assert service.store is not None, "storage networks must journal TLC"
+    assert service.pending_count > 0, "updates should still be buffered"
+
+    # A fresh service process attaching to the same journal comes back
+    # with identical buffers and sequence counter.
+    restarted = TxListService(Gateway(network, owner))
+    restarted.attach_store(network.storage.owner_store(owner.user_id))
+    assert restarted.pending_count == service.pending_count
+    assert restarted._pending == service._pending
+    assert restarted._pending_view_data == service._pending_view_data
+    assert restarted._seq == service._seq
+    assert restarted.recovered_flushes == []
+
+
+def test_owner_crash_between_intent_and_submit_is_replayed():
+    network, owner, manager = _owner_setup()
+    service = manager.txlist
+    expected = sorted(tx[0] for tx in service._pending)
+    # The owner drains the buffer and journals the flush intent — then
+    # dies before the transaction reaches the orderer.
+    proposal = service.build_flush_proposal()
+    assert proposal is not None
+
+    restarted = TxListService(Gateway(network, owner))
+    restarted.attach_store(network.storage.owner_store(owner.user_id))
+    assert restarted.pending_count == 0  # the intent drained the buffers
+    assert len(restarted.recovered_flushes) == 1
+    recovered = restarted.recovered_flushes[0]
+    assert recovered.args == proposal.args
+
+    network.submit_sync(recovered)
+    restarted.note_flush_committed(recovered)
+    assert sorted(restarted.get_list("w1")) == expected
+    # The confirmed flush compacts the journal to one state record.
+    entries = restarted.store.replay()
+    assert [entry["kind"] for entry in entries] == ["state"]
+    assert entries[0]["seq"] == recovered.args["seq"]
+    assert entries[0]["pending"] == []
+
+
+def test_reflushing_a_committed_intent_is_idempotent():
+    """The crash window *after* submit but *before* the done marker:
+    the restored owner re-submits an intent that already committed.
+    The duplicate segment lands, but the contract's read path
+    deduplicates by tid, so the list is unchanged."""
+    network, owner, manager = _owner_setup()
+    service = manager.txlist
+    proposal = service.build_flush_proposal()
+    network.submit_sync(proposal)  # committed — but no flush_done marker
+
+    restarted = TxListService(Gateway(network, owner))
+    restarted.attach_store(network.storage.owner_store(owner.user_id))
+    assert len(restarted.recovered_flushes) == 1
+    before = sorted(restarted.get_list("w1"))
+    network.submit_sync(restarted.recovered_flushes[0])
+    restarted.note_flush_committed(restarted.recovered_flushes[0])
+    assert sorted(restarted.get_list("w1")) == before

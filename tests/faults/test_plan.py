@@ -7,6 +7,7 @@ import pytest
 from repro.errors import FaultInjectionError
 from repro.faults import (
     ENV_VAR,
+    CrashPointSpec,
     FaultEvent,
     FaultPlan,
     MessageFaultModel,
@@ -39,6 +40,12 @@ def _full_plan() -> FaultPlan:
             FaultEvent(kind="crash_peer", at_ms=200.0, for_ms=500.0, target=1),
             FaultEvent(kind="crash_leader", at_ms=300.0),
             FaultEvent(kind="owner_outage", at_ms=400.0, for_ms=1_000.0),
+        ),
+        crash_points=(
+            CrashPointSpec(
+                target=1, at_op=7, partial_fraction=0.5, recover_after_ms=250.0
+            ),
+            CrashPointSpec(target=2, at_op=3),
         ),
         redeliver_after_ms=100.0,
     )
@@ -93,6 +100,15 @@ def test_event_validation():
         FaultEvent(kind="crash_leader", at_ms=-1.0)
     with pytest.raises(FaultInjectionError, match="for_ms"):
         FaultEvent(kind="crash_leader", at_ms=0.0, for_ms=0.0)
+
+
+def test_crash_point_validation():
+    with pytest.raises(FaultInjectionError, match="at_op"):
+        CrashPointSpec(target=1, at_op=0)
+    with pytest.raises(FaultInjectionError, match="partial_fraction"):
+        CrashPointSpec(target=1, at_op=1, partial_fraction=1.5)
+    with pytest.raises(FaultInjectionError, match="recover_after_ms"):
+        CrashPointSpec(target=1, at_op=1, recover_after_ms=0.0)
 
 
 def test_rule_validation():

@@ -1,0 +1,99 @@
+"""Injectable filesystems: the substrate every durable structure uses."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DiskFilesystem, MemoryFilesystem
+
+
+@pytest.fixture(params=["memory", "disk"])
+def fs(request, tmp_path):
+    if request.param == "memory":
+        return MemoryFilesystem()
+    return DiskFilesystem(str(tmp_path))
+
+
+def test_write_read_roundtrip(fs):
+    fs.write("a/b/file.bin", b"hello")
+    assert fs.exists("a/b/file.bin")
+    assert fs.read("a/b/file.bin") == b"hello"
+    assert fs.size("a/b/file.bin") == 5
+
+
+def test_write_replaces_atomically(fs):
+    fs.write("f", b"old-old-old")
+    fs.write("f", b"new")
+    assert fs.read("f") == b"new"
+    assert fs.size("f") == 3
+
+
+def test_append_creates_and_extends(fs):
+    fs.append("log", b"aa")
+    fs.append("log", b"bb")
+    assert fs.read("log") == b"aabb"
+
+
+def test_truncate_drops_suffix(fs):
+    fs.append("log", b"0123456789")
+    fs.truncate("log", 4)
+    assert fs.read("log") == b"0123"
+
+
+def test_remove_is_idempotent(fs):
+    fs.write("f", b"x")
+    fs.remove("f")
+    assert not fs.exists("f")
+    fs.remove("f")  # second remove must not raise
+
+
+def test_missing_file_read_raises(fs):
+    with pytest.raises(StorageError):
+        fs.read("nope")
+    with pytest.raises(StorageError):
+        fs.size("nope")
+    assert not fs.exists("nope")
+
+
+def test_listdir_sorted_and_shallow(fs):
+    fs.write("dir/b.json", b"1")
+    fs.write("dir/a.json", b"2")
+    fs.write("dir/sub/c.json", b"3")
+    assert fs.listdir("dir") == ["a.json", "b.json"]
+    assert fs.listdir("missing") == []
+
+
+def test_fsync_does_not_fail(fs):
+    fs.write("f", b"x")
+    fs.fsync("f")
+    fs.fsync("not-there")  # durable no-op either way
+
+
+def test_disk_layout_is_real_files(tmp_path):
+    fs = DiskFilesystem(str(tmp_path))
+    fs.write("node/wal.log", b"payload")
+    host = tmp_path / "node" / "wal.log"
+    assert host.read_bytes() == b"payload"
+    # Atomic writes must not leave temp files behind.
+    assert [p.name for p in (tmp_path / "node").iterdir()] == ["wal.log"]
+
+
+def test_disk_rejects_path_escape(tmp_path):
+    fs = DiskFilesystem(str(tmp_path))
+    with pytest.raises(StorageError):
+        fs.write("../outside", b"x")
+
+
+def test_disk_default_root_is_temporary():
+    fs = DiskFilesystem()
+    try:
+        assert os.path.isdir(fs.root)
+        fs.write("f", b"x")
+        assert fs.read("f") == b"x"
+    finally:
+        import shutil
+
+        shutil.rmtree(fs.root, ignore_errors=True)
