@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench --smoke fig10   # fast pass of one figure
     python -m repro.bench --workers 8 fig4       # wider pipeline pool
     python -m repro.bench --pipeline reference fig4  # serial execution
+    python -m repro.bench --commit occ fig4      # rebase MVCC conflicts
     REPRO_BENCH_SCALE=0.25 python -m repro.bench all   # quick pass
 
 ``--smoke`` shrinks the sweeps via ``REPRO_BENCH_SCALE`` (unless the
@@ -21,7 +22,11 @@ scaling, absolute values do not.
 ``--workers N`` sizes the parallel pipeline's worker pool and
 ``--pipeline {parallel,reference}`` selects the host-side execution
 backend (see :mod:`repro.fabric.parallel`) — both change wall-clock
-only, never a simulated-time result.
+only, never a simulated-time result.  ``--commit {occ,reference}``
+selects the commit-time conflict policy (see :mod:`repro.fabric.occ`);
+unlike the other switches it changes simulated results under
+contention: occ rebases MVCC-conflicted transactions instead of
+aborting them.
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from contextlib import nullcontext
 from repro.bench import harness, runners
 from repro.bench.report import print_series
 from repro.crypto.rsa import keypair_pool
-from repro.fabric import parallel
+from repro.fabric import occ, parallel
 
 #: Scale applied by --smoke when REPRO_BENCH_SCALE is not already set.
 SMOKE_SCALE = "0.05"
@@ -70,6 +75,9 @@ def main(argv: list[str] | None = None) -> int:
         pipeline_name, args = _pop_option(args, "--pipeline", str)
         if pipeline_name is not None:
             parallel.resolve_backend(pipeline_name)  # validate early
+        commit_name, args = _pop_option(args, "--commit", str)
+        if commit_name is not None:
+            occ.resolve_backend(commit_name)  # validate early
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -96,9 +104,12 @@ def main(argv: list[str] | None = None) -> int:
     workers_ctx = (
         parallel.use_workers(workers) if workers is not None else nullcontext()
     )
+    commit_ctx = (
+        occ.use_backend(commit_name) if commit_name is not None else nullcontext()
+    )
     try:
         with keypair_pool(size=8) if smoke else nullcontext():
-            with pipeline_ctx, workers_ctx:
+            with pipeline_ctx, workers_ctx, commit_ctx:
                 for name in selected:
                     FIGURES[name]()
     finally:

@@ -23,6 +23,7 @@ from typing import Any
 from repro import build_network
 from repro.crypto import rsa as _rsa
 from repro.crypto.backend import use_backend
+from repro.fabric import occ as _occ
 from repro.fabric import parallel as _pipeline
 from repro.ledger import backend as _ledger
 from repro.baseline.multichain import CrossChainDeployment
@@ -103,6 +104,11 @@ def _record_phases(network: FabricNetwork, result: RunResult) -> None:
     parallelism = network.phase_wall.parallelism()
     if any(peak > 1 for peak in parallelism.values()):
         result.extra["phase_parallelism"] = parallelism
+    outcomes = network.phase_wall.commit_outcomes()
+    if outcomes["totals"]["committed"] or outcomes["totals"]["aborted"]:
+        result.extra["commit_outcomes"] = outcomes
+    if network.mvcc_retries:
+        result.extra["mvcc_retries"] = network.mvcc_retries
     if network.storage is not None:
         result.extra["storage"] = network.storage.summary()
     network.phase_wall.merge_into(PHASE_TOTALS)
@@ -114,6 +120,7 @@ def _backend_context(
     ledger_backend: str | None = None,
     pipeline_backend: str | None = None,
     pipeline_workers: int | None = None,
+    commit_backend: str | None = None,
 ):
     """Context manager applying the harness's backend knobs for one run.
 
@@ -128,7 +135,10 @@ def _backend_context(
     execution strategy ("parallel"/"reference") and worker-pool width
     (see :mod:`repro.fabric.parallel`).  None leaves the process
     default untouched.  None of these change simulated-time results,
-    only wall-clock.
+    only wall-clock.  ``commit_backend`` scopes the commit-time
+    conflict policy ("occ"/"reference" — see :mod:`repro.fabric.occ`);
+    unlike the others it *does* change simulated results under
+    contention (rebased transactions commit instead of aborting).
     """
     stack = ExitStack()
     if crypto_backend is not None:
@@ -141,6 +151,8 @@ def _backend_context(
         stack.enter_context(_pipeline.use_backend(pipeline_backend))
     if pipeline_workers is not None:
         stack.enter_context(_pipeline.use_workers(pipeline_workers))
+    if commit_backend is not None:
+        stack.enter_context(_occ.use_backend(commit_backend))
     return stack
 
 
@@ -260,6 +272,7 @@ def run_view_workload(
     track_state_roots: bool = False,
     pipeline_backend: str | None = None,
     pipeline_workers: int | None = None,
+    commit_backend: str | None = None,
     fault_plan=None,
 ) -> RunResult:
     """Run the supply-chain workload against one LedgerView method.
@@ -288,6 +301,7 @@ def run_view_workload(
         ledger_backend,
         pipeline_backend,
         pipeline_workers,
+        commit_backend,
     ):
         return _run_view_workload(
             method,
@@ -437,6 +451,7 @@ def run_baseline_workload(
     ledger_backend: str | None = None,
     pipeline_backend: str | None = None,
     pipeline_workers: int | None = None,
+    commit_backend: str | None = None,
 ) -> RunResult:
     """Run the same workload against the cross-chain 2PC baseline.
 
@@ -449,6 +464,7 @@ def run_baseline_workload(
         ledger_backend,
         pipeline_backend,
         pipeline_workers,
+        commit_backend,
     ):
         return _run_baseline_workload(
             topology,
@@ -563,6 +579,7 @@ def run_view_scaling(
     track_state_roots: bool = False,
     pipeline_backend: str | None = None,
     pipeline_workers: int | None = None,
+    commit_backend: str | None = None,
 ) -> RunResult:
     """The Fig 10/11 sweep: vary view count and per-transaction membership.
 
@@ -578,6 +595,7 @@ def run_view_scaling(
         ledger_backend,
         pipeline_backend,
         pipeline_workers,
+        commit_backend,
     ):
         return _run_view_scaling(
             n_views,

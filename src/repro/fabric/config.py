@@ -130,6 +130,32 @@ class NetworkConfig:
     #: wall-clock, like the crypto and ledger backend switches.
     pipeline_backend: str | None = None
 
+    # -- commit policy -------------------------------------------------------
+    #: Commit-time conflict policy for this network's peers
+    #: ("occ"/"reference"; see :mod:`repro.fabric.occ`).  ``None`` uses
+    #: the process-wide default (``REPRO_COMMIT_BACKEND``, or
+    #: "reference").  Unlike the crypto/ledger/pipeline switches this
+    #: one changes *observable semantics under contention*: the occ
+    #: backend rebases MVCC-conflicted transactions instead of aborting
+    #: them.  Conflict-free workloads stay byte-identical either way.
+    commit_backend: str | None = None
+
+    #: Client-side MVCC retry: when > 0, a transaction that commits
+    #: with ``MVCC_CONFLICT`` is re-endorsed and resubmitted (as a
+    #: fresh transaction id) up to this many extra times, with bounded
+    #: seeded exponential backoff between attempts so retries spread
+    #: out instead of re-colliding in the next hot block.  0 (default)
+    #: keeps the seed behaviour: the conflict is returned to the
+    #: caller.  Mainly useful on the reference commit backend — under
+    #: occ most conflicts rebase at the peer instead.
+    mvcc_retry_attempts: int = 0
+    #: Base backoff before the first MVCC retry (doubles per attempt,
+    #: capped at 8x, plus seeded jitter — see
+    #: :class:`repro.faults.plan.RetryPolicy`).
+    mvcc_retry_backoff_ms: float = 25.0
+    #: Seed for the retry backoff jitter (deterministic runs).
+    mvcc_retry_seed: int = 7
+
     # -- faults --------------------------------------------------------------
     #: Fault-injection plan for this network: inline JSON or a path to
     #: a JSON file (see :class:`repro.faults.FaultPlan`); an injector

@@ -14,21 +14,22 @@ for real; only *durations* are simulated.
 from __future__ import annotations
 
 import os
+import random
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Any
 
 from repro.errors import FaultInjectionError, LedgerError, SimulatedCrashError
-from repro.fabric import parallel
+from repro.fabric import occ, parallel
 from repro.fabric.chaincode import Chaincode, ChaincodeRegistry, TxContext
 from repro.fabric.config import NetworkConfig
 from repro.fabric.endorser import Proposal, assemble_transaction
 from repro.fabric.identity import MembershipServiceProvider, User
 from repro.fabric.orderer import BlockCutter, OrderingService
 from repro.fabric.peer import Peer, ValidationCode
-from repro.ledger.transaction import Transaction
+from repro.ledger.transaction import Transaction, fresh_tid
 from repro.sim import Counter, Environment, Event, Resource, Store, TimeSeries
 from repro.storage import StorageRuntime
 
@@ -67,6 +68,12 @@ class PhaseWallClock:
         self._buckets: list[dict[str, float]] = []
         self._active: dict[str, int] = {}
         self._peak: dict[str, int] = {}
+        #: Per-block commit outcome counters (committed / aborted /
+        #: rebased transactions), recorded once per block at the
+        #: reference peer — the contention view the per-phase times
+        #: cannot show: an abort burns the same endorse/order/commit
+        #: wall-clock as a commit but moves no business state.
+        self._block_outcomes: dict[int, dict[str, int]] = {}
 
     def _bucket(self) -> dict[str, float]:
         bucket = getattr(self._local, "bucket", None)
@@ -122,6 +129,42 @@ class PhaseWallClock:
             for phase, total in sorted(self.seconds.items())
         }
 
+    def record_block_outcome(
+        self, block_number: int, committed: int, aborted: int, rebased: int
+    ) -> None:
+        """Record one block's commit/abort/rebase counts (reference peer)."""
+        with self._lock:
+            self._block_outcomes[block_number] = {
+                "committed": committed,
+                "aborted": aborted,
+                "rebased": rebased,
+            }
+
+    def commit_outcomes(self) -> dict[str, Any]:
+        """Totals and per-block commit/abort/rebase counters.
+
+        ``rebased`` counts transactions the occ commit backend
+        re-executed at validation time; they are included in
+        ``committed``.  ``abort_rate`` is aborted over all transactions
+        (0.0 on an empty run).
+        """
+        with self._lock:
+            per_block = {
+                number: dict(counts)
+                for number, counts in sorted(self._block_outcomes.items())
+            }
+        totals = {"committed": 0, "aborted": 0, "rebased": 0}
+        for counts in per_block.values():
+            for key in totals:
+                totals[key] += counts[key]
+        total_txs = totals["committed"] + totals["aborted"]
+        return {
+            "totals": totals,
+            "abort_rate": totals["aborted"] / total_txs if total_txs else 0.0,
+            "rebase_rate": totals["rebased"] / total_txs if total_txs else 0.0,
+            "per_block": per_block,
+        }
+
     def merge_into(self, totals: dict[str, float]) -> None:
         """Accumulate this network's phase times into ``totals``."""
         for phase, total in self.seconds.items():
@@ -166,6 +209,14 @@ class FabricNetwork:
         self.phase_wall = PhaseWallClock()
         #: Host-side execution strategy (see repro.fabric.parallel).
         self.pipeline = parallel.resolve_backend(self.config.pipeline_backend)
+        #: Commit-time conflict policy (see repro.fabric.occ): abort on
+        #: MVCC conflict (reference) or rebase at validation time (occ).
+        self.commit_backend = occ.resolve_backend(self.config.commit_backend)
+        #: tid -> proposal context for validation-time re-execution,
+        #: shared by reference across every peer (and recovery shadow
+        #: replicas).  Populated at submission; only filled when the
+        #: occ backend is on.
+        self.resim: dict[str, occ.ResimRecord] = {}
         #: In-flight endorsement jobs plus the commit barrier that keeps
         #: them serial-equivalent (parallel backend only).
         self._fanout = (
@@ -187,7 +238,9 @@ class FabricNetwork:
                 chain_name=chain_name,
                 real_signatures=self.config.real_signatures,
                 ledger_backend_name=self.config.ledger_backend,
+                commit_backend_name=self.config.commit_backend,
             )
+            peer.resim = self.resim
             self.peers.append(peer)
             self._peer_cpus.append(Resource(env, capacity=1))
             self._endorse_cpus.append(Resource(env, capacity=4))
@@ -241,6 +294,26 @@ class FabricNetwork:
         if self.storage is not None:
             for peer in self.peers:
                 self.storage.attach_peer(peer)
+
+        #: Client-side MVCC retry (opt-in; config.mvcc_retry_attempts).
+        #: Reuses the fault layer's RetryPolicy backoff curve so the
+        #: two retry paths share one bounded, seeded shape.
+        self._mvcc_retry = None
+        self._mvcc_rng = None
+        self.mvcc_retries = 0
+        if self.config.mvcc_retry_attempts > 0:
+            from repro.faults.plan import RetryPolicy
+
+            backoff = self.config.mvcc_retry_backoff_ms
+            self._mvcc_retry = RetryPolicy(
+                max_attempts=self.config.mvcc_retry_attempts + 1,
+                timeout_ms=self.config.batch_timeout_ms + 1.0,
+                backoff_ms=backoff,
+                backoff_factor=2.0,
+                max_backoff_ms=backoff * 8,
+                jitter_ms=backoff * 0.5,
+            )
+            self._mvcc_rng = random.Random(self.config.mvcc_retry_seed)
 
         env.process(self._pump())
         env.process(self._cut_loop())
@@ -297,11 +370,44 @@ class FabricNetwork:
         :class:`CommitNotice`.  Endorsement or chaincode failures fail
         the event with the underlying exception.  With a fault injector
         and retry policy attached, submissions that produce no commit
-        notice in time are resubmitted with seeded backoff.
+        notice in time are resubmitted with seeded backoff.  With
+        ``config.mvcc_retry_attempts`` set, an ``MVCC_CONFLICT`` notice
+        additionally triggers a re-endorse under a fresh transaction id
+        after a bounded, seeded backoff.
         """
+        if self._mvcc_retry is not None:
+            return self.env.process(self._submit_with_mvcc_retry(proposal))
+        return self._submit_once(proposal)
+
+    def _submit_once(self, proposal: Proposal) -> Event:
+        """One submission attempt (fault-layer timeout retry included)."""
         if self.faults is not None and self.faults.retry is not None:
             return self.env.process(self._submit_with_retry(proposal))
         return self.env.process(self._submit_process(proposal))
+
+    def _submit_with_mvcc_retry(self, proposal: Proposal):
+        """Re-endorse MVCC-conflicted submissions with seeded backoff.
+
+        Unlike the fault layer's timeout retry (same tid — the original
+        may still be in flight), an MVCC retry re-endorses a *fresh*
+        transaction: the conflicted one is already on chain, aborted,
+        so reusing its tid would trip the orderer's dedup and the
+        exactly-once invariant.  The backoff spreads retries out so a
+        hot key's losers do not all re-collide in the very next block
+        (livelock under skew); the jitter draws from a per-network
+        seeded RNG, keeping runs reproducible.
+        """
+        policy = self._mvcc_retry
+        for attempt in range(1, policy.max_attempts + 1):
+            notice = yield self._submit_once(proposal)
+            if (
+                notice.code is not ValidationCode.MVCC_CONFLICT
+                or attempt == policy.max_attempts
+            ):
+                return notice
+            self.mvcc_retries += 1
+            yield self.env.timeout(policy.backoff_for(attempt, self._mvcc_rng))
+            proposal = replace(proposal, tid=fresh_tid())
 
     def _committed_notice(self, tid: str) -> CommitNotice | None:
         """Synthesise the notice for a tid the reference peer committed.
@@ -404,6 +510,17 @@ class FabricNetwork:
 
         tx = assemble_transaction(proposal, responses)
         self._responses[tx.tid] = responses[0].response
+        if self.commit_backend.rebase_conflicts:
+            # Committed transactions carry rwsets, not chaincode args —
+            # record the proposal context so validation can re-execute
+            # this transaction if it conflicts (shared with all peers).
+            self.resim[tx.tid] = occ.ResimRecord(
+                chaincode=proposal.chaincode,
+                fn=proposal.fn,
+                args=proposal.args,
+                creator=proposal.creator,
+                response=responses[0].response,
+            )
 
         # --- ordering phase ---
         commit_event = env.event()
@@ -661,6 +778,12 @@ class FabricNetwork:
         if result is None:
             return
         if peer is self.reference_peer:
+            self.phase_wall.record_block_outcome(
+                block.number,
+                committed=result.valid_count,
+                aborted=result.invalid_count,
+                rebased=result.rebased_count,
+            )
             if self.track_state_roots:
                 with self.phase_wall.track("state_root"):
                     self.state_roots[block.number] = peer.current_state_root()

@@ -353,6 +353,15 @@ class BlockValidationMemo:
     #: tid -> validation code, as computed by the first peer (valid
     #: only for peers whose chain tip equals :attr:`codes_tip`).
     codes: dict[str, Any] | None = None
+    #: tid -> rebased write set, for transactions the occ commit
+    #: backend re-executed instead of aborting.  Stored together with
+    #: (and guarded by the same tip hash as) :attr:`codes`: a replica
+    #: reusing the verdicts must apply these writes, not the
+    #: endorsement-time ones in :attr:`rwsets`.  Rebasing is
+    #: deterministic in (chain tip, block), so equal tips imply equal
+    #: rebased write sets — the same argument that makes the codes
+    #: shareable.
+    rebased: dict[str, dict] = field(default_factory=dict)
     #: Chain-tip hash the stored verdicts were computed against.
     codes_tip: bytes | None = None
     #: Whether the block's internal structure (tx count, Merkle root)
@@ -383,10 +392,16 @@ class BlockValidationMemo:
             return self.codes
         return None
 
-    def store_verdicts(self, tip_hash: bytes, codes: dict[str, Any]) -> None:
+    def store_verdicts(
+        self,
+        tip_hash: bytes,
+        codes: dict[str, Any],
+        rebased: dict[str, dict] | None = None,
+    ) -> None:
         """Record the first replica's verdicts and their pre-state tip."""
         if self.codes is None:
             self.codes = dict(codes)
+            self.rebased = dict(rebased or {})
             self.codes_tip = tip_hash
 
 

@@ -9,10 +9,11 @@ wraps these operations in simulation processes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.hashing import hmac_sha256
 from repro.errors import ChaincodeError
+from repro.fabric import occ
 from repro.fabric.chaincode import ChaincodeRegistry, TxContext
 from repro.fabric.endorser import (
     Proposal,
@@ -44,6 +45,11 @@ class CommitResult:
 
     block_number: int
     codes: dict[str, ValidationCode]
+    #: tid -> rebased write set, for transactions the occ commit backend
+    #: re-executed at validation time instead of aborting (empty under
+    #: the reference backend).  These are the writes actually applied —
+    #: the block's embedded rwsets still hold the endorsement-time ones.
+    rebased: dict[str, dict] = field(default_factory=dict)
 
     @property
     def valid_count(self) -> int:
@@ -52,6 +58,10 @@ class CommitResult:
     @property
     def invalid_count(self) -> int:
         return len(self.codes) - self.valid_count
+
+    @property
+    def rebased_count(self) -> int:
+        return len(self.rebased)
 
 
 class Peer:
@@ -65,6 +75,7 @@ class Peer:
         chain_name: str = "main",
         real_signatures: bool = True,
         ledger_backend_name: str | None = None,
+        commit_backend_name: str | None = None,
     ):
         self.peer_id = peer_id
         self.identity = identity
@@ -76,6 +87,17 @@ class Peer:
         #: at construction (not per call): an incremental digest must
         #: observe every write from genesis to stay coherent.
         self.ledger_backend = ledger_backend.resolve_backend(ledger_backend_name)
+        #: Commit-time conflict policy (abort vs. occ rebase; see
+        #: :mod:`repro.fabric.occ`).  Captured at construction like the
+        #: ledger backend: recovery replays must rebase exactly the way
+        #: the original commits did.
+        self.commit_backend = occ.resolve_backend(commit_backend_name)
+        #: tid -> :class:`repro.fabric.occ.ResimRecord` — the proposal
+        #: context needed to re-execute a conflicted transaction.  The
+        #: network shares one index across all its peers; without an
+        #: entry a conflicted transaction aborts as under the reference
+        #: backend.
+        self.resim: dict[str, occ.ResimRecord] = {}
         self._digest: IncrementalStateDigest | None = None
         if self.ledger_backend.incremental_state_digest:
             self._digest = IncrementalStateDigest(self.statedb)
@@ -193,7 +215,7 @@ class Peer:
         ``_validate_parallel``); the differential suite pins this.
         """
         if memo is not None:
-            codes = self._validate_parallel(
+            codes, rebased = self._validate_parallel(
                 block, peer_keys, peer_secrets, policy, memo
             )
             # Structure check and size are pure in the (shared) block
@@ -202,7 +224,9 @@ class Peer:
                 block, prevalidated=True, size_bytes=memo.admit(block)
             )
         else:
-            codes = self._validate_serial(block, peer_keys, peer_secrets, policy)
+            codes, rebased = self._validate_serial(
+                block, peer_keys, peer_secrets, policy
+            )
             self.chain.append(block)
         self.validation_codes.update(codes)
         if self.store is not None:
@@ -211,11 +235,14 @@ class Peer:
             # (process memory dies with the process) and the durable
             # prefix stays consistent; the gap is re-fetched via
             # catch-up.  A SimulatedCrashError here propagates to the
-            # network, which treats this peer as dead.
-            self.store.log_block(block, codes)
+            # network, which treats this peer as dead.  Rebased write
+            # sets are logged alongside the codes: recovery applies the
+            # writes that actually committed, not the endorsement-time
+            # ones embedded in the block.
+            self.store.log_block(block, codes, rebased=rebased)
             if self.store.snapshot_due(self.chain.height):
                 self.store.write_snapshot_for(self)
-        return CommitResult(block_number=block.number, codes=codes)
+        return CommitResult(block_number=block.number, codes=codes, rebased=rebased)
 
     def _validate_serial(
         self,
@@ -223,9 +250,10 @@ class Peer:
         peer_keys: dict[str, object],
         peer_secrets: dict[str, bytes],
         policy: int,
-    ) -> dict[str, ValidationCode]:
+    ) -> tuple[dict[str, ValidationCode], dict[str, dict]]:
         """The reference validation loop, transaction by transaction."""
         codes: dict[str, ValidationCode] = {}
+        rebased: dict[str, dict] = {}
         # Fabric validates transactions in block order, with each valid
         # transaction's writes visible to the MVCC checks of the ones
         # after it — two conflicting reads in one block invalidate the
@@ -241,13 +269,65 @@ class Peer:
                     conflict = True
                     break
             if conflict:
-                codes[tx.tid] = ValidationCode.MVCC_CONFLICT
-                continue
+                new_writes = self._try_rebase(tx, write_set)
+                if new_writes is None:
+                    codes[tx.tid] = ValidationCode.MVCC_CONFLICT
+                    continue
+                rebased[tx.tid] = new_writes
+                write_set = new_writes
             codes[tx.tid] = ValidationCode.VALID
             version = Version(block=block.number, position=position)
             for key, value in write_set.items():
                 self.statedb.put(key, value, version)
-        return codes
+        return codes, rebased
+
+    def _try_rebase(self, tx: Transaction, original_writes: dict) -> dict | None:
+        """Re-execute a conflicted transaction against current state.
+
+        Returns the rebased write set to commit, or ``None`` when the
+        transaction must still abort (see :mod:`repro.fabric.occ` for
+        the abort rules).  Called from the in-order validation pass, so
+        "current state" includes every earlier valid transaction's
+        writes — the rebase sees exactly what a fresh endorsement at
+        this point in the serial order would see.
+        """
+        backend = self.commit_backend
+        if not backend.rebase_conflicts:
+            return None
+        record = self.resim.get(tx.tid)
+        if record is None:
+            return None
+        try:
+            chaincode = self.registry.get(record.chaincode)
+        except ChaincodeError:
+            return None
+        for _attempt in range(backend.max_rebase_attempts):
+            ctx = TxContext(
+                chaincode=record.chaincode,
+                statedb=self.statedb,
+                tid=tx.tid,
+                creator=record.creator,
+            )
+            try:
+                response = chaincode.invoke(ctx, record.fn, record.args)
+            except ChaincodeError:
+                # The business rule no longer holds (revoked grant,
+                # moved item, double spend): abort is the right answer.
+                return None
+            if occ.business_outcome_changed(record.response, response):
+                return None
+            if set(ctx.write_set) != set(original_writes):
+                return None
+            # The re-execution's reads must still match current state.
+            # Within one validation pass nothing else writes, so a
+            # deterministic chaincode passes on the first attempt; the
+            # loop is the budget for non-deterministic ones.
+            if all(
+                self.statedb.version_of(key) == version
+                for key, version in ctx.read_set.items()
+            ):
+                return dict(ctx.write_set)
+        return None
 
     def _validate_parallel(
         self,
@@ -256,7 +336,7 @@ class Peer:
         peer_secrets: dict[str, bytes],
         policy: int,
         memo,
-    ) -> dict[str, ValidationCode]:
+    ) -> tuple[dict[str, ValidationCode], dict[str, dict]]:
         """Dependency-aware validation; serial-equivalent to the loop above.
 
         Serial equivalence, stage by stage:
@@ -290,13 +370,18 @@ class Peer:
         txs = block.transactions
         shared = memo.verdicts_for(self.chain.tip_hash)
         if shared is not None:
+            # Rebased write sets ride with the verdicts (and share their
+            # tip guard): a replica reusing the codes must apply the
+            # writes that actually committed, not the endorsement-time
+            # ones.
             for position, tx in enumerate(txs):
                 if shared[tx.tid] is not ValidationCode.VALID:
                     continue
+                write_set = memo.rebased.get(tx.tid, memo.rwsets[tx.tid][1])
                 version = Version(block=block.number, position=position)
-                for key, value in memo.rwsets[tx.tid][1].items():
+                for key, value in write_set.items():
                     self.statedb.put(key, value, version)
-            return dict(shared)
+            return dict(shared), dict(memo.rebased)
         missing = [tx for tx in txs if tx.tid not in memo.endorsement_ok]
         if missing:
 
@@ -327,6 +412,7 @@ class Peer:
         )
 
         codes: dict[str, ValidationCode] = {}
+        rebased: dict[str, dict] = {}
         for position, tx in enumerate(txs):
             if not memo.endorsement_ok[tx.tid]:
                 codes[tx.tid] = ValidationCode.ENDORSEMENT_POLICY_FAILURE
@@ -334,15 +420,24 @@ class Peer:
             clean = verdicts.get(position)
             if clean is None:
                 clean = mvcc_clean(position)
+            write_set = rwsets[position][1]
             if not clean:
-                codes[tx.tid] = ValidationCode.MVCC_CONFLICT
-                continue
+                # conflict_schedule's dependent list is the rebase
+                # worklist: a conflicted transaction re-executes here,
+                # in block order, against the evolving state — exactly
+                # where the serial loop would rebase it.
+                new_writes = self._try_rebase(tx, write_set)
+                if new_writes is None:
+                    codes[tx.tid] = ValidationCode.MVCC_CONFLICT
+                    continue
+                rebased[tx.tid] = new_writes
+                write_set = new_writes
             codes[tx.tid] = ValidationCode.VALID
             version = Version(block=block.number, position=position)
-            for key, value in rwsets[position][1].items():
+            for key, value in write_set.items():
                 self.statedb.put(key, value, version)
-        memo.store_verdicts(self.chain.tip_hash, codes)
-        return codes
+        memo.store_verdicts(self.chain.tip_hash, codes, rebased)
+        return codes, rebased
 
     # -- crash recovery ------------------------------------------------------
 
@@ -364,6 +459,7 @@ class Peer:
         codes: dict[str, ValidationCode],
         size_bytes: int | None = None,
         apply_state: bool = True,
+        rebased: dict[str, dict] | None = None,
     ) -> None:
         """Re-commit a block from the durable log without re-validating.
 
@@ -375,13 +471,21 @@ class Peer:
         append still checks the hash link, so a corrupted record cannot
         splice in.  With ``apply_state=False`` only the chain and codes
         are rebuilt (the state comes from a snapshot instead).
+
+        ``rebased`` maps tids the occ commit backend rebased to the
+        write sets that actually committed — those override the
+        endorsement-time write sets embedded in the block, keeping the
+        replayed state byte-identical without re-running chaincode.
         """
         self.chain.append(block, prevalidated=True, size_bytes=size_bytes)
         if apply_state:
             for position, tx in enumerate(block.transactions):
                 if codes.get(tx.tid) is not ValidationCode.VALID:
                     continue
-                _read_set, write_set = parse_rwset(tx)
+                if rebased is not None and tx.tid in rebased:
+                    write_set = rebased[tx.tid]
+                else:
+                    _read_set, write_set = parse_rwset(tx)
                 version = Version(block=block.number, position=position)
                 for key, value in write_set.items():
                     self.statedb.put(key, value, version)

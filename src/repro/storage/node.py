@@ -116,8 +116,20 @@ class NodeStore:
         finally:
             self._suspended = previous
 
-    def log_block(self, block: Block, codes: dict | None = None) -> None:
-        """Append one committed (or ordered) block to the WAL."""
+    def log_block(
+        self,
+        block: Block,
+        codes: dict | None = None,
+        rebased: dict[str, dict] | None = None,
+    ) -> None:
+        """Append one committed (or ordered) block to the WAL.
+
+        ``rebased`` maps tids the occ commit backend rebased to the
+        write sets that actually committed; they must be replayed in
+        place of the endorsement-time rwsets embedded in the block.
+        The field is omitted when empty, so reference-backend WALs stay
+        byte-identical to the pre-occ format.
+        """
         if self._suspended:
             return
         payload: dict[str, Any] = {
@@ -128,6 +140,14 @@ class NodeStore:
         }
         if codes is not None:
             payload["codes"] = {tid: code.value for tid, code in codes.items()}
+        if rebased:
+            payload["rebased"] = {
+                tid: [
+                    [key, _encode_value(value)]
+                    for key, value in sorted(write_set.items())
+                ]
+                for tid, write_set in rebased.items()
+            }
         self.wal.append(payload)
         self.records_logged += 1
 
@@ -216,6 +236,7 @@ class NodeStore:
                     _decode_codes(record),
                     size_bytes=record["size"],
                     apply_state=False,
+                    rebased=_decode_rebased(record),
                 )
             for key, encoded, vblock, vposition in checkpoint.state:
                 peer.statedb.put(
@@ -237,6 +258,7 @@ class NodeStore:
                 _decode_codes(record),
                 size_bytes=record["size"],
                 apply_state=True,
+                rebased=_decode_rebased(record),
             )
         return RecoveryReport(
             node_id=self.node_id,
@@ -384,7 +406,12 @@ def verify_restart(network, peer) -> RecoveryReport:
         chain_name=peer.chain.name,
         real_signatures=peer.real_signatures,
         ledger_backend_name=peer.ledger_backend.name,
+        commit_backend_name=peer.commit_backend.name,
     )
+    # Catch-up re-validates missing blocks from scratch, so the shadow
+    # needs the same re-simulation records the live peer used — rebases
+    # must replay identically or the byte-identity checks below fail.
+    shadow.resim = peer.resim
     report = store.recover_peer(shadow)
     # The shadow has no store of its own, so catch-up commits do not
     # append duplicate records to the live peer's WAL.
@@ -433,4 +460,12 @@ def _decode_codes(record: dict[str, Any]) -> dict:
     return {
         tid: ValidationCode(value)
         for tid, value in record.get("codes", {}).items()
+    }
+
+
+def _decode_rebased(record: dict[str, Any]) -> dict:
+    """Rebased write sets logged with the block (occ backend), if any."""
+    return {
+        tid: {key: _decode_value(encoded) for key, encoded in pairs}
+        for tid, pairs in record.get("rebased", {}).items()
     }

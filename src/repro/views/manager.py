@@ -261,6 +261,10 @@ class ViewManager(ABC):
             tid=tid,
         )
         notice = yield network.submit(proposal)
+        # A client-side MVCC retry (config.mvcc_retry_attempts)
+        # re-endorses under a fresh transaction id; all view
+        # bookkeeping must follow the id that actually committed.
+        tid = notice.tid
         self._retained[tid] = processed
         self._after_commit(tid, processed)
 
@@ -379,6 +383,14 @@ class ViewManager(ABC):
             staged.append((inv, processed, matching, tid, annotated_public))
             events.append(network.submit(proposal))
         notices = yield env.all_of(events)
+        # MVCC client retries re-endorse under fresh tids; rebind each
+        # staged entry to the id its notice reports as committed.
+        staged = [
+            (inv, processed, matching, notice.tid, annotated_public)
+            for notice, (inv, processed, matching, _tid, annotated_public) in zip(
+                notices, staged
+            )
+        ]
 
         # Retain all processed secrets before applying extra views, so a
         # request in this batch can grant historical access to an

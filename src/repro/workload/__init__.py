@@ -11,13 +11,23 @@ from repro.workload.contract import SupplyChainContract
 from repro.workload.generator import SupplyChainWorkload, TransferRequest
 from repro.workload.presets import fig1_topology, wl1_topology, wl2_topology
 from repro.workload.topology import NodeKind, SupplyChainTopology
+from repro.workload.zipf import (
+    BumpRequest,
+    ContentionWorkload,
+    CounterContract,
+    ZipfSampler,
+)
 
 __all__ = [
+    "BumpRequest",
+    "ContentionWorkload",
+    "CounterContract",
     "SupplyChainContract",
     "SupplyChainTopology",
     "NodeKind",
     "SupplyChainWorkload",
     "TransferRequest",
+    "ZipfSampler",
     "fig1_topology",
     "wl1_topology",
     "wl2_topology",

@@ -1,0 +1,169 @@
+"""Skewed-contention workload for the commit-backend benchmarks.
+
+The supply-chain trace is deliberately conflict-light (each item walks
+its own keys), which makes it useless for measuring MVCC abort
+behaviour.  This module generates the opposite: a stream of
+read-modify-write *bumps* against a small set of hot counters drawn
+from a Zipf distribution, with a tunable fraction of uncontended cold
+traffic mixed in.  Under the reference commit backend a block of
+concurrent bumps to one hot key commits exactly one winner; under the
+occ backend the losers rebase and goodput approaches the offered load
+— the contrast `benchmarks/test_contention_microbench.py` measures.
+
+Everything is seeded: the same (keys, skew, conflict_rate, seed)
+tuple yields the same request stream on every run.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.fabric.chaincode import Chaincode, TxContext
+
+COUNTER_CHAINCODE = "counter"
+
+
+class ZipfSampler:
+    """Draws ranks 1..n with probability proportional to ``1/rank**s``.
+
+    ``s = 0`` is uniform; ``s = 1.2`` (the benchmark's default skew)
+    concentrates ~45 % of the mass on the top two of eight ranks.
+    Sampling is inverse-CDF over the precomputed cumulative weights, so
+    a draw costs one ``random()`` plus a binary search.
+    """
+
+    def __init__(self, n: int, s: float, seed: int = 7):
+        if n < 1:
+            raise WorkloadError(f"zipf sampler needs n >= 1, got {n}")
+        if s < 0:
+            raise WorkloadError(f"zipf skew must be >= 0, got {s}")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank**s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cumulative: list[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0  # guard against float drift
+
+    def probabilities(self) -> list[float]:
+        """P(rank) for rank 1..n (descending by construction)."""
+        previous = 0.0
+        out = []
+        for cumulative in self._cumulative:
+            out.append(cumulative - previous)
+            previous = cumulative
+        return out
+
+    def sample(self) -> int:
+        """One rank in ``1..n`` (1 is the hottest)."""
+        return bisect_right(self._cumulative, self._rng.random()) + 1
+
+    def sample_many(self, count: int) -> list[int]:
+        return [self.sample() for _ in range(count)]
+
+
+class CounterContract(Chaincode):
+    """Hot-key counters: the minimal read-modify-write chaincode.
+
+    ``bump`` reads the counter, adds ``amount``, and writes it back —
+    the textbook MVCC-conflict shape.  The response keeps a *stable
+    dict shape* (same keys whatever the prior value), so an occ rebase
+    that lands on a different running total still passes the
+    business-outcome check and commits; contrast the supply-chain
+    transfer, whose re-execution raises once the holder moved.
+    """
+
+    name = COUNTER_CHAINCODE
+
+    def fn_bump(self, ctx: TxContext, key: str, amount: int = 1) -> dict:
+        current = ctx.get_state(key) or 0
+        updated = current + amount
+        ctx.put_state(key, updated)
+        return {"key": key, "count": updated}
+
+    def fn_get(self, ctx: TxContext, key: str) -> int:
+        return ctx.get_state(key) or 0
+
+
+@dataclass(frozen=True)
+class BumpRequest:
+    """One counter bump in the contention trace."""
+
+    index: int
+    key: str
+    amount: int
+    #: True when the key was drawn from the hot set (for reporting).
+    hot: bool
+
+    @property
+    def args(self) -> dict:
+        return {"key": self.key, "amount": self.amount}
+
+
+@dataclass
+class ContentionWorkload:
+    """Seeded stream of counter bumps with zipf-skewed hot keys.
+
+    Each request targets a hot key (``hot-00`` … drawn by rank from
+    :class:`ZipfSampler`) with probability ``conflict_rate``, and a
+    request-unique cold key otherwise.  Two concurrent requests can
+    only conflict on hot keys, so ``conflict_rate`` upper-bounds the
+    per-request conflict probability and ``skew`` shapes how the hot
+    traffic piles onto the hottest ranks.
+    """
+
+    requests: int = 64
+    hot_keys: int = 8
+    skew: float = 1.2
+    conflict_rate: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self):
+        if not 0.0 <= self.conflict_rate <= 1.0:
+            raise WorkloadError(
+                f"conflict_rate must be in [0, 1], got {self.conflict_rate}"
+            )
+        if self.requests < 0:
+            raise WorkloadError(f"requests must be >= 0, got {self.requests}")
+
+    def generate(self) -> list[BumpRequest]:
+        """The full trace (deterministic per seed)."""
+        rng = random.Random(self.seed)
+        sampler = ZipfSampler(self.hot_keys, self.skew, seed=self.seed + 1)
+        trace: list[BumpRequest] = []
+        for index in range(self.requests):
+            hot = rng.random() < self.conflict_rate
+            if hot:
+                key = f"hot-{sampler.sample() - 1:02d}"
+            else:
+                key = f"cold-{index:05d}"
+            trace.append(
+                BumpRequest(
+                    index=index,
+                    key=key,
+                    amount=rng.randint(1, 5),
+                    hot=hot,
+                )
+            )
+        return trace
+
+    @staticmethod
+    def expected_totals(trace: list[BumpRequest]) -> dict[str, int]:
+        """Final counter values if every bump commits exactly once."""
+        totals: dict[str, int] = {}
+        for request in trace:
+            totals[request.key] = totals.get(request.key, 0) + request.amount
+        return totals
+
+    @staticmethod
+    def hot_fraction(trace: list[BumpRequest]) -> float:
+        if not trace:
+            return 0.0
+        return sum(1 for request in trace if request.hot) / len(trace)

@@ -163,6 +163,36 @@ def test_conflict_schedule_partitions_every_index():
     assert dependent == [1, 2]  # read b after write b; read c after write c
 
 
+def test_conflict_schedule_self_conflict_is_independent():
+    # A transaction reading and writing its own key does not depend on
+    # itself — only *earlier* writers count.
+    assert parallel.conflict_schedule([_rw(["k"], ["k"])]) == ([0], [])
+
+
+def test_conflict_schedule_self_conflict_after_writer_is_dependent():
+    rwsets = [_rw([], ["k"]), _rw(["k"], ["k"])]
+    assert parallel.conflict_schedule(rwsets) == ([0], [1])
+
+
+def test_conflict_schedule_empty_read_sets_never_depend():
+    # Pure writers are MVCC-immune whatever the earlier writes touched.
+    rwsets = [
+        _rw(["a"], ["a"]),
+        _rw([], ["a"]),
+        _rw([], ["a", "b"]),
+        _rw([], []),
+    ]
+    assert parallel.conflict_schedule(rwsets) == ([0, 1, 2, 3], [])
+
+
+def test_conflict_schedule_write_write_then_reader():
+    # Only the final reader of a write-write pileup goes serial; the
+    # blind writers stay independent (the occ rebase worklist is the
+    # dependent list, so this keeps rebase work minimal).
+    rwsets = [_rw([], ["k"]), _rw([], ["k"]), _rw(["k"], [])]
+    assert parallel.conflict_schedule(rwsets) == ([0, 1], [2])
+
+
 # -- endorsement fan-out ------------------------------------------------------
 
 
