@@ -16,138 +16,27 @@ view blockchain is a shard whose 2PC logic is a smart contract:
 All of these write contract state, so they carry the heavier
 ``contract_write`` validation cost — one of the reasons the baseline
 saturates far below LedgerView (Fig 4).
+
+The contract implementations themselves now live in
+:mod:`repro.sharding.crossshard`, where the scale-out architecture
+hardened them (idempotent decide *and* commit, lock release on
+re-prepare); this module re-exports them so the baseline and the
+sharded deployment run byte-for-byte identical 2PC logic, and the
+baseline inherits every crash-safety fix for free.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from repro.sharding.crossshard import (
+    COORDINATOR_CHAINCODE,
+    SHARD_CHAINCODE,
+    CoordinatorContract,
+    ShardContract,
+)
 
-from repro.errors import ChaincodeError
-from repro.fabric.chaincode import Chaincode, TxContext
-
-COORDINATOR_CHAINCODE = "coordinator"
-SHARD_CHAINCODE = "twopc"
-
-
-class CoordinatorContract(Chaincode):
-    """2PC coordinator records on the main chain."""
-
-    name = COORDINATOR_CHAINCODE
-
-    def fn_begin(self, ctx: TxContext, xid: str, views: list[str]) -> None:
-        """Record the start of a cross-chain transaction."""
-        if ctx.get_state(f"xact~{xid}") is not None:
-            raise ChaincodeError(f"cross-chain transaction {xid!r} already begun")
-        ctx.put_state(f"xact~{xid}", {"views": views, "state": "begun"})
-
-    def fn_record_vote(
-        self, ctx: TxContext, xid: str, view: str, prepared: bool
-    ) -> None:
-        """Relay one shard's prepare vote onto the coordinator chain.
-
-        In AHL the coordinating committee processes every shard's vote
-        as a transaction of its own — which is why the coordinator's
-        load grows with the number of involved view chains (and why the
-        baseline degrades on the larger WL2 workload, Fig 8).
-        """
-        ctx.put_state(f"vote~{xid}~{view}", bool(prepared))
-
-    def fn_votes(self, ctx: TxContext, xid: str) -> dict[str, bool]:
-        """All recorded votes for a cross-chain transaction (query)."""
-        prefix = f"vote~{xid}~"
-        return {
-            key[len(prefix):]: value
-            for key, value in ctx.scan_prefix(prefix)
-        }
-
-    def fn_decide(self, ctx: TxContext, xid: str, outcome: str) -> None:
-        """Record the global commit/abort decision.
-
-        2PC decisions are final: a repeated identical ``decide`` (a
-        recovering coordinator replaying its log) is an idempotent
-        no-op, while a conflicting one is an error — without this
-        check, a second decision could flip ``aborted`` → ``committed``
-        after shards already acted on the first.
-        """
-        record = ctx.get_state(f"xact~{xid}")
-        if record is None:
-            raise ChaincodeError(f"unknown cross-chain transaction {xid!r}")
-        if outcome not in ("committed", "aborted"):
-            raise ChaincodeError(f"invalid 2PC outcome {outcome!r}")
-        current = record["state"]
-        if current == outcome:
-            return
-        if current in ("committed", "aborted"):
-            raise ChaincodeError(
-                f"cross-chain transaction {xid!r} already decided "
-                f"{current!r}; cannot re-decide {outcome!r}"
-            )
-        ctx.put_state(
-            f"xact~{xid}", {"views": record["views"], "state": outcome}
-        )
-
-    def fn_status(self, ctx: TxContext, xid: str) -> dict | None:
-        """Query a cross-chain transaction's decision record."""
-        return ctx.get_state(f"xact~{xid}")
-
-
-class ShardContract(Chaincode):
-    """2PC participant logic on a view blockchain."""
-
-    name = SHARD_CHAINCODE
-
-    def fn_prepare(
-        self, ctx: TxContext, xid: str, lock_key: str, payload: dict[str, Any]
-    ) -> dict:
-        """Phase 1: acquire the per-item lock and park the payload.
-
-        Returns ``{"prepared": False, ...}`` rather than raising when
-        the lock is held — a negative vote, not an execution error.
-        """
-        holder = ctx.get_state(f"lock~{lock_key}")
-        if holder is not None and holder != xid:
-            return {"prepared": False, "conflict_with": holder}
-        pending = ctx.get_state(f"pending~{xid}")
-        if pending is not None and pending["lock_key"] != lock_key:
-            # Re-prepare under a different key (a coordinator retry
-            # after a partial failure): release the first lock, or it
-            # would be held forever — commit/abort only release the
-            # lock named in the *current* pending record.
-            ctx.put_state(f"lock~{pending['lock_key']}", None)
-        ctx.put_state(f"lock~{lock_key}", xid)
-        ctx.put_state(f"pending~{xid}", {"lock_key": lock_key, "payload": payload})
-        return {"prepared": True}
-
-    def fn_commit(self, ctx: TxContext, xid: str) -> dict:
-        """Phase 2: materialise the payload on the view chain.
-
-        The payload is written into contract state under the
-        transaction's id — the per-view duplication of the record.
-        """
-        pending = ctx.get_state(f"pending~{xid}")
-        if pending is None:
-            raise ChaincodeError(f"commit of unprepared transaction {xid!r}")
-        ctx.put_state(f"record~{xid}", pending["payload"])
-        ctx.put_state(f"lock~{pending['lock_key']}", None)
-        ctx.put_state(f"pending~{xid}", None)
-        return {"committed": True}
-
-    def fn_abort(self, ctx: TxContext, xid: str) -> dict:
-        """Release the lock without applying the payload."""
-        pending = ctx.get_state(f"pending~{xid}")
-        if pending is not None:
-            ctx.put_state(f"lock~{pending['lock_key']}", None)
-            ctx.put_state(f"pending~{xid}", None)
-        return {"aborted": True}
-
-    def fn_get_record(self, ctx: TxContext, xid: str) -> dict | None:
-        """Query one committed record (query only)."""
-        return ctx.get_state(f"record~{xid}")
-
-    def fn_record_count(self, ctx: TxContext) -> int:
-        """Number of committed records on this view chain (query only)."""
-        return sum(
-            1
-            for _key, value in ctx.scan_prefix("record~")
-            if value is not None
-        )
+__all__ = [
+    "COORDINATOR_CHAINCODE",
+    "SHARD_CHAINCODE",
+    "CoordinatorContract",
+    "ShardContract",
+]

@@ -156,6 +156,17 @@ class NetworkConfig:
     #: Seed for the retry backoff jitter (deterministic runs).
     mvcc_retry_seed: int = 7
 
+    # -- sharding ------------------------------------------------------------
+    #: Number of independent channels a
+    #: :class:`repro.sharding.ShardedNetwork` built from this config
+    #: runs.  1 (default) is the unsharded deployment — a single shard
+    #: named ``"main"``, byte-identical to a plain
+    #: :class:`~repro.fabric.network.FabricNetwork`.
+    shard_count: int = 1
+    #: Virtual nodes per shard on the consistent-hash ring (balance vs.
+    #: ring size; see :mod:`repro.sharding.ring`).
+    ring_vnodes: int = 64
+
     # -- faults --------------------------------------------------------------
     #: Fault-injection plan for this network: inline JSON or a path to
     #: a JSON file (see :class:`repro.faults.FaultPlan`); an injector

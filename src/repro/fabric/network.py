@@ -284,6 +284,12 @@ class FabricNetwork:
         #: or duplicated copies are dropped here (only consulted when a
         #: fault injector is attached).
         self._ordered_tids: set[str] = set()
+        #: High-water mark of transactions queued at the orderer (the
+        #: block cutter's pending batch) — the back-pressure gauge the
+        #: sharding bench reports per shard: a single channel's queue
+        #: grows with total load, a sharded deployment's per-channel
+        #: queues grow with load/N.
+        self.orderer_queue_peak = 0
 
         #: Durability runtime (:class:`repro.storage.StorageRuntime`),
         #: or ``None`` when the storage backend is off — peers are then
@@ -641,6 +647,8 @@ class FabricNetwork:
                     continue
                 self._ordered_tids.add(tx.tid)
             self._cutter.add(tx)
+            if len(self._cutter) > self.orderer_queue_peak:
+                self.orderer_queue_peak = len(self._cutter)
             arrival = self._arrival
             self._arrival = self.env.event()
             arrival.succeed()

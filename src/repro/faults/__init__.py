@@ -36,6 +36,11 @@ from repro.faults.plan import (
     RetryPolicy,
 )
 from repro.faults.recovery import catch_up, recover_peer
+from repro.faults.shard import (
+    ShardCrashSpec,
+    ShardFaultPlan,
+    schedule_shard_faults,
+)
 from repro.sim.faults import FaultDecision, MessageFaultModel, MessageFaultRule
 
 __all__ = [
@@ -49,6 +54,9 @@ __all__ = [
     "MessageFaultModel",
     "MessageFaultRule",
     "RetryPolicy",
+    "ShardCrashSpec",
+    "ShardFaultPlan",
     "catch_up",
     "recover_peer",
+    "schedule_shard_faults",
 ]

@@ -1,0 +1,98 @@
+"""Per-shard fault plans: scheduled whole-shard crash and recovery.
+
+The chaos layer's :class:`~repro.faults.FaultPlan` targets individual
+peers and orderers inside one channel.  A sharded deployment fails at
+a coarser grain too — a whole shard (its orderer *and* every peer)
+losing power at once — and that failure mode is owned by
+:class:`~repro.sharding.network.ShardedNetwork`, which knows how to
+wipe and rebuild an entire channel from its durable stores.
+
+This module is the declarative bridge between the two: a
+:class:`ShardFaultPlan` is a seed-free, JSON-round-trippable schedule
+of whole-shard outages, and :func:`schedule_shard_faults` arms it as
+simulation processes against a live sharded network.  The same plan
+applied to the same workload reproduces the same run, matching the
+chaos layer's determinism contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjectionError
+
+
+@dataclass(frozen=True)
+class ShardCrashSpec:
+    """Power-cut shard ``shard`` at ``at_ms``; optionally auto-recover.
+
+    With ``recover_after_ms`` the shard is rebuilt from its durable
+    stores that long (simulated) after the crash; without it the shard
+    stays dark until the caller recovers it explicitly.
+    """
+
+    shard: int
+    at_ms: float
+    recover_after_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise FaultInjectionError(
+                f"shard index must be >= 0, got {self.shard}"
+            )
+        if self.at_ms < 0:
+            raise FaultInjectionError(f"at_ms must be >= 0, got {self.at_ms}")
+        if self.recover_after_ms is not None and self.recover_after_ms <= 0:
+            raise FaultInjectionError(
+                f"recover_after_ms must be > 0, got {self.recover_after_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """A reproducible schedule of whole-shard outages."""
+
+    crashes: tuple[ShardCrashSpec, ...] = ()
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ShardFaultPlan":
+        unknown = set(raw) - {"crashes"}
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown shard-fault-plan keys {sorted(unknown)!r}"
+            )
+        return cls(
+            crashes=tuple(
+                ShardCrashSpec(**spec) for spec in raw.get("crashes", [])
+            )
+        )
+
+    def to_dict(self) -> dict:
+        return {"crashes": [vars(spec).copy() for spec in self.crashes]}
+
+
+def schedule_shard_faults(sharded, plan: ShardFaultPlan) -> list:
+    """Arm a plan against a live sharded network.
+
+    Returns one simulation process per scheduled crash; each fires the
+    power cut at its ``at_ms`` and (when configured) the WAL/snapshot
+    recovery after ``recover_after_ms``.  Crashing a shard that is
+    already down, or one without durable stores, raises exactly as the
+    direct :meth:`~repro.sharding.network.ShardedNetwork.crash_shard`
+    call would — a plan must not mask operator errors.
+    """
+    for spec in plan.crashes:
+        if spec.shard >= sharded.shard_count:
+            raise FaultInjectionError(
+                f"plan targets shard {spec.shard} but the network has "
+                f"{sharded.shard_count}"
+            )
+
+    def driver(spec: ShardCrashSpec):
+        yield sharded.env.timeout(spec.at_ms)
+        sharded.crash_shard(spec.shard)
+        if spec.recover_after_ms is not None:
+            yield sharded.env.timeout(spec.recover_after_ms)
+            sharded.recover_shard(spec.shard)
+
+    return [sharded.env.process(driver(spec)) for spec in plan.crashes]

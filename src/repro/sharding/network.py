@@ -1,0 +1,369 @@
+"""The sharded deployment: N independent channels plus a router.
+
+A :class:`ShardedNetwork` runs ``shard_count`` complete
+:class:`~repro.fabric.network.FabricNetwork` instances — each with its
+own orderer, peers, durable stores, and the full backend configuration
+inherited from one :class:`~repro.fabric.config.NetworkConfig` — inside
+a single simulation environment.  A :class:`ConsistentHashRing` over
+the shard names decides where every view (and every state key) lives,
+so single-view traffic (EI/ER/HI/HR requests, view queries, audits)
+touches exactly one orderer and one commit path; only requests whose
+writes genuinely span shards go through the cross-shard 2PC layer
+(:mod:`repro.sharding.crossshard`).
+
+With ``shard_count=1`` the single shard is named ``"main"`` and built
+through the same :func:`repro.build_network` path as the unsharded
+reference — peer ids, MSP registration order, and every transaction
+byte are identical, which the differential suite pins (a sharded
+deployment at N=1 *is* the reference deployment, plus two extra —
+unused — contracts in the registry).
+
+Whole-shard failure is modelled at this layer, not per peer:
+:meth:`ShardedNetwork.crash_shard` loses the shard's entire in-memory
+state (orderer and all peers at once — a rack power cut), and
+:meth:`ShardedNetwork.recover_shard` rebuilds it purely from the PR 5
+durable stores: ordered block log from the orderer's WAL, each peer
+from its snapshot + WAL suffix + catch-up.  Surviving shards never
+stop; the ring does not re-place keys on failure (the shard comes
+back — this is crash-recovery, not membership change).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import FaultInjectionError, StorageError, WorkloadError
+from repro.fabric.config import NetworkConfig
+from repro.fabric.endorser import Proposal
+from repro.fabric.network import CommitNotice, FabricNetwork, Gateway
+from repro.fabric.identity import User
+from repro.ledger.block import GENESIS_PREVIOUS_HASH
+from repro.sim import Environment, Event
+from repro.sharding.crossshard import (
+    CoordinatorContract,
+    CoordinatorLog,
+    ShardContract,
+)
+from repro.sharding.ring import DEFAULT_VNODES, ConsistentHashRing
+
+
+def shard_names(count: int) -> list[str]:
+    """Channel names for an N-shard deployment.
+
+    The single-shard deployment reuses the unsharded chain name so its
+    peer ids (``main-peer0`` …) and every derived byte stay identical
+    to the reference network.
+    """
+    if count < 1:
+        raise WorkloadError(f"shard count must be >= 1, got {count}")
+    if count == 1:
+        return ["main"]
+    return [f"shard-{i}" for i in range(count)]
+
+
+class ShardedNetwork:
+    """N independent Fabric channels behind one consistent-hash router."""
+
+    def __init__(
+        self,
+        env: Environment | None = None,
+        config: NetworkConfig | None = None,
+        shard_count: int | None = None,
+        vnodes: int | None = None,
+        install_standard_contracts: bool = True,
+    ):
+        from repro import build_network
+
+        self.env = env or Environment()
+        self.config = config or NetworkConfig()
+        count = shard_count if shard_count is not None else self.config.shard_count
+        names = shard_names(count)
+        self.ring = ConsistentHashRing(
+            names,
+            vnodes=(
+                vnodes if vnodes is not None else self.config.ring_vnodes
+            ),
+        )
+        self.shards: list[FabricNetwork] = [
+            build_network(
+                self.config,
+                self.env,
+                chain_name=name,
+                install_standard_contracts=install_standard_contracts,
+            )
+            for name in names
+        ]
+        # Every shard can participate in (and coordinate) cross-shard
+        # transactions.  Installation is a pure registry insert — no
+        # identities, no randomness — so the N=1 deployment stays
+        # byte-identical to the unsharded reference.
+        for network in self.shards:
+            network.install_chaincode(CoordinatorContract())
+            network.install_chaincode(ShardContract())
+        #: Shard indices currently crashed (whole-shard outage).
+        self.down: set[int] = set()
+        self._cross_shard = {"begun": 0, "committed": 0, "aborted": 0}
+
+    # -- placement (the router) ----------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, key: str) -> int:
+        """The shard owning ``key`` (view name, state key, user id)."""
+        return self.ring.index_for(key)
+
+    def network_for(self, key: str) -> FabricNetwork:
+        """Route a key to its home channel (raises while that shard is
+        down — shard-local traffic has nowhere else to go)."""
+        index = self.shard_index(key)
+        if index in self.down:
+            raise FaultInjectionError(
+                f"shard {self.shards[index].chain_name!r} (home of "
+                f"{key!r}) is down"
+            )
+        return self.shards[index]
+
+    def coordinator_shard_for(self, xid: str) -> int:
+        """Which shard's chain hosts a cross-shard transaction's
+        coordinator records — ring-placed by xid, so coordinator load
+        spreads across shards instead of funnelling through one."""
+        return self.ring.index_for(xid)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit_on(self, shard: int, proposal: Proposal) -> Event:
+        """Submit directly to one shard (router-internal / 2PC use)."""
+        if shard in self.down:
+            raise FaultInjectionError(
+                f"shard {self.shards[shard].chain_name!r} is down"
+            )
+        return self.shards[shard].submit(proposal)
+
+    def run(self, until: Any = None):
+        return self.env.run(until=until)
+
+    # -- cross-shard layer ---------------------------------------------------
+
+    def coordinator_log(self, owner_id: str = "crossshard-coordinator") -> CoordinatorLog:
+        """The 2PC driver's write-ahead decision journal.
+
+        Lives in shard 0's durability runtime (the coordinator is a
+        client-side process; any durable filesystem will do — what
+        matters is that it is not the coordinator's own memory).  With
+        durability off the log is inert and the driver degrades to the
+        baseline's in-memory guarantees.
+        """
+        storage = self.shards[0].storage
+        if storage is None:
+            return CoordinatorLog(None)
+        return CoordinatorLog(storage.owner_store(owner_id))
+
+    def count_cross_shard(self, event: str) -> None:
+        self._cross_shard[event] = self._cross_shard.get(event, 0) + 1
+
+    # -- whole-shard failure -------------------------------------------------
+
+    def crash_shard(self, index: int) -> None:
+        """Power-cut one shard: orderer and every peer lose all memory.
+
+        Requires durability (a crash without a durable store is just
+        data loss).  In-flight transactions on the shard are lost with
+        it — callers see no commit notice, exactly as with a real
+        outage.  The shard refuses traffic until
+        :meth:`recover_shard`.
+        """
+        network = self.shards[index]
+        if network.storage is None:
+            raise StorageError(
+                f"cannot crash shard {network.chain_name!r}: durability "
+                "is off, nothing would survive"
+            )
+        self.down.add(index)
+        for peer in network.peers:
+            peer.reset_world_state()
+        # The orderer's memory dies too: pending batch, ordered block
+        # log, and chain-continuation counters.  Recovery rebuilds them
+        # from the orderer WAL.
+        network.block_log.clear()
+        network._cutter._pending.clear()
+        network._cutter._pending_bytes = 0
+        network.ordering._next_number = 0
+        network.ordering._tip_hash = GENESIS_PREVIOUS_HASH
+        network._commit_events.clear()
+        network._responses.clear()
+
+    def recover_shard(self, index: int) -> list[Any]:
+        """Restart a crashed shard from its durable stores.
+
+        Ordered block log first (the orderer WAL's intact prefix, torn
+        tail truncated), continuation counters reset from it, then
+        every peer via snapshot + WAL suffix + catch-up from the
+        restored log.  Returns the per-peer
+        :class:`~repro.storage.RecoveryReport` list; convergence across
+        the shard's peers is asserted before traffic resumes.
+        """
+        from repro.faults.recovery import recover_peer
+
+        network = self.shards[index]
+        if network.storage is None:
+            raise StorageError(
+                f"cannot recover shard {network.chain_name!r}: no durable store"
+            )
+        restored = network.storage.restore_block_log()
+        network.block_log.clear()
+        network.block_log.extend(restored)
+        network.ordering._next_number = len(restored)
+        network.ordering._tip_hash = (
+            restored[-1].hash() if restored else GENESIS_PREVIOUS_HASH
+        )
+        reports = []
+        for peer in network.peers:
+            recover_peer(network, peer)
+            reports.append(peer.last_recovery)
+        network.verify_convergence()
+        self.down.discard(index)
+        return reports
+
+    # -- integrity / observability -------------------------------------------
+
+    def verify_convergence(self) -> None:
+        """All peers of every live shard hold identical chains/state."""
+        for index, network in enumerate(self.shards):
+            if index not in self.down:
+                network.verify_convergence()
+
+    def fingerprint(self) -> dict[str, dict[str, Any]]:
+        """Per-shard (tip hash, height, state root) — the byte-identity
+        anchor the single-shard differential test compares against the
+        unsharded reference."""
+        result: dict[str, dict[str, Any]] = {}
+        for network in self.shards:
+            peer = network.reference_peer
+            result[network.chain_name] = {
+                "height": peer.chain.height,
+                "tip_hash": peer.chain.tip_hash.hex(),
+                "state_root": peer.current_state_root().hex(),
+            }
+        return result
+
+    def per_shard_stats(self) -> list[dict[str, Any]]:
+        """Per-shard balance counters for the bench harness ``extra``."""
+        stats = []
+        for index, network in enumerate(self.shards):
+            outcomes = network.phase_wall.commit_outcomes()["totals"]
+            stats.append(
+                {
+                    "shard": network.chain_name,
+                    "committed": outcomes["committed"],
+                    "aborted": outcomes["aborted"],
+                    "rebased": outcomes["rebased"],
+                    "blocks": len(network.block_log),
+                    "height": network.reference_peer.chain.height,
+                    "orderer_queue_peak": network.orderer_queue_peak,
+                    "mvcc_retries": network.mvcc_retries,
+                    "down": index in self.down,
+                }
+            )
+        return stats
+
+    def cross_shard_stats(self) -> dict[str, int]:
+        return dict(self._cross_shard)
+
+    def harness_extra(self) -> dict[str, Any]:
+        """The ``extra`` block benchmark results carry: per-shard
+        balance plus cross-shard transaction counts."""
+        return {
+            "shard_count": self.shard_count,
+            "per_shard": self.per_shard_stats(),
+            "cross_shard": self.cross_shard_stats(),
+        }
+
+    def merge_phase_wall(self, totals: dict[str, float]) -> None:
+        """Accumulate every shard's host-side phase times into ``totals``."""
+        for network in self.shards:
+            network.phase_wall.merge_into(totals)
+
+    def commit_outcome_totals(self) -> dict[str, int]:
+        """Commit/abort/rebase counts summed across all shards."""
+        totals = {"committed": 0, "aborted": 0, "rebased": 0}
+        for network in self.shards:
+            outcomes = network.phase_wall.commit_outcomes()["totals"]
+            for key in totals:
+                totals[key] += outcomes[key]
+        return totals
+
+
+class ShardedGateway:
+    """One logical client identity registered on every shard.
+
+    Each shard has its own MSP, so the client holds one
+    :class:`~repro.fabric.identity.User` per shard (same user id); the
+    per-key routing methods pick the shard via the network's ring, and
+    :meth:`on` exposes the plain per-shard
+    :class:`~repro.fabric.network.Gateway` for view managers and other
+    shard-local machinery.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedNetwork,
+        user_id: str,
+        organization: str = "org1",
+    ):
+        self.sharded = sharded
+        self.user_id = user_id
+        self.users: list[User] = [
+            network.register_user(user_id, organization)
+            for network in sharded.shards
+        ]
+        self.gateways: list[Gateway] = [
+            Gateway(network, user)
+            for network, user in zip(sharded.shards, self.users)
+        ]
+
+    def on(self, shard: int) -> Gateway:
+        return self.gateways[shard]
+
+    def user_on(self, shard: int) -> User:
+        return self.users[shard]
+
+    def shard_of(self, key: str) -> int:
+        return self.sharded.shard_index(key)
+
+    # -- routed operations ---------------------------------------------------
+
+    def invoke(
+        self,
+        key: str,
+        chaincode: str,
+        fn: str,
+        args: dict[str, Any] | None = None,
+        **proposal_fields: Any,
+    ) -> CommitNotice:
+        """Synchronous invoke on ``key``'s home shard."""
+        shard = self.shard_of(key)
+        self.sharded.network_for(key)  # down-check
+        return self.gateways[shard].invoke(chaincode, fn, args, **proposal_fields)
+
+    def submit_async(
+        self,
+        key: str,
+        chaincode: str,
+        fn: str,
+        args: dict[str, Any] | None = None,
+        **proposal_fields: Any,
+    ) -> Event:
+        """Asynchronous invoke on ``key``'s home shard."""
+        shard = self.shard_of(key)
+        self.sharded.network_for(key)  # down-check
+        return self.gateways[shard].submit_async(
+            chaincode, fn, args, **proposal_fields
+        )
+
+    def query(
+        self, key: str, chaincode: str, fn: str, args: dict[str, Any] | None = None
+    ) -> Any:
+        """Local read on ``key``'s home shard."""
+        return self.gateways[self.shard_of(key)].query(chaincode, fn, args)

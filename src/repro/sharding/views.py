@@ -1,0 +1,266 @@
+"""Shard-aware view ownership: placement, routing, and cross-shard grants.
+
+A :class:`ShardedViewOwner` is one view owner operating over a
+:class:`~repro.sharding.network.ShardedNetwork`.  It runs one ordinary
+:class:`~repro.views.manager.ViewManager` per shard (so every view's
+manager state, TLC service, and durable owner journal live next to the
+view's home channel) and routes each operation by the consistent-hash
+ring:
+
+- **Placement**: a view lives on ``ring.shard_for(view_name)``; its
+  ViewStorage map, TLC registrations, notary ``V_access`` transactions,
+  and the owner's buffered data are all on that shard.  The per-shard
+  managers share nothing, so shard-local requests never synchronise.
+- **Shard-local requests** (the common case): a client request whose
+  matching views all live on one shard delegates wholesale to that
+  shard's manager — business transaction, ``InsertIntoView``, and view
+  maintenance identical to the unsharded deployment.
+- **Cross-shard requests**: when the matching views span shards, the
+  request goes through the hardened 2PC layer.  Each involved shard's
+  manager conceals the secret with its own per-transaction key, and the
+  2PC payload materialises the transaction (public part + that shard's
+  ciphertext) on *every* involved shard atomically — all shards' views
+  gain the entry or none do, mirroring the paper's multi-chain
+  semantics where a cross-view transaction must exist on each view's
+  chain.  Readers on each shard verify entries against their shard's
+  materialised record rather than a single global business chain.
+- **Cross-shard access grants**: an RBAC relation update touching views
+  on several shards first commits an atomic intent record through 2PC
+  (the relation change happens everywhere or nowhere), then publishes
+  each view's sealed-key ``V_access`` transaction on its home shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import WorkloadError
+from repro.fabric.network import Gateway
+from repro.ledger.transaction import fresh_tid
+from repro.sharding.crossshard import (
+    CrossShardResult,
+    CrossShardWrite,
+    TwoPhaseCoordinator,
+)
+from repro.sharding.network import ShardedGateway, ShardedNetwork
+from repro.views.manager import InvokeOutcome, ViewManager
+from repro.views.predicates import Predicate
+from repro.views.types import ViewMode
+
+
+@dataclass
+class CrossViewOutcome:
+    """Result of one request whose views spanned shards."""
+
+    tid: str
+    result: CrossShardResult
+    #: View names the request joined, per shard index.
+    views: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.result.committed
+
+
+class ShardedViewOwner:
+    """One view owner, one manager per shard, ring-routed operations."""
+
+    def __init__(
+        self,
+        sharded: ShardedNetwork,
+        user_id: str,
+        manager_factory: Callable[[Gateway], ViewManager] | None = None,
+        organization: str = "org1",
+    ):
+        if manager_factory is None:
+            from repro.views import EncryptionBasedManager
+
+            manager_factory = EncryptionBasedManager
+        self.sharded = sharded
+        self.gateway = ShardedGateway(sharded, user_id, organization)
+        self.managers: list[ViewManager] = [
+            manager_factory(self.gateway.on(shard))
+            for shard in range(sharded.shard_count)
+        ]
+        self.coordinator = TwoPhaseCoordinator(sharded, self.gateway)
+        #: view name → home shard index (filled by :meth:`create_view`).
+        self.placements: dict[str, int] = {}
+
+    # -- placement -----------------------------------------------------------
+
+    def home_shard(self, view_name: str) -> int:
+        """The ring's placement for a view (stable, deterministic)."""
+        return self.sharded.shard_index(f"view:{view_name}")
+
+    def manager_of(self, view_name: str) -> ViewManager:
+        placed = self.placements.get(view_name)
+        if placed is None:
+            raise WorkloadError(f"view {view_name!r} was never created here")
+        return self.managers[placed]
+
+    def create_view(
+        self,
+        name: str,
+        predicate: Predicate,
+        mode: ViewMode = ViewMode.REVOCABLE,
+    ):
+        """Create a view on its home shard's manager."""
+        shard = self.home_shard(name)
+        self.placements[name] = shard
+        return self.managers[shard].create_view(name, predicate, mode)
+
+    # -- request routing -----------------------------------------------------
+
+    def _matching_shards(self, public: dict[str, Any]) -> dict[int, list]:
+        """Shard index → matching view records, empty shards omitted."""
+        matches: dict[int, list] = {}
+        for shard, manager in enumerate(self.managers):
+            records = manager.buffer.matching(public)
+            if records:
+                matches[shard] = records
+        return matches
+
+    def invoke_with_secret(
+        self,
+        fn: str,
+        args: dict[str, Any],
+        public: dict[str, Any],
+        secret: bytes,
+        route_key: str | None = None,
+        tid: str | None = None,
+    ) -> InvokeOutcome | CrossViewOutcome:
+        """Handle one client request, shard-locally when possible.
+
+        Views matching on exactly one shard (or none — then the
+        request is placed by ``route_key``, default a stable key from
+        its public part) run the ordinary single-channel path on that
+        shard.  Views spanning shards run the atomic cross-shard path
+        and return a :class:`CrossViewOutcome`.
+        """
+        matches = self._matching_shards(public)
+        if len(matches) <= 1:
+            if matches:
+                (shard,) = matches
+            else:
+                key = route_key or "|".join(
+                    f"{k}={public[k]}" for k in sorted(public)
+                )
+                shard = self.sharded.shard_index(key)
+            if shard in self.sharded.down:
+                raise WorkloadError(
+                    f"home shard {self.sharded.shards[shard].chain_name!r} "
+                    "is down"
+                )
+            return self.managers[shard].invoke_with_secret(
+                fn, args, public, secret, tid=tid
+            )
+        return self._invoke_cross_shard(fn, args, public, secret, matches, tid)
+
+    def _invoke_cross_shard(
+        self,
+        fn: str,
+        args: dict[str, Any],
+        public: dict[str, Any],
+        secret: bytes,
+        matches: dict[int, list],
+        tid: str | None,
+    ) -> CrossViewOutcome:
+        tid = tid or fresh_tid()
+        writes = []
+        staged: dict[int, tuple[ViewManager, Any, list]] = {}
+        for shard in sorted(matches):
+            manager = self.managers[shard]
+            records = matches[shard]
+            # Each shard's manager conceals with its own per-transaction
+            # key: it must be able to serve and rotate its views without
+            # another shard's key material.
+            processed = manager.process_secret(secret)
+            writes.append(
+                CrossShardWrite(
+                    shard=shard,
+                    lock_key=f"req~{tid}",
+                    payload={
+                        "fn": fn,
+                        "args": args,
+                        "public": dict(
+                            public,
+                            views=sorted(r.name for r in records),
+                        ),
+                        "concealed": processed.concealed.hex(),
+                        "salt": processed.salt.hex(),
+                        "tid": tid,
+                    },
+                )
+            )
+            staged[shard] = (manager, processed, records)
+        result = self.coordinator.execute_sync(writes, xid=tid)
+        outcome = CrossViewOutcome(tid=tid, result=result)
+        if result.committed:
+            for shard, (manager, processed, records) in staged.items():
+                manager._retained[tid] = processed
+                for record in records:
+                    manager.insert_into_view(record, tid, processed)
+                outcome.views[shard] = sorted(r.name for r in records)
+        return outcome
+
+    # -- access control ------------------------------------------------------
+
+    def grant_access(self, view_name: str, principal_id: str) -> str:
+        """Grant on a single view: entirely home-shard local (the
+        ``V_access`` notary transaction commits on that shard)."""
+        return self.manager_of(view_name).grant_access(view_name, principal_id)
+
+    def revoke_access(self, view_name: str, principal_id: str) -> str:
+        return self.manager_of(view_name).revoke_access(view_name, principal_id)
+
+    def grant_access_multi(
+        self, view_names: list[str], principal_id: str
+    ) -> dict[str, str]:
+        """Grant one principal access to several views atomically.
+
+        The RBAC relation update (paper §4.6: assigning a user to a
+        role touches every view the role can read) must not half-apply
+        when its views live on different shards.  The relation change
+        commits first as one cross-shard 2PC record — an auditable
+        intent naming every (view, principal) pair, on every involved
+        shard — then each view's sealed-key ``V_access`` transaction is
+        published on its home shard.  Views all on one shard skip 2PC
+        entirely.
+
+        Returns view name → access-transaction id.
+        """
+        by_shard: dict[int, list[str]] = {}
+        for name in view_names:
+            self.manager_of(name)  # placement check
+            by_shard.setdefault(self.placements[name], []).append(name)
+        if len(by_shard) > 1:
+            xid = f"grant-{fresh_tid()}"
+            writes = [
+                CrossShardWrite(
+                    shard=shard,
+                    lock_key=f"access~{principal_id}",
+                    payload={
+                        "principal": principal_id,
+                        "views": sorted(names),
+                        "grant": xid,
+                    },
+                )
+                for shard, names in sorted(by_shard.items())
+            ]
+            result = self.coordinator.execute_sync(writes, xid=xid)
+            if not result.committed:
+                raise WorkloadError(
+                    f"cross-shard grant {xid} aborted on shards "
+                    f"{result.refused}"
+                )
+        return {
+            name: self.grant_access(name, principal_id)
+            for name in view_names
+        }
+
+    # -- queries -------------------------------------------------------------
+
+    def query_view(self, view_name: str, requester_id: str, tids=None) -> bytes:
+        """Serve a view query from the view's home-shard manager."""
+        return self.manager_of(view_name).query_view(view_name, requester_id, tids)

@@ -195,6 +195,7 @@ class ViewManager(ABC):
         public: dict[str, Any],
         secret: bytes,
         extra_views: dict[str, list[str]] | None = None,
+        tid: str | None = None,
     ) -> InvokeOutcome:
         """Handle one client request carrying a secret part.
 
@@ -210,10 +211,16 @@ class ViewManager(ABC):
         receiving node access to an item's historical transfers (§6.2).
         It maps view name → previously committed transaction ids.
 
+        ``tid`` pins the business transaction's id; benchmarks (and the
+        sharded differential suite) pass explicit ids so runs stay
+        key-for-key comparable across deployments.
+
         This synchronous form drives the simulation to completion; for
         concurrent clients use :meth:`invoke_with_secret_async`.
         """
-        event = self.invoke_with_secret_async(fn, args, public, secret, extra_views)
+        event = self.invoke_with_secret_async(
+            fn, args, public, secret, extra_views, tid=tid
+        )
         return self.gateway.network.env.run(until=event)
 
     def invoke_with_secret_async(
@@ -223,12 +230,13 @@ class ViewManager(ABC):
         public: dict[str, Any],
         secret: bytes,
         extra_views: dict[str, list[str]] | None = None,
+        tid: str | None = None,
     ):
         """Asynchronous :meth:`invoke_with_secret`: returns a process
         event whose value is the :class:`InvokeOutcome`, so many client
         requests can be in flight concurrently in the simulation."""
         return self.gateway.network.env.process(
-            self._invoke_process(fn, args, public, secret, extra_views or {})
+            self._invoke_process(fn, args, public, secret, extra_views or {}, tid=tid)
         )
 
     def _invoke_process(

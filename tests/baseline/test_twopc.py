@@ -64,6 +64,39 @@ class TestCoordinator:
                 {"xid": "x1", "outcome": "maybe"},
             )
 
+    def test_decide_replay_is_idempotent(self, statedb):
+        """A recovering coordinator may re-send its decision verbatim."""
+        contract = CoordinatorContract()
+        ctx = _ctx(statedb, "coordinator")
+        contract.invoke(ctx, "begin", {"xid": "x1", "views": ["v1"]})
+        _apply(ctx, statedb)
+        ctx2 = _ctx(statedb, "coordinator")
+        contract.invoke(ctx2, "decide", {"xid": "x1", "outcome": "aborted"})
+        _apply(ctx2, statedb, 1)
+        replay = _ctx(statedb, "coordinator")
+        contract.invoke(replay, "decide", {"xid": "x1", "outcome": "aborted"})
+        assert replay.write_set == {}  # no-op, nothing rewritten
+        status = contract.invoke(
+            _ctx(statedb, "coordinator"), "status", {"xid": "x1"}
+        )
+        assert status["state"] == "aborted"
+
+    def test_conflicting_redecide_rejected(self, statedb):
+        """A decision can never flip — the 2PC finality guarantee."""
+        contract = CoordinatorContract()
+        ctx = _ctx(statedb, "coordinator")
+        contract.invoke(ctx, "begin", {"xid": "x1", "views": []})
+        _apply(ctx, statedb)
+        ctx2 = _ctx(statedb, "coordinator")
+        contract.invoke(ctx2, "decide", {"xid": "x1", "outcome": "committed"})
+        _apply(ctx2, statedb, 1)
+        with pytest.raises(ChaincodeError, match="already decided"):
+            contract.invoke(
+                _ctx(statedb, "coordinator"),
+                "decide",
+                {"xid": "x1", "outcome": "aborted"},
+            )
+
 
 class TestShard:
     def test_prepare_commit_cycle(self, statedb):
@@ -115,6 +148,67 @@ class TestShard:
     def test_commit_unprepared_rejected(self, statedb):
         with pytest.raises(ChaincodeError, match="unprepared"):
             ShardContract().invoke(_ctx(statedb, "twopc"), "commit", {"xid": "x9"})
+
+    def test_commit_replay_is_noop(self, statedb):
+        """Re-committing a committed xid (coordinator crash recovery
+        re-driving phase 2) must not error or rewrite the record."""
+        contract = ShardContract()
+        ctx = _ctx(statedb, "twopc")
+        contract.invoke(
+            ctx, "prepare", {"xid": "x1", "lock_key": "item-1", "payload": {"n": 1}}
+        )
+        _apply(ctx, statedb)
+        ctx2 = _ctx(statedb, "twopc")
+        contract.invoke(ctx2, "commit", {"xid": "x1"})
+        _apply(ctx2, statedb, 1)
+        replay = _ctx(statedb, "twopc")
+        assert contract.invoke(replay, "commit", {"xid": "x1"}) == {
+            "committed": True,
+            "replayed": True,
+        }
+        assert replay.write_set == {}
+        record = contract.invoke(_ctx(statedb, "twopc"), "get_record", {"xid": "x1"})
+        assert record == {"n": 1}
+
+    def test_reprepare_after_commit_is_replay(self, statedb):
+        """Phase 1 re-driven after a completed commit takes no new lock."""
+        contract = ShardContract()
+        ctx = _ctx(statedb, "twopc")
+        contract.invoke(
+            ctx, "prepare", {"xid": "x1", "lock_key": "item-1", "payload": {}}
+        )
+        _apply(ctx, statedb)
+        ctx2 = _ctx(statedb, "twopc")
+        contract.invoke(ctx2, "commit", {"xid": "x1"})
+        _apply(ctx2, statedb, 1)
+        vote = contract.invoke(
+            _ctx(statedb, "twopc"),
+            "prepare",
+            {"xid": "x1", "lock_key": "item-1", "payload": {}},
+        )
+        assert vote == {"prepared": True, "replayed": True}
+        assert statedb.get("twopc~lock~item-1") is None
+
+    def test_reprepare_different_key_releases_old_lock(self, statedb):
+        contract = ShardContract()
+        ctx = _ctx(statedb, "twopc")
+        contract.invoke(
+            ctx, "prepare", {"xid": "x1", "lock_key": "item-1", "payload": {}}
+        )
+        _apply(ctx, statedb)
+        ctx2 = _ctx(statedb, "twopc")
+        contract.invoke(
+            ctx2, "prepare", {"xid": "x1", "lock_key": "item-2", "payload": {}}
+        )
+        _apply(ctx2, statedb, 1)
+        # item-1's lock is free again; item-2's is held by x1.
+        vote = contract.invoke(
+            _ctx(statedb, "twopc"),
+            "prepare",
+            {"xid": "x2", "lock_key": "item-1", "payload": {}},
+        )
+        assert vote == {"prepared": True}
+        assert statedb.get("twopc~lock~item-2") == "x1"
 
     def test_abort_releases_lock(self, statedb):
         contract = ShardContract()

@@ -1,0 +1,227 @@
+"""ShardedNetwork: identity at N=1, locality, whole-shard crash/recovery."""
+
+import pytest
+
+from repro import build_network
+from repro.errors import FaultInjectionError, StorageError, WorkloadError
+from repro.fabric.config import NetworkConfig
+from repro.fabric.network import Gateway
+from repro.fabric.peer import ValidationCode
+from repro.sharding import ShardedGateway, ShardedNetwork, ShardedViewOwner
+from repro.sharding.network import shard_names
+from repro.sim import Environment
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.predicates import AttributeEquals
+from repro.views.types import ViewMode
+from repro.workload.zipf import CounterContract
+
+SECRET = b'{"type":"phone","amount":10,"price_cents":19900}'
+
+FAST = dict(real_signatures=False, batch_timeout_ms=20.0)
+
+
+def _durable_deployment(shards=3):
+    sharded = ShardedNetwork(
+        config=NetworkConfig(storage_backend="memory", **FAST),
+        shard_count=shards,
+    )
+    for network in sharded.shards:
+        network.install_chaincode(CounterContract())
+    return sharded, ShardedGateway(sharded, "client")
+
+
+class TestShardNames:
+    def test_single_shard_reuses_reference_chain_name(self):
+        assert shard_names(1) == ["main"]
+        assert shard_names(3) == ["shard-0", "shard-1", "shard-2"]
+        with pytest.raises(WorkloadError):
+            shard_names(0)
+
+
+class TestSingleShardByteIdentity:
+    """A 1-shard sharded deployment IS the reference deployment."""
+
+    @staticmethod
+    def _workload_on(manager, grant):
+        codes, tids = [], []
+        for i in range(4):
+            item = f"item-{i}"
+            outcome = manager.invoke_with_secret(
+                "create_item",
+                {"item": item, "owner": "W1"},
+                {"item": item, "from": None, "to": "W1", "access": ["W1"]},
+                SECRET,
+            )
+            codes.append(outcome.notice.code)
+            tids.append(outcome.tid)
+        grant("w1", "bob")
+        return codes, tids
+
+    def test_fingerprint_matches_unsharded_reference(self, rearm):
+        config = NetworkConfig(**FAST)
+
+        # Leg 1: the plain unsharded network.
+        rearm()
+        env = Environment()
+        reference = build_network(config, env, chain_name="main")
+        owner = reference.register_user("owner")
+        reference.register_user("bob")
+        manager = EncryptionBasedManager(Gateway(reference, owner))
+        manager.create_view("w1", AttributeEquals("to", "W1"), ViewMode.REVOCABLE)
+        ref_codes, ref_tids = self._workload_on(manager, manager.grant_access)
+        ref_peer = reference.reference_peer
+
+        # Leg 2: the same workload through a 1-shard ShardedNetwork.
+        rearm()
+        sharded = ShardedNetwork(config=config, shard_count=1)
+        sharded_owner = ShardedViewOwner(sharded, "owner")
+        sharded.shards[0].register_user("bob")
+        sharded_owner.create_view(
+            "w1", AttributeEquals("to", "W1"), ViewMode.REVOCABLE
+        )
+        codes, tids = self._workload_on(
+            sharded_owner.managers[0], sharded_owner.grant_access
+        )
+
+        assert codes == ref_codes
+        assert tids == ref_tids
+        fp = sharded.fingerprint()["main"]
+        assert fp["height"] == ref_peer.chain.height
+        assert fp["tip_hash"] == ref_peer.chain.tip_hash.hex()
+        assert fp["state_root"] == ref_peer.current_state_root().hex()
+        assert sharded.env.now == env.now
+
+    def test_view_owner_routes_everything_to_the_only_shard(self, rearm):
+        rearm()
+        sharded = ShardedNetwork(config=NetworkConfig(**FAST), shard_count=1)
+        owner = ShardedViewOwner(sharded, "owner")
+        assert owner.home_shard("anything") == 0
+        assert sharded.shard_index("any-key") == 0
+
+
+class TestRoutingLocality:
+    def test_single_key_traffic_stays_on_its_home_shard(self):
+        sharded, gateway = _durable_deployment(shards=4)
+        keys = [f"account-{i}" for i in range(6)]
+        homes = {key: sharded.shard_index(key) for key in keys}
+        assert len(set(homes.values())) > 1  # the trace actually spreads
+        before = [n.reference_peer.chain.height for n in sharded.shards]
+        for key in keys:
+            notice = gateway.invoke(
+                key, "counter", "bump", {"key": key, "amount": 1}
+            )
+            assert notice.code is ValidationCode.VALID
+        after = [n.reference_peer.chain.height for n in sharded.shards]
+        for shard in range(4):
+            touched = any(homes[key] == shard for key in keys)
+            assert (after[shard] > before[shard]) == touched
+
+    def test_routed_query_reads_the_home_shard(self):
+        sharded, gateway = _durable_deployment(shards=4)
+        gateway.invoke("k-route", "counter", "bump", {"key": "k-route", "amount": 5})
+        assert gateway.query("k-route", "counter", "get", {"key": "k-route"}) == 5
+        home = sharded.shard_index("k-route")
+        for shard, network in enumerate(sharded.shards):
+            value = network.query("counter", "get", {"key": "k-route"})
+            assert value == (5 if shard == home else 0)
+
+
+class TestWholeShardCrash:
+    def test_crash_requires_durability(self):
+        sharded = ShardedNetwork(
+            config=NetworkConfig(**FAST), shard_count=2
+        )
+        with pytest.raises(StorageError, match="durability"):
+            sharded.crash_shard(0)
+
+    def test_crash_recover_roundtrip_preserves_state(self):
+        sharded, gateway = _durable_deployment(shards=3)
+        for shard in range(3):
+            for _ in range(3):
+                notice = gateway.on(shard).invoke(
+                    "counter", "bump", {"key": f"k{shard}", "amount": 1}
+                )
+                assert notice.code is ValidationCode.VALID
+        before = sharded.fingerprint()
+        sharded.crash_shard(1)
+        assert 1 in sharded.down
+        # The crashed shard refuses traffic...
+        with pytest.raises(FaultInjectionError, match="down"):
+            sharded.submit_on(1, object())
+        # ...and its memory really is gone.
+        assert len(sharded.shards[1].block_log) == 0
+        assert sharded.shards[1].query("counter", "get", {"key": "k1"}) == 0
+
+        # Survivors keep committing while shard 1 is dark.
+        for shard in (0, 2):
+            notice = gateway.on(shard).invoke(
+                "counter", "bump", {"key": f"k{shard}", "amount": 1}
+            )
+            assert notice.code is ValidationCode.VALID
+
+        reports = sharded.recover_shard(1)
+        assert sharded.down == set()
+        assert len(reports) == len(sharded.shards[1].peers)
+        assert all(report is not None for report in reports)
+        # Shard 1 is byte-identical to its pre-crash self (it took no
+        # traffic while down); survivors advanced.
+        after = sharded.fingerprint()
+        assert after["shard-1"] == before["shard-1"]
+        for name in ("shard-0", "shard-2"):
+            assert after[name]["height"] == before[name]["height"] + 1
+        assert sharded.shards[1].query("counter", "get", {"key": "k1"}) == 3
+        sharded.verify_convergence()
+
+    def test_recovered_shard_accepts_traffic_again(self):
+        sharded, gateway = _durable_deployment(shards=2)
+        gateway.on(1).invoke("counter", "bump", {"key": "x", "amount": 2})
+        sharded.crash_shard(1)
+        sharded.recover_shard(1)
+        notice = gateway.on(1).invoke("counter", "bump", {"key": "x", "amount": 3})
+        assert notice.code is ValidationCode.VALID
+        assert sharded.shards[1].query("counter", "get", {"key": "x"}) == 5
+
+    def test_routed_invoke_raises_while_home_shard_down(self):
+        sharded, gateway = _durable_deployment(shards=3)
+        key = next(
+            f"probe-{i}" for i in range(100) if sharded.shard_index(f"probe-{i}") == 1
+        )
+        sharded.crash_shard(1)
+        with pytest.raises(FaultInjectionError, match="down"):
+            gateway.invoke(key, "counter", "bump", {"key": key, "amount": 1})
+
+
+class TestObservability:
+    def test_per_shard_stats_and_harness_extra(self):
+        sharded, gateway = _durable_deployment(shards=2)
+        for shard in range(2):
+            gateway.on(shard).invoke(
+                "counter", "bump", {"key": f"k{shard}", "amount": 1}
+            )
+        stats = sharded.per_shard_stats()
+        assert [s["shard"] for s in stats] == ["shard-0", "shard-1"]
+        for entry in stats:
+            assert entry["committed"] >= 1
+            assert entry["blocks"] >= 1
+            assert entry["height"] >= 1
+            assert entry["orderer_queue_peak"] >= 1
+            assert entry["down"] is False
+            assert "aborted" in entry and "rebased" in entry
+            assert "mvcc_retries" in entry
+        extra = sharded.harness_extra()
+        assert extra["shard_count"] == 2
+        assert extra["per_shard"] == stats
+        assert set(extra["cross_shard"]) >= {"begun", "committed", "aborted"}
+        totals = sharded.commit_outcome_totals()
+        assert totals["committed"] == sum(s["committed"] for s in stats)
+
+    def test_orderer_queue_peak_tracks_burst_depth(self):
+        sharded, gateway = _durable_deployment(shards=1)
+        events = [
+            gateway.on(0).submit_async(
+                "counter", "bump", {"key": "burst", "amount": 1}
+            )
+            for _ in range(6)
+        ]
+        sharded.run(until=sharded.env.all_of(events))
+        assert sharded.shards[0].orderer_queue_peak >= 2

@@ -1,0 +1,108 @@
+"""Declarative whole-shard fault plans over a ShardedNetwork."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.fabric.config import NetworkConfig
+from repro.fabric.peer import ValidationCode
+from repro.faults import ShardCrashSpec, ShardFaultPlan, schedule_shard_faults
+from repro.sharding import ShardedGateway, ShardedNetwork
+from repro.workload.zipf import CounterContract
+
+
+def _deployment(shards=3):
+    sharded = ShardedNetwork(
+        config=NetworkConfig(
+            real_signatures=False,
+            batch_timeout_ms=20.0,
+            storage_backend="memory",
+        ),
+        shard_count=shards,
+    )
+    for network in sharded.shards:
+        network.install_chaincode(CounterContract())
+    return sharded, ShardedGateway(sharded, "client")
+
+
+class TestPlanValidation:
+    def test_spec_bounds(self):
+        with pytest.raises(FaultInjectionError):
+            ShardCrashSpec(shard=-1, at_ms=0.0)
+        with pytest.raises(FaultInjectionError):
+            ShardCrashSpec(shard=0, at_ms=-1.0)
+        with pytest.raises(FaultInjectionError):
+            ShardCrashSpec(shard=0, at_ms=0.0, recover_after_ms=0.0)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown"):
+            ShardFaultPlan.from_dict({"crashes": [], "typo": 1})
+
+    def test_dict_roundtrip(self):
+        plan = ShardFaultPlan(
+            crashes=(
+                ShardCrashSpec(shard=1, at_ms=50.0, recover_after_ms=100.0),
+                ShardCrashSpec(shard=2, at_ms=75.0),
+            )
+        )
+        assert ShardFaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_out_of_range_target_rejected_at_arm_time(self):
+        sharded, _gateway = _deployment(shards=2)
+        plan = ShardFaultPlan(crashes=(ShardCrashSpec(shard=5, at_ms=1.0),))
+        with pytest.raises(FaultInjectionError, match="targets shard 5"):
+            schedule_shard_faults(sharded, plan)
+
+
+class TestScheduledOutage:
+    def test_crash_and_auto_recovery_fire_on_schedule(self):
+        sharded, gateway = _deployment()
+        victim = 1
+        # Seed some durable state on the victim before the outage.
+        notice = gateway.on(victim).invoke(
+            "counter", "bump", {"key": "pre", "amount": 4}
+        )
+        assert notice.code is ValidationCode.VALID
+        started = sharded.env.now
+
+        plan = ShardFaultPlan(
+            crashes=(
+                ShardCrashSpec(
+                    shard=victim, at_ms=30.0, recover_after_ms=120.0
+                ),
+            )
+        )
+        processes = schedule_shard_faults(sharded, plan)
+
+        # Mid-outage: the shard refuses traffic.
+        sharded.run(until=started + 100.0)
+        assert victim in sharded.down
+
+        # Survivors commit during the window.
+        survivor = gateway.on(0).invoke(
+            "counter", "bump", {"key": "live", "amount": 1}
+        )
+        assert survivor.code is ValidationCode.VALID
+
+        # After the scheduled recovery the shard is back, state intact.
+        sharded.run(until=sharded.env.all_of(processes))
+        assert sharded.down == set()
+        assert (
+            sharded.shards[victim].query("counter", "get", {"key": "pre"}) == 4
+        )
+        post = gateway.on(victim).invoke(
+            "counter", "bump", {"key": "pre", "amount": 1}
+        )
+        assert post.code is ValidationCode.VALID
+        assert (
+            sharded.shards[victim].query("counter", "get", {"key": "pre"}) == 5
+        )
+        sharded.verify_convergence()
+
+    def test_unrecovered_crash_stays_dark_until_explicit_recovery(self):
+        sharded, _gateway = _deployment()
+        plan = ShardFaultPlan(crashes=(ShardCrashSpec(shard=2, at_ms=10.0),))
+        processes = schedule_shard_faults(sharded, plan)
+        sharded.run(until=sharded.env.all_of(processes))
+        assert 2 in sharded.down
+        sharded.recover_shard(2)
+        assert sharded.down == set()

@@ -1,0 +1,227 @@
+"""ShardedViewOwner: placement, local delegation, cross-shard atomics."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fabric.config import NetworkConfig
+from repro.fabric.peer import ValidationCode
+from repro.sharding import SHARD_CHAINCODE, ShardedNetwork, ShardedViewOwner
+from repro.sharding.views import CrossViewOutcome
+from repro.views.manager import InvokeOutcome
+from repro.views.predicates import AttributeEquals
+from repro.views.types import ViewMode
+
+SECRET = b'{"type":"phone","amount":10,"price_cents":19900}'
+
+
+def _deployment(shards=4):
+    sharded = ShardedNetwork(
+        config=NetworkConfig(real_signatures=False, batch_timeout_ms=20.0),
+        shard_count=shards,
+    )
+    return sharded, ShardedViewOwner(sharded, "owner")
+
+
+def _register_reader(sharded, user_id):
+    """Each shard has its own MSP, so a principal that can be granted
+    access on any view must exist on every shard."""
+    for network in sharded.shards:
+        network.register_user(user_id)
+
+
+def _views_on_distinct_shards(owner, count=2):
+    """View names the ring places on pairwise different shards."""
+    names, shards = [], set()
+    for i in range(200):
+        name = f"view-{i:03d}"
+        home = owner.home_shard(name)
+        if home not in shards:
+            names.append(name)
+            shards.add(home)
+            if len(names) == count:
+                return names
+    raise AssertionError("ring never spread the probe names")
+
+
+def _public(item, to="W1"):
+    return {"item": item, "from": None, "to": to, "access": [to]}
+
+
+def _invoke(owner, item, to="W1"):
+    return owner.invoke_with_secret(
+        "create_item",
+        {"item": item, "owner": to},
+        _public(item, to),
+        SECRET,
+    )
+
+
+class TestPlacement:
+    def test_views_place_deterministically(self):
+        _sharded, a = _deployment()
+        _sharded2, b = _deployment()
+        names = [f"v{i}" for i in range(40)]
+        assert [a.home_shard(n) for n in names] == [b.home_shard(n) for n in names]
+
+    def test_create_view_lands_on_home_manager(self):
+        _sharded, owner = _deployment()
+        (name,) = _views_on_distinct_shards(owner, 1)
+        owner.create_view(name, AttributeEquals("to", "W1"))
+        home = owner.home_shard(name)
+        assert owner.placements[name] == home
+        assert owner.manager_of(name) is owner.managers[home]
+        for shard, manager in enumerate(owner.managers):
+            assert (name in manager.buffer) == (shard == home)
+
+    def test_unknown_view_rejected(self):
+        _sharded, owner = _deployment()
+        with pytest.raises(WorkloadError, match="never created"):
+            owner.manager_of("ghost")
+
+
+class TestLocalDelegation:
+    def test_single_matching_view_runs_shard_locally(self):
+        sharded, owner = _deployment()
+        name_a, name_b = _views_on_distinct_shards(owner)
+        owner.create_view(name_a, AttributeEquals("to", "W1"))
+        owner.create_view(name_b, AttributeEquals("to", "W2"))
+        heights = [n.reference_peer.chain.height for n in sharded.shards]
+        outcome = _invoke(owner, "item-1", to="W1")
+        assert isinstance(outcome, InvokeOutcome)
+        assert outcome.notice.code is ValidationCode.VALID
+        assert outcome.views == [name_a]
+        home = owner.placements[name_a]
+        # Only the home shard's chain advanced.
+        for shard, network in enumerate(sharded.shards):
+            grew = network.reference_peer.chain.height > heights[shard]
+            assert grew == (shard == home)
+        assert owner.managers[home].buffer.get(name_a).contains(outcome.tid)
+        other = owner.placements[name_b]
+        assert not owner.managers[other].buffer.get(name_b).contains(outcome.tid)
+
+    def test_no_matching_view_routes_by_public_key(self):
+        sharded, owner = _deployment()
+        outcome = owner.invoke_with_secret(
+            "create_item",
+            {"item": "stray", "owner": "W9"},
+            _public("stray", to="W9"),
+            SECRET,
+            route_key="stray",
+        )
+        assert isinstance(outcome, InvokeOutcome)
+        assert outcome.notice.code is ValidationCode.VALID
+        assert outcome.views == []
+        home = sharded.shard_index("stray")
+        assert sharded.shards[home].get_transaction(outcome.tid) is not None
+
+
+class TestCrossShardInvoke:
+    def test_matching_views_on_two_shards_commit_atomically(self):
+        sharded, owner = _deployment()
+        name_a, name_b = _views_on_distinct_shards(owner)
+        owner.create_view(name_a, AttributeEquals("to", "W1"))
+        owner.create_view(name_b, AttributeEquals("item", "item-x"))
+        outcome = _invoke(owner, "item-x", to="W1")  # matches both
+        assert isinstance(outcome, CrossViewOutcome)
+        assert outcome.committed
+        shard_a, shard_b = owner.placements[name_a], owner.placements[name_b]
+        assert sorted(outcome.views) == sorted([shard_a, shard_b])
+        assert outcome.views[shard_a] == [name_a]
+        assert outcome.views[shard_b] == [name_b]
+        # The 2PC record materialised on both involved shards, under
+        # the request's tid.
+        for shard in (shard_a, shard_b):
+            record = sharded.shards[shard].query(
+                SHARD_CHAINCODE, "get_record", {"xid": outcome.tid}
+            )
+            assert record is not None
+            assert record["tid"] == outcome.tid
+            assert record["public"]["item"] == "item-x"
+        owner.coordinator.verify_atomicity(outcome.result)
+        # Both views gained the entry.
+        assert owner.managers[shard_a].buffer.get(name_a).contains(outcome.tid)
+        assert owner.managers[shard_b].buffer.get(name_b).contains(outcome.tid)
+
+    def test_each_shard_conceals_with_its_own_key(self):
+        sharded, owner = _deployment()
+        name_a, name_b = _views_on_distinct_shards(owner)
+        owner.create_view(name_a, AttributeEquals("to", "W1"))
+        owner.create_view(name_b, AttributeEquals("item", "item-y"))
+        outcome = _invoke(owner, "item-y", to="W1")
+        shard_a, shard_b = owner.placements[name_a], owner.placements[name_b]
+        rec_a = sharded.shards[shard_a].query(
+            SHARD_CHAINCODE, "get_record", {"xid": outcome.tid}
+        )
+        rec_b = sharded.shards[shard_b].query(
+            SHARD_CHAINCODE, "get_record", {"xid": outcome.tid}
+        )
+        assert rec_a["concealed"] != rec_b["concealed"]
+        assert SECRET.hex() not in (rec_a["concealed"], rec_b["concealed"])
+
+
+class TestAccessControl:
+    def test_grant_and_revoke_stay_home_local(self):
+        sharded, owner = _deployment()
+        (name,) = _views_on_distinct_shards(owner, 1)
+        owner.create_view(name, AttributeEquals("to", "W1"))
+        home = owner.placements[name]
+        _register_reader(sharded, "bob")
+        heights = [n.reference_peer.chain.height for n in sharded.shards]
+        owner.grant_access(name, "bob")
+        owner.revoke_access(name, "bob")
+        for shard, network in enumerate(sharded.shards):
+            grew = network.reference_peer.chain.height > heights[shard]
+            assert grew == (shard == home)
+
+    def test_grant_access_multi_spanning_shards_uses_2pc(self):
+        sharded, owner = _deployment()
+        name_a, name_b = _views_on_distinct_shards(owner)
+        owner.create_view(name_a, AttributeEquals("to", "W1"))
+        owner.create_view(name_b, AttributeEquals("to", "W2"))
+        _register_reader(sharded, "carol")
+        begun_before = owner.coordinator.stats["begun"]
+        grants = owner.grant_access_multi([name_a, name_b], "carol")
+        assert set(grants) == {name_a, name_b}
+        assert owner.coordinator.stats["begun"] == begun_before + 1
+        assert owner.coordinator.stats["committed"] >= 1
+        # The atomic intent record names the principal and views on
+        # both home shards.
+        shard_a = owner.placements[name_a]
+        pending = sharded.cross_shard_stats()
+        assert pending["committed"] >= 1
+        records = sharded.shards[shard_a].query(
+            SHARD_CHAINCODE, "record_count", {}
+        )
+        assert records >= 1
+
+    def test_grant_access_multi_same_shard_skips_2pc(self):
+        _sharded, owner = _deployment(shards=2)
+        first, second = None, None
+        for i in range(200):
+            name = f"co-{i:03d}"
+            if owner.home_shard(name) == 0:
+                if first is None:
+                    first = name
+                elif second is None:
+                    second = name
+                    break
+        owner.create_view(first, AttributeEquals("to", "W1"))
+        owner.create_view(second, AttributeEquals("to", "W2"))
+        _register_reader(_sharded, "dave")
+        begun_before = owner.coordinator.stats["begun"]
+        grants = owner.grant_access_multi([first, second], "dave")
+        assert set(grants) == {first, second}
+        assert owner.coordinator.stats["begun"] == begun_before
+
+
+class TestQueries:
+    def test_query_view_serves_from_home_shard(self):
+        _sharded, owner = _deployment()
+        (name,) = _views_on_distinct_shards(owner, 1)
+        owner.create_view(name, AttributeEquals("to", "W1"))
+        outcome = _invoke(owner, "item-q", to="W1")
+        assert outcome.notice.code is ValidationCode.VALID
+        _register_reader(_sharded, "bob")
+        owner.grant_access(name, "bob")
+        served = owner.query_view(name, "bob")
+        assert isinstance(served, bytes) and served

@@ -170,3 +170,82 @@ def test_workload_rejects_bad_parameters():
 def test_bump_request_args_match_contract_signature():
     request = BumpRequest(index=0, key="hot-00", amount=2, hot=True)
     assert request.args == {"key": "hot-00", "amount": 2}
+
+
+# -- sharded traces ------------------------------------------------------------
+
+
+def test_one_shard_trace_is_byte_identical_to_presharding_generator():
+    """Adding the sharding knobs must not perturb existing benches:
+    the shards=1 default consumes the identical RNG stream and emits
+    the identical key names."""
+    base = ContentionWorkload(requests=30, seed=7).generate()
+    explicit = ContentionWorkload(requests=30, seed=7, shards=1).generate()
+    assert base == explicit
+    assert all(request.shard == 0 for request in base)
+    assert not any(request.cross_shard for request in base)
+    assert {r.key for r in base if r.hot} <= {f"hot-{i:02d}" for i in range(8)}
+
+
+def test_sharded_trace_is_round_robin_balanced():
+    workload = ContentionWorkload(requests=32, seed=7, shards=4)
+    trace = workload.generate()
+    buckets = workload.per_shard(trace)
+    assert [len(bucket) for bucket in buckets] == [8, 8, 8, 8]
+    for shard, bucket in enumerate(buckets):
+        assert all(request.shard == shard for request in bucket)
+
+
+def test_sharded_keys_are_namespaced_per_home_shard():
+    trace = ContentionWorkload(
+        requests=40, seed=7, shards=4, conflict_rate=1.0
+    ).generate()
+    for request in trace:
+        assert request.key.startswith(f"hot-s{request.shard}-")
+
+
+def test_cross_shard_fraction_marks_partner_writes():
+    workload = ContentionWorkload(
+        requests=400, seed=7, shards=4, cross_shard_fraction=0.25
+    )
+    trace = workload.generate()
+    fraction = ContentionWorkload.cross_fraction(trace)
+    assert 0.15 < fraction < 0.35
+    for request in trace:
+        for partner_shard, partner_key in request.partners:
+            assert partner_shard != request.shard
+            assert 0 <= partner_shard < 4
+            # The partner key comes from the partner's own namespace.
+            if partner_key.startswith("hot-"):
+                assert partner_key.startswith(f"hot-s{partner_shard}-")
+            else:
+                assert partner_key.startswith(f"cold-s{partner_shard}-")
+
+
+def test_cross_shard_requests_excluded_from_expected_totals():
+    trace = [
+        BumpRequest(index=0, key="a", amount=2, hot=True),
+        BumpRequest(
+            index=1, key="b", amount=3, hot=True,
+            shard=0, partners=((1, "c"),),
+        ),
+    ]
+    assert ContentionWorkload.expected_totals(trace) == {"a": 2}
+    assert ContentionWorkload.cross_fraction(trace) == 0.5
+
+
+def test_sharded_trace_is_deterministic_per_seed():
+    make = lambda: ContentionWorkload(
+        requests=60, seed=9, shards=3, cross_shard_fraction=0.2
+    ).generate()
+    assert make() == make()
+
+
+def test_sharding_knobs_validated():
+    with pytest.raises(WorkloadError):
+        ContentionWorkload(shards=0)
+    with pytest.raises(WorkloadError):
+        ContentionWorkload(cross_shard_fraction=1.5, shards=2)
+    with pytest.raises(WorkloadError):
+        # Cross-shard traffic is meaningless on one shard.
+        ContentionWorkload(cross_shard_fraction=0.5, shards=1)
