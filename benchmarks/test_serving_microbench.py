@@ -1,0 +1,355 @@
+"""Serving-tier microbenchmarks: the open-loop knee curve.
+
+A seeded Poisson stream of counter bumps flows through the asyncio
+gateway (micro-batches + admission control) into the simulated network;
+latency is measured from *arrival*, so queueing is part of every
+percentile.  The acceptance shape is the knee: low offered loads commit
+with double-digit p50 and zero shedding, while deep overload sheds the
+excess — p99 stays bounded by the shed watermark (instead of growing
+without bound) and goodput holds at the saturated pipeline's capacity
+rather than collapsing.
+
+Cross-cutting legs ride along:
+
+- the **parallel pipeline backend** must reproduce the reference
+  backend's simulated-time rows bit-for-bit (host-side concurrency
+  must never change a simulated result);
+- the **occ commit backend** under hot-key contention turns the
+  reference backend's MVCC aborts into rebased commits — higher goodput
+  on the same offered load;
+- **1 vs 4 shards** through the key-routed sharded target scales the
+  saturated goodput out;
+- the **process-pool endorse path** (``REPRO_ENDORSE_POOL=process``)
+  must leave committed state byte-identical to the thread path — same
+  tip hash, same state root, same validation codes.
+
+Results are written to ``BENCH_serving.json`` at the repo root.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_serving_microbench.py -v -s
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+import secrets as secrets_module
+from pathlib import Path
+
+import pytest
+
+from repro import build_network
+from repro.fabric import parallel
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.ledger import transaction as transaction_module
+from repro.serving import (
+    AdmissionConfig,
+    NetworkTarget,
+    OpenLoopConfig,
+    ShardedTarget,
+    counter_builder,
+    run_open_loop,
+)
+from repro.sharding.network import ShardedGateway, ShardedNetwork
+from repro.workload.zipf import CounterContract
+
+_RESULTS: dict[str, dict] = {}
+_BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+#: The offered-load sweep (requests/s): three legs under single-channel
+#: capacity, three past it.  Overload legs run longer so the shedding
+#: steady state dominates the drain tail.
+LOAD_SWEEP = (25.0, 100.0, 400.0, 1600.0, 3200.0, 6400.0)
+REQUESTS_LOW = 600
+REQUESTS_OVERLOAD = 2400
+OVERLOAD_FROM = 1600.0
+
+#: Acceptance floors: p99 past the knee vs the lowest load, and how
+#: close the deepest-overload goodput must stay to the sweep's peak.
+KNEE_P99_FACTOR = 5.0
+NO_COLLAPSE_FRACTION = 0.9
+
+ADMISSION = AdmissionConfig(
+    max_inflight=128,
+    shed_high=384,
+    shed_low=336,
+    max_batch=32,
+    linger_ms=2.0,
+)
+
+SESSIONS = 8
+SEED = 11
+
+
+@pytest.fixture
+def rearm(monkeypatch):
+    """Identical randomness and tid sequence for every leg (see the
+    pipeline differential suite for the pattern)."""
+
+    def arm():
+        rng = random.Random(0x1EDE9)
+        monkeypatch.setattr(
+            secrets_module, "token_bytes", lambda n=32: rng.randbytes(n)
+        )
+        monkeypatch.setattr(secrets_module, "randbits", rng.getrandbits)
+        monkeypatch.setattr(secrets_module, "randbelow", lambda n: rng.randrange(n))
+        monkeypatch.setattr(
+            transaction_module, "_tid_counter", itertools.count(7_000_000)
+        )
+
+    return arm
+
+
+def _config(**overrides):
+    params = dict(
+        latency=SINGLE_REGION,
+        real_signatures=False,
+        batch_timeout_ms=15.0,
+    )
+    params.update(overrides)
+    return NetworkConfig(**params)
+
+
+def _requests_for(offered):
+    return REQUESTS_OVERLOAD if offered >= OVERLOAD_FROM else REQUESTS_LOW
+
+
+def _run_leg(offered, config=None, conflict_rate=0.0, requests=None):
+    """One offered-load point against a fresh single channel."""
+    network = build_network(config or _config())
+    network.install_chaincode(CounterContract())
+    target = NetworkTarget(network, network.register_user("bencher"))
+    metrics, _ = run_open_loop(
+        target,
+        OpenLoopConfig(
+            offered_tps=offered,
+            requests=requests or _requests_for(offered),
+            sessions=SESSIONS,
+            seed=SEED,
+        ),
+        counter_builder(conflict_rate=conflict_rate),
+        admission=ADMISSION,
+    )
+    return metrics.as_row(), network
+
+
+def _sweep(config=None):
+    rows = []
+    for offered in LOAD_SWEEP:
+        row, _network = _run_leg(offered, config=config)
+        rows.append(row)
+    return rows
+
+
+def test_knee_curve_reference_backend(rearm):
+    """The acceptance bench: >=5 load points, p99 knee, no collapse."""
+    rearm()
+    rows = _sweep()
+    assert len(rows) >= 5
+    for row in rows:
+        for key in ("p50_ms", "p95_ms", "p99_ms", "goodput_tps"):
+            assert key in row
+
+    low = rows[0]
+    shedding = [r for r in rows if r["shed_pct"] > 0]
+    settled = [r for r in rows if r["shed_pct"] == 0]
+    assert low in settled and len(shedding) >= 2
+
+    # The knee: past saturation p99 is many times the uncontended p99 —
+    # but *bounded* by the shed watermark, not growing with offered load.
+    for row in shedding:
+        assert row["p99_ms"] >= KNEE_P99_FACTOR * low["p99_ms"], (
+            f"no knee: p99 {row['p99_ms']} at {row['offered_tps']} tps vs "
+            f"{low['p99_ms']} at {low['offered_tps']} tps"
+        )
+
+    # No goodput collapse under deep overload: the most-overloaded leg
+    # stays within 10% of the sweep's best goodput.
+    peak = max(r["goodput_tps"] for r in rows)
+    deepest = rows[-1]
+    assert deepest["goodput_tps"] >= NO_COLLAPSE_FRACTION * peak, (
+        f"goodput collapsed: {deepest['goodput_tps']} at "
+        f"{deepest['offered_tps']} tps vs peak {peak}"
+    )
+
+    _RESULTS["knee_reference"] = {
+        "sweep": rows,
+        "admission": {
+            "max_inflight": ADMISSION.max_inflight,
+            "shed_high": ADMISSION.shed_high,
+            "shed_low": ADMISSION.shed_low,
+            "max_batch": ADMISSION.max_batch,
+            "linger_ms": ADMISSION.linger_ms,
+        },
+        "p99_knee_factor_observed": round(
+            min(r["p99_ms"] for r in shedding) / low["p99_ms"], 2
+        ),
+        "min_required": KNEE_P99_FACTOR,
+    }
+
+
+def test_parallel_backend_reproduces_simulated_rows(rearm):
+    """Host-side pipeline concurrency must not change one simulated
+    number: the parallel backend's sweep equals the reference's."""
+    legs = (100.0, 1600.0)
+    reference_rows, parallel_rows = [], []
+    for offered in legs:
+        rearm()
+        row, _ = _run_leg(offered, config=_config(pipeline_backend="reference"))
+        reference_rows.append(row)
+    for offered in legs:
+        rearm()
+        with parallel.use_workers(4):
+            row, _ = _run_leg(offered, config=_config(pipeline_backend="parallel"))
+        parallel_rows.append(row)
+    assert parallel_rows == reference_rows
+    _RESULTS["pipeline_backend_differential"] = {
+        "legs": list(legs),
+        "rows_identical": True,
+        "rows": reference_rows,
+    }
+
+
+def test_occ_backend_lifts_goodput_under_contention(rearm):
+    """Hot-key contention through the gateway: the occ commit backend
+    rebases the reference backend's MVCC losers into commits."""
+    offered = 400.0
+    rearm()
+    reference, _ = _run_leg(
+        offered,
+        config=_config(commit_backend="reference"),
+        conflict_rate=1.0,
+        requests=REQUESTS_LOW,
+    )
+    rearm()
+    occ, _ = _run_leg(
+        offered,
+        config=_config(commit_backend="occ"),
+        conflict_rate=1.0,
+        requests=REQUESTS_LOW,
+    )
+    assert reference["aborted"] > 0
+    assert occ["aborted"] == 0
+    assert occ["goodput_tps"] > reference["goodput_tps"]
+    _RESULTS["occ_contention"] = {
+        "offered_tps": offered,
+        "conflict_rate": 1.0,
+        "reference": reference,
+        "occ": occ,
+        "goodput_lift": round(
+            occ["goodput_tps"] / reference["goodput_tps"], 2
+        ),
+    }
+
+
+def _run_sharded_leg(offered, shard_count, requests):
+    sharded = ShardedNetwork(config=_config(), shard_count=shard_count)
+    for network in sharded.shards:
+        network.install_chaincode(CounterContract())
+    gateway = ShardedGateway(sharded, "bencher")
+    target = ShardedTarget(gateway)
+    metrics, _ = run_open_loop(
+        target,
+        OpenLoopConfig(
+            offered_tps=offered, requests=requests, sessions=SESSIONS, seed=SEED
+        ),
+        counter_builder(),
+        admission=ADMISSION,
+    )
+    return metrics.as_row()
+
+
+def test_sharding_scales_saturated_goodput(rearm):
+    """1 vs 4 shards at deep overload: the key-routed deployment
+    commits more per simulated second through the same gateway."""
+    offered, requests = 3200.0, REQUESTS_OVERLOAD
+    rearm()
+    one = _run_sharded_leg(offered, 1, requests)
+    rearm()
+    four = _run_sharded_leg(offered, 4, requests)
+    assert four["goodput_tps"] > 1.5 * one["goodput_tps"], (
+        f"sharding did not scale: {one['goodput_tps']} -> "
+        f"{four['goodput_tps']} goodput at {offered} tps"
+    )
+    _RESULTS["shard_scale_out"] = {
+        "offered_tps": offered,
+        "one_shard": one,
+        "four_shards": four,
+        "goodput_ratio": round(four["goodput_tps"] / one["goodput_tps"], 2),
+    }
+
+
+def _run_signed_leg(offered=200.0, requests=48):
+    """A short open-loop run with real RSA endorsement signatures;
+    returns the row plus the committed-state fingerprint."""
+    network = build_network(
+        _config(real_signatures=True, key_bits=512)
+    )
+    network.install_chaincode(CounterContract())
+    target = NetworkTarget(network, network.register_user("bencher"))
+    metrics, _ = run_open_loop(
+        target,
+        OpenLoopConfig(
+            offered_tps=offered, requests=requests, sessions=4, seed=SEED
+        ),
+        counter_builder(),
+        admission=ADMISSION,
+    )
+    peer = network.reference_peer
+    return {
+        "row": metrics.as_row(),
+        "tip": peer.chain.tip_hash.hex(),
+        "state_root": peer.current_state_root().hex(),
+        "codes": {
+            tid: code.value
+            for tid, code in sorted(peer.validation_codes.items())
+        },
+    }
+
+
+def test_process_pool_endorse_is_byte_identical(rearm):
+    """The REPRO_ENDORSE_POOL=process escape hatch must not change a
+    single committed byte versus the default thread path."""
+    rearm()
+    with parallel.use_endorse_pool("thread"):
+        thread_leg = _run_signed_leg()
+    rearm()
+    with parallel.use_endorse_pool("process"):
+        process_leg = _run_signed_leg()
+    parallel.shutdown_endorse_pool()
+
+    for key in ("tip", "state_root", "codes", "row"):
+        assert process_leg[key] == thread_leg[key], f"{key} diverged"
+    _RESULTS["endorse_pool_differential"] = {
+        "requests": 48,
+        "real_signatures": True,
+        "tips_identical": True,
+        "state_roots_identical": True,
+        "codes_identical": True,
+        "row": thread_leg["row"],
+    }
+
+
+def test_write_bench_json():
+    """Persist the numbers gathered above (runs last in file order)."""
+    assert _RESULTS, "no benchmark results collected"
+    payload = {
+        "description": (
+            "serving-tier open-loop bench: Poisson arrivals through the "
+            "asyncio gateway (micro-batches + admission control), latency "
+            "measured from arrival"
+        ),
+        "machine_note": (
+            "all latency/goodput numbers are simulated-time, so they are "
+            "machine-independent; the knee is the acceptance shape — p99 "
+            "past saturation is bounded by the shed watermark while "
+            "goodput stays at saturated-pipeline capacity.  The pipeline "
+            "and endorse-pool differential legs assert host-side "
+            "concurrency choices never change a simulated result."
+        ),
+        "results": _RESULTS,
+    }
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {_BENCH_JSON}")

@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench fig4            # one figure
     python -m repro.bench fig10 fig11     # several
     python -m repro.bench faults          # chaos: throughput under loss
+    python -m repro.bench serving         # open-loop latency vs load
     python -m repro.bench all             # everything (Figs 4-13 + faults)
     python -m repro.bench --smoke         # fast CI pass (tiny scale)
     python -m repro.bench --smoke fig10   # fast pass of one figure
@@ -59,6 +60,9 @@ FIGURES = {
     # Not a paper figure: the chaos benchmark (throughput under message
     # loss with retry; every run asserts the safety invariants).
     "faults": runners.faults,
+    # Not a paper figure: the serving tier's open-loop knee curve
+    # (latency vs offered load through the asyncio gateway).
+    "serving": runners.serving,
 }
 
 

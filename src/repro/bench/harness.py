@@ -75,13 +75,14 @@ class RunResult:
 
     def as_row(self) -> dict[str, Any]:
         """Flat dict for the report printer."""
+        from repro.bench.report import latency_cells
+
         row = {
             "label": self.label,
             "clients": self.clients,
             "committed": self.committed,
             "tps": round(self.tps, 1),
-            "latency_ms": round(self.latency_mean_ms, 0),
-            "p95_ms": round(self.latency_p95_ms, 0),
+            **latency_cells(self, percentiles=("latency_ms", "p95_ms")),
             "onchain_txs": self.onchain_txs,
             "storage_kib": round(self.storage_bytes / 1024, 1),
         }

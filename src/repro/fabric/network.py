@@ -632,6 +632,14 @@ class FabricNetwork:
         """Fetch a committed transaction from the reference peer's ledger."""
         return self.reference_peer.chain.get_transaction(tid)
 
+    def queue_depth(self) -> int:
+        """Transactions currently queued at the orderer (the block
+        cutter's pending batch) — the live back-pressure gauge whose
+        high-water mark :attr:`orderer_queue_peak` records.  Admission
+        control and the serving metrics read this instead of reaching
+        into the cutter."""
+        return len(self._cutter)
+
     # -- ordering service processes ---------------------------------------------
 
     def _pump(self):
@@ -647,8 +655,9 @@ class FabricNetwork:
                     continue
                 self._ordered_tids.add(tx.tid)
             self._cutter.add(tx)
-            if len(self._cutter) > self.orderer_queue_peak:
-                self.orderer_queue_peak = len(self._cutter)
+            depth = self.queue_depth()
+            if depth > self.orderer_queue_peak:
+                self.orderer_queue_peak = depth
             arrival = self._arrival
             self._arrival = self.env.event()
             arrival.succeed()

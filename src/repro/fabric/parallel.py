@@ -51,7 +51,12 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
@@ -250,6 +255,124 @@ def map_in_order(
     for future in futures:
         results.extend(future.result())
     return results
+
+
+# -- endorse signature pool (thread vs process) -------------------------------
+
+#: Environment variable naming where endorsement signatures compute:
+#: ``thread`` (default — inline on the endorsing thread, which under the
+#: parallel backend is already a worker of :func:`shared_executor`) or
+#: ``process`` (a :class:`~concurrent.futures.ProcessPoolExecutor`
+#: escape hatch for the pure-Python RSA signing that keeps the thread
+#: pool GIL-bound in ``real_signatures`` runs).
+ENDORSE_POOL_ENV_VAR = "REPRO_ENDORSE_POOL"
+#: Names accepted by :func:`set_endorse_pool`.
+ENDORSE_POOLS = ("thread", "process")
+
+
+def _resolve_endorse_pool(name: str) -> str:
+    if name not in ENDORSE_POOLS:
+        raise ValueError(
+            f"unknown endorse pool {name!r}; "
+            f"expected one of {list(ENDORSE_POOLS)}"
+        )
+    return name
+
+
+_endorse_pool: str = _resolve_endorse_pool(
+    os.environ.get(ENDORSE_POOL_ENV_VAR, "thread")
+)
+_process_pool: ProcessPoolExecutor | None = None
+
+
+def endorse_pool_name() -> str:
+    """The active endorse-signature pool (``thread`` or ``process``)."""
+    return _endorse_pool
+
+
+def set_endorse_pool(name: str) -> str:
+    """Switch where endorsement signatures compute; returns the name."""
+    global _endorse_pool
+    name = _resolve_endorse_pool(name)
+    with _lock:
+        _endorse_pool = name
+    return name
+
+
+@contextmanager
+def use_endorse_pool(name: str) -> Iterator[str]:
+    """Temporarily switch the endorse pool within a ``with`` block."""
+    previous = _endorse_pool
+    set_endorse_pool(name)
+    try:
+        yield name
+    finally:
+        set_endorse_pool(previous)
+
+
+def _shared_process_pool() -> ProcessPoolExecutor:
+    global _process_pool
+    with _lock:
+        if _process_pool is None:
+            _process_pool = ProcessPoolExecutor(max_workers=_workers)
+    return _process_pool
+
+
+def shutdown_endorse_pool() -> None:
+    """Reap the process pool's workers (no-op when never used).
+
+    Tests and benchmarks call this after a ``process`` leg so child
+    processes do not outlive the run; the pool is recreated lazily on
+    next use.
+    """
+    global _process_pool
+    with _lock:
+        pool, _process_pool = _process_pool, None
+    if pool is not None:
+        pool.shutdown(wait=True)
+
+
+def _rsa_signature_job(private_key_bytes: bytes, payload: bytes) -> bytes:
+    """Picklable work unit: RSA-sign ``payload`` in a worker process."""
+    from repro.crypto.rsa import RSAPrivateKey
+
+    return RSAPrivateKey.from_bytes(private_key_bytes).sign(payload)
+
+
+def _mac_signature_job(mac_secret: bytes, payload: bytes) -> bytes:
+    """Picklable work unit: simulated (HMAC) endorsement signature."""
+    from repro.fabric.endorser import simulated_signature
+
+    return simulated_signature(mac_secret, payload)
+
+
+def endorsement_signature(peer, payload: bytes) -> bytes:
+    """Sign an endorsement payload on behalf of ``peer``.
+
+    The ``thread`` pool signs inline on the calling thread; ``process``
+    ships a picklable work unit — ``(private key bytes, payload)`` for
+    real RSA signatures, ``(mac secret, payload)`` for simulated ones —
+    to the shared process pool and blocks on the result.  Both signature
+    schemes are deterministic, so the bytes produced are identical
+    whichever pool computed them (pinned by the serving differential
+    suite).
+    """
+    if _endorse_pool == "process":
+        pool = _shared_process_pool()
+        if peer.real_signatures:
+            future = pool.submit(
+                _rsa_signature_job,
+                peer.identity.keypair.private.to_bytes(),
+                payload,
+            )
+        else:
+            future = pool.submit(_mac_signature_job, peer.mac_secret, payload)
+        return future.result()
+    if peer.real_signatures:
+        return peer.identity.sign(payload)
+    from repro.fabric.endorser import simulated_signature
+
+    return simulated_signature(peer.mac_secret, payload)
 
 
 # -- concurrent endorsement ---------------------------------------------------

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.hashing import hmac_sha256
 from repro.errors import ChaincodeError
-from repro.fabric import occ
+from repro.fabric import occ, parallel
 from repro.fabric.chaincode import ChaincodeRegistry, TxContext
 from repro.fabric.endorser import (
     Proposal,
@@ -136,10 +136,7 @@ class Peer:
         )
         response = chaincode.invoke(ctx, proposal.fn, proposal.args)
         payload = proposal.signing_payload(ctx.read_set, ctx.write_set)
-        if self.real_signatures:
-            signature = self.identity.sign(payload)
-        else:
-            signature = simulated_signature(self.mac_secret, payload)
+        signature = parallel.endorsement_signature(self, payload)
         return ProposalResponse(
             peer_id=self.peer_id,
             read_set=dict(ctx.read_set),

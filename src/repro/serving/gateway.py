@@ -1,0 +1,461 @@
+"""Asyncio ingress: pipelined sessions, micro-batches, admission control.
+
+The :class:`AsyncGateway` sits between open-loop client sessions and a
+*dispatch target* (a plain channel, a sharded deployment, or a view
+manager).  Sessions call :meth:`AsyncGateway.submit` fire-and-forget;
+one drain coroutine coalesces the queue into adaptive micro-batches —
+cut when ``max_batch`` requests are waiting *or* the oldest has lingered
+``linger_ms`` — and dispatches them subject to two admission gates:
+
+- **bounded inflight**: at most ``max_inflight`` requests may be
+  dispatched-but-unresolved, which keeps the orderer queue from growing
+  without bound and so keeps the latency of *admitted* requests finite;
+- **shed watermark with hysteresis**: when the total backlog (gateway
+  queue + inflight + the target's live :meth:`queue_depth`, the
+  satellite-(a) accessor) crosses ``shed_high``, new arrivals are
+  rejected immediately — and keep being rejected until the backlog
+  falls below ``shed_low``, so the gateway does not flap at the
+  boundary.  Shedding turns overload into a bounded p99 plus an honest
+  shed rate instead of a collapse.
+
+Host-side gateway bookkeeping is attributed to the ``ingress`` phase of
+the network's :class:`~repro.fabric.network.PhaseWallClock`, so the
+bench closing table separates queueing/batching cost from
+endorse/order/commit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import LedgerViewError, WorkloadError
+from repro.fabric.endorser import Proposal
+from repro.fabric.identity import User
+from repro.fabric.network import FabricNetwork
+from repro.fabric.peer import ValidationCode
+from repro.serving.bridge import SimBridge
+from repro.serving.metrics import ServingMetrics
+from repro.sim.core import Event
+
+
+@dataclass
+class ServingRequest:
+    """One client request flowing through the serving tier.
+
+    The payload is target-specific: chaincode fields for the network
+    targets, view-operation fields for the view-manager target.  The
+    runtime fields are stamped by the gateway as the request moves.
+    """
+
+    index: int
+    session: int
+    kind: str = "invoke"
+    payload: dict[str, Any] = field(default_factory=dict)
+    #: Planned arrival time (set by the load generator).
+    arrival_ms: float = 0.0
+    #: Stamped on :meth:`AsyncGateway.submit` — latency measures from here.
+    arrived_ms: float = 0.0
+    dispatched_ms: float | None = None
+    completed_ms: float | None = None
+    #: ``committed`` / ``aborted`` / ``shed`` once terminal.
+    outcome: str | None = None
+    #: Target-specific detail (CommitNotice, InvokeOutcome, exception).
+    detail: Any = None
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs of the gateway's batching and admission control."""
+
+    max_inflight: int = 128
+    shed_high: int = 288
+    shed_low: int = 192
+    max_batch: int = 32
+    linger_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise WorkloadError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_inflight < 1:
+            raise WorkloadError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.shed_low > self.shed_high:
+            raise WorkloadError(
+                f"shed_low ({self.shed_low}) must not exceed "
+                f"shed_high ({self.shed_high})"
+            )
+        if self.linger_ms < 0:
+            raise WorkloadError(f"linger_ms must be >= 0, got {self.linger_ms}")
+
+
+# -- dispatch targets ----------------------------------------------------------
+
+
+class NetworkTarget:
+    """Raw chaincode submissions against one :class:`FabricNetwork`.
+
+    Payload keys: ``chaincode``, ``fn``, ``args`` (plus optional
+    ``public``, ``tid``, ``contract_write``).
+    """
+
+    def __init__(self, network: FabricNetwork, user: User):
+        self.network = network
+        self.user = user
+        self.env = network.env
+        self.phase_wall = network.phase_wall
+
+    def queue_depth(self) -> int:
+        return self.network.queue_depth()
+
+    def _proposal(self, request: ServingRequest) -> Proposal:
+        payload = request.payload
+        fields: dict[str, Any] = {}
+        if payload.get("tid") is not None:
+            fields["tid"] = payload["tid"]
+        return Proposal(
+            chaincode=payload["chaincode"],
+            fn=payload["fn"],
+            args=payload.get("args", {}),
+            public=payload.get("public", {}),
+            contract_write=payload.get("contract_write", False),
+            creator=self.user.user_id,
+            **fields,
+        )
+
+    def dispatch(self, batch: list[ServingRequest]) -> Event:
+        env = self.env
+
+        def run():
+            events = [
+                self.network.submit(self._proposal(request))
+                for request in batch
+            ]
+            notices = yield env.all_of(events)
+            return [_notice_outcome(notice) for notice in notices]
+
+        return env.process(run())
+
+
+class ShardedTarget:
+    """Key-routed submissions against a :class:`ShardedNetwork`.
+
+    Payload keys as :class:`NetworkTarget` plus ``key``: the routing key
+    whose home shard (via the consistent-hash ring) receives the
+    submission.
+    """
+
+    def __init__(self, gateway: Any):
+        # ``gateway`` is a repro.sharding.network.ShardedGateway.
+        self.gateway = gateway
+        self.sharded = gateway.sharded
+        self.env = self.sharded.env
+        # Ingress cost is host-side and deployment-wide; attribute it to
+        # the first shard's clock (merge_phase_wall sums all shards).
+        self.phase_wall = self.sharded.shards[0].phase_wall
+
+    def queue_depth(self) -> int:
+        return self.sharded.queue_depth()
+
+    def dispatch(self, batch: list[ServingRequest]) -> Event:
+        env = self.env
+
+        def run():
+            events = []
+            for request in batch:
+                payload = request.payload
+                fields: dict[str, Any] = {}
+                if payload.get("tid") is not None:
+                    fields["tid"] = payload["tid"]
+                events.append(
+                    self.gateway.submit_async(
+                        payload["key"],
+                        payload["chaincode"],
+                        payload["fn"],
+                        payload.get("args", {}),
+                        public=payload.get("public", {}),
+                        contract_write=payload.get("contract_write", False),
+                        **fields,
+                    )
+                )
+            notices = yield env.all_of(events)
+            return [_notice_outcome(notice) for notice in notices]
+
+        return env.process(run())
+
+
+class ViewManagerTarget:
+    """View-tier operations drained through ``ViewManager.invoke_many``.
+
+    Request kinds and payload keys:
+
+    - ``invoke``: ``fn``, ``args``, ``public``, ``secret`` (optional
+      ``extra_views``, ``tid``) — batched through
+      :meth:`ViewManager.invoke_many_async`, the PR 3 sweet spot;
+    - ``grant`` / ``revoke``: ``view``, ``principal`` — the async RBAC
+      path (policy errors come back as ``aborted``, not a crash);
+    - ``audit``: ``view``, ``principal`` (optional ``tids``) — an
+      owner-side ``QueryView``, served synchronously at dispatch.
+    """
+
+    def __init__(self, manager: Any):
+        self.manager = manager
+        self.env = manager.gateway.network.env
+        self.phase_wall = manager.gateway.network.phase_wall
+
+    def queue_depth(self) -> int:
+        return self.manager.gateway.network.queue_depth()
+
+    def dispatch(self, batch: list[ServingRequest]) -> Event:
+        from repro.views.manager import ViewInvocation
+
+        env = self.env
+        manager = self.manager
+
+        def run():
+            slots: list[Any] = [None] * len(batch)
+            invocations: list[ViewInvocation] = []
+            invocation_slots: list[int] = []
+            rbac_events: list[Event] = []
+            rbac_slots: list[int] = []
+            for i, request in enumerate(batch):
+                payload = request.payload
+                if request.kind == "invoke":
+                    invocations.append(
+                        ViewInvocation(
+                            fn=payload["fn"],
+                            args=payload["args"],
+                            public=payload["public"],
+                            secret=payload["secret"],
+                            extra_views=dict(payload.get("extra_views", {})),
+                            tid=payload.get("tid"),
+                        )
+                    )
+                    invocation_slots.append(i)
+                elif request.kind in ("grant", "revoke"):
+                    op = (
+                        manager.grant_access_async
+                        if request.kind == "grant"
+                        else manager.revoke_access_async
+                    )
+                    try:
+                        rbac_events.append(
+                            op(payload["view"], payload["principal"])
+                        )
+                        rbac_slots.append(i)
+                    except LedgerViewError as exc:
+                        slots[i] = ("aborted", exc)
+                elif request.kind == "audit":
+                    try:
+                        sealed = manager.query_view(
+                            payload["view"],
+                            payload["principal"],
+                            tids=payload.get("tids"),
+                        )
+                        slots[i] = ("committed", len(sealed))
+                    except LedgerViewError as exc:
+                        slots[i] = ("aborted", exc)
+                else:
+                    raise WorkloadError(
+                        f"unknown serving request kind {request.kind!r}"
+                    )
+            events: list[Event] = []
+            if invocations:
+                events.append(manager.invoke_many_async(invocations))
+            events.extend(rbac_events)
+            if events:
+                values = yield env.all_of(events)
+            else:
+                values = []
+            if invocations:
+                outcomes, values = values[0], values[1:]
+                for slot, outcome in zip(invocation_slots, outcomes):
+                    code = outcome.notice.code
+                    slots[slot] = (
+                        "committed" if code is ValidationCode.VALID else "aborted",
+                        outcome,
+                    )
+            for slot, notice in zip(rbac_slots, values):
+                slots[slot] = _notice_outcome(notice)
+            return slots
+
+        return env.process(run())
+
+
+def _notice_outcome(notice: Any) -> tuple[str, Any]:
+    committed = notice.code is ValidationCode.VALID
+    return ("committed" if committed else "aborted", notice)
+
+
+# -- the gateway ---------------------------------------------------------------
+
+#: Below this many ms-to-deadline the linger window counts as expired;
+#: smaller timeouts cannot reliably advance the simulation clock.
+_LINGER_EPSILON_MS = 1e-6
+
+
+class AsyncGateway:
+    """Admission-controlled micro-batching ingress over one target."""
+
+    def __init__(
+        self,
+        target: Any,
+        admission: AdmissionConfig | None = None,
+        metrics: ServingMetrics | None = None,
+    ):
+        self.target = target
+        self.env = target.env
+        self.admission = admission or AdmissionConfig()
+        self.metrics = metrics or ServingMetrics()
+        self._queue: deque[ServingRequest] = deque()
+        self._inflight = 0
+        self._shedding = False
+        self._finished = 0
+        #: Sizes of every dispatched batch (adaptive batching evidence).
+        self.batch_sizes: list[int] = []
+        #: Re-armed on every arrival and completion; the drain loop's
+        #: level-triggered wakeup (same pattern as the orderer pump).
+        self._progress_ev = self.env.event()
+
+    # -- client side -------------------------------------------------------
+
+    def backlog(self) -> int:
+        """Queued + inflight + the target's live orderer queue."""
+        return len(self._queue) + self._inflight + self.target.queue_depth()
+
+    def queue_depth(self) -> int:
+        """Requests waiting in the gateway (not yet dispatched)."""
+        return len(self._queue)
+
+    @property
+    def shedding(self) -> bool:
+        return self._shedding
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def submit(self, request: ServingRequest) -> bool:
+        """Accept (or shed) one request; returns True when admitted.
+
+        Called synchronously from session coroutines — fire and forget,
+        the open-loop contract: the session never blocks on completion.
+        """
+        now = self.env.now
+        request.arrived_ms = now
+        self.metrics.record_arrival(now)
+        backlog = self.backlog()
+        admission = self.admission
+        if self._shedding:
+            if backlog <= admission.shed_low:
+                self._shedding = False
+        elif backlog >= admission.shed_high:
+            self._shedding = True
+        if self._shedding:
+            request.outcome = "shed"
+            request.completed_ms = now
+            self.metrics.record_shed(now)
+            self._finished += 1
+            self._signal()
+            return False
+        self._queue.append(request)
+        self._signal()
+        return True
+
+    # -- drain loop --------------------------------------------------------
+
+    async def run(self, bridge: SimBridge, expected: int) -> ServingMetrics:
+        """Dispatch micro-batches until ``expected`` requests finished.
+
+        ``expected`` counts terminal outcomes (completions + sheds), so
+        the loop exits exactly when the open-loop run is drained — no
+        close/shutdown choreography between sessions and the gateway.
+        """
+        env = self.env
+        admission = self.admission
+        while self._finished < expected:
+            if not self._queue:
+                await self._wait_progress(bridge)
+                continue
+            # Adaptive cut: dispatch on size, or once the oldest queued
+            # request has waited out the linger window.  The deadline is
+            # absolute with an epsilon floor — a relative `linger - age`
+            # can underflow to a timeout too small to advance simulated
+            # time, which would spin the drain loop at a frozen clock.
+            deadline = self._queue[0].arrived_ms + admission.linger_ms
+            remaining = deadline - env.now
+            if len(self._queue) < admission.max_batch and remaining > _LINGER_EPSILON_MS:
+                await bridge.wait(
+                    env.any_of(
+                        [self._progress_event(), env.timeout(remaining)]
+                    )
+                )
+                continue
+            if self._inflight >= admission.max_inflight:
+                await self._wait_progress(bridge)
+                continue
+            room = admission.max_inflight - self._inflight
+            with self.target.phase_wall.track("ingress"):
+                size = min(len(self._queue), admission.max_batch, room)
+                batch = [self._queue.popleft() for _ in range(size)]
+                for request in batch:
+                    request.dispatched_ms = env.now
+                self.batch_sizes.append(size)
+                self._inflight += size
+                self.metrics.sample_queue(
+                    env.now, len(self._queue), self.target.queue_depth()
+                )
+                event = self.target.dispatch(batch)
+            event.callbacks.append(
+                lambda fired, batch=batch: self._on_complete(batch, fired)
+            )
+        return self.metrics
+
+    # -- internals ---------------------------------------------------------
+
+    def _signal(self) -> None:
+        if not self._progress_ev.triggered:
+            self._progress_ev.succeed()
+
+    def _progress_event(self) -> Event:
+        """The live progress event, re-armed if it already fired."""
+        if self._progress_ev.triggered:
+            self._progress_ev = self.env.event()
+        return self._progress_ev
+
+    async def _wait_progress(self, bridge: SimBridge) -> None:
+        """Block until an arrival/completion — or return immediately if
+        one was signalled since the last wait (spurious wakeups are fine:
+        the drain loop re-checks its conditions)."""
+        event = self._progress_ev
+        if event.triggered:
+            self._progress_ev = self.env.event()
+            return
+        await bridge.wait(event)
+        self._progress_ev = self.env.event()
+
+    def _on_complete(self, batch: list[ServingRequest], event: Event) -> None:
+        """Sim-event callback: a dispatched batch reached its outcome."""
+        now = self.env.now
+        if event.ok:
+            outcomes = event.value
+        else:
+            # A failed dispatch (chaincode/policy error escaping the
+            # target) terminates the whole batch as aborted; the
+            # exception rides along in each request's detail.
+            outcomes = [("aborted", event.value)] * len(batch)
+        for request, (outcome, detail) in zip(batch, outcomes):
+            request.outcome = outcome
+            request.detail = detail
+            request.completed_ms = now
+            self.metrics.record_completion(
+                request.arrived_ms, now, outcome == "committed"
+            )
+        self._inflight -= len(batch)
+        self._finished += len(batch)
+        self.metrics.sample_queue(
+            now, len(self._queue), self.target.queue_depth()
+        )
+        self._signal()

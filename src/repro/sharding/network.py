@@ -248,6 +248,23 @@ class ShardedNetwork:
             }
         return result
 
+    def queue_depth(self) -> int:
+        """Transactions queued at live shards' orderers, summed — the
+        deployment-wide back-pressure signal admission control watches
+        (crashed shards hold no admittable queue)."""
+        return sum(
+            network.queue_depth()
+            for index, network in enumerate(self.shards)
+            if index not in self.down
+        )
+
+    def queue_depths(self) -> list[int]:
+        """Per-shard orderer queue depths (crashed shards report 0)."""
+        return [
+            0 if index in self.down else network.queue_depth()
+            for index, network in enumerate(self.shards)
+        ]
+
     def per_shard_stats(self) -> list[dict[str, Any]]:
         """Per-shard balance counters for the bench harness ``extra``."""
         stats = []

@@ -543,13 +543,25 @@ class ViewManager(ABC):
         Seals the current ``K_V`` with the principal's public key and
         records the dissemination on the ledger as a ``view-access``
         transaction.  Returns the transaction id.
+
+        This synchronous form drives the simulation to completion; the
+        serving tier (which drives the simulation itself) uses
+        :meth:`grant_access_async`.
         """
+        event = self.grant_access_async(view_name, principal_id)
+        notice = self.gateway.network.env.run(until=event)
+        return notice.tid
+
+    def grant_access_async(self, view_name: str, principal_id: str):
+        """Asynchronous :meth:`grant_access`: the grant is recorded in
+        the owner's buffer immediately and the returned event fires with
+        the ``V_access`` transaction's :class:`CommitNotice`."""
         record = self.buffer.get(view_name)
         public_key = self.msp.public_key_of(principal_id)
         record.authorized[principal_id] = public_key
         # V_access carries the full current list of sealed grants (§4.2),
         # so the newest access transaction alone answers "who may read".
-        return self._publish_access(record, dict(record.authorized))
+        return self._publish_access_async(record, dict(record.authorized))
 
     def revoke_access(self, view_name: str, principal_id: str) -> str:
         """Revoke a principal's access (revocable views only).
@@ -565,6 +577,15 @@ class ViewManager(ABC):
         AccessDeniedError
             If the principal had no access to begin with.
         """
+        event = self.revoke_access_async(view_name, principal_id)
+        notice = self.gateway.network.env.run(until=event)
+        return notice.tid
+
+    def revoke_access_async(self, view_name: str, principal_id: str):
+        """Asynchronous :meth:`revoke_access`: key rotation and the
+        owner-side bookkeeping happen immediately (a revoked principal
+        cannot decrypt anything committed after this call returns); the
+        returned event fires with the new ``V_access`` commit notice."""
         record = self.buffer.get(view_name)
         if record.mode is ViewMode.IRREVOCABLE:
             raise RevocationError(
@@ -577,16 +598,18 @@ class ViewManager(ABC):
         del record.authorized[principal_id]
         record.key = SymmetricKey.generate()
         record.key_version += 1
-        return self._publish_access(record, dict(record.authorized))
+        return self._publish_access_async(record, dict(record.authorized))
 
-    def _publish_access(
+    def _publish_access_async(
         self, record: ViewRecord, recipients: dict[str, Any]
-    ) -> str:
-        """Write one ``V_access`` transaction with sealed view keys.
+    ):
+        """Submit one ``V_access`` transaction with sealed view keys.
 
         The key is sealed for all recipients in one :func:`seal_many`
         pass (sorted for a deterministic grant order in the payload);
         each envelope is byte-compatible with a per-recipient ``seal``.
+        The access-transaction id is recorded when the commit notice
+        arrives, so concurrent grants stay in commit order.
         """
         principals = sorted(recipients)
         envelopes = seal_many(
@@ -597,7 +620,7 @@ class ViewManager(ABC):
             principal: envelope.hex()
             for principal, envelope in zip(principals, envelopes)
         }
-        notice = self.gateway.invoke(
+        event = self.gateway.submit_async(
             notary.CHAINCODE_NAME,
             "record",
             public={
@@ -607,8 +630,15 @@ class ViewManager(ABC):
             },
             kind=ACCESS_TX_KIND,
         )
-        self.access_tx_ids.setdefault(record.name, []).append(notice.tid)
-        return notice.tid
+
+        def _record_tid(fired) -> None:
+            if fired.ok:
+                self.access_tx_ids.setdefault(record.name, []).append(
+                    fired.value.tid
+                )
+
+        event.callbacks.append(_record_tid)
+        return event
 
     def grant_access_offchain(self, view_name: str, principal_id: str) -> bytes:
         """Grant access by delivering ``K_V`` over a secure channel.

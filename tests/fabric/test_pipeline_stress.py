@@ -172,3 +172,95 @@ def test_parallelism_counters_observe_overlap():
     peaks = network.phase_wall.parallelism()
     assert peaks.get("endorse", 0) >= 1
     assert sum(network.phase_wall.seconds.values()) > 0.0
+
+
+def test_gateway_batches_preserve_session_order_across_cuts():
+    """Satellite of the serving tier: interleaved open-loop sessions
+    drained through the async gateway's micro-batches must keep each
+    session's submissions in chain order across batch boundaries, with
+    exactly one terminal outcome per request."""
+    from repro.serving import AdmissionConfig, AsyncGateway, NetworkTarget
+    from repro.serving.bridge import SimBridge
+    from repro.serving.gateway import ServingRequest
+
+    with parallel.use_workers(4):
+        network = _network()
+        env = network.env
+        user = network.register_user("client")
+        seen_blocks = _watch_blocks(network)
+        target = NetworkTarget(network, user)
+        gateway = AsyncGateway(
+            target,
+            AdmissionConfig(
+                max_inflight=32,
+                shed_high=10_000,  # nothing sheds: full delivery audit
+                shed_low=5_000,
+                max_batch=5,  # small batches force many cut boundaries
+                linger_ms=3.0,
+            ),
+        )
+        sessions = 6
+        per_session = 20
+        schedule: list[ServingRequest] = []
+        for index in range(sessions * per_session):
+            session = index % sessions
+            schedule.append(
+                ServingRequest(
+                    index=index,
+                    session=session,
+                    payload={
+                        "chaincode": "supply",
+                        "fn": "create_item",
+                        "args": {"item": f"gw-{index}", "owner": "W1"},
+                        "public": {"item": f"gw-{index}", "to": "W1"},
+                        "tid": f"tx-gw-{session:02d}-{index // sessions:03d}",
+                    },
+                    # Sessions interleave: consecutive arrivals belong to
+                    # different sessions, so every batch mixes sessions.
+                    arrival_ms=index * 1.7,
+                )
+            )
+        bridge = SimBridge(env)
+
+        async def session_coroutine(requests):
+            for request in requests:
+                delay = request.arrival_ms - env.now
+                if delay > 0:
+                    await bridge.sleep(delay)
+                gateway.submit(request)
+
+        by_session = [
+            [r for r in schedule if r.session == s] for s in range(sessions)
+        ]
+        try:
+            bridge.run(
+                *[session_coroutine(rs) for rs in by_session],
+                gateway.run(bridge, expected=len(schedule)),
+            )
+        finally:
+            bridge.close()
+        network.verify_convergence()
+
+    # Exactly one terminal outcome per request, everything committed.
+    assert all(r.outcome == "committed" for r in schedule)
+    assert all(r.completed_ms is not None for r in schedule)
+    # Exactly-once on chain: no request lost or duplicated by batching.
+    committed = [tid for _number, tids in seen_blocks for tid in tids]
+    assert sorted(committed) == sorted(
+        r.payload["tid"] for r in schedule
+    )
+    assert len(set(committed)) == len(committed)
+    # The notice each request carries agrees with the chain.
+    chain = network.reference_peer.chain
+    for request in schedule:
+        block, _position = chain.locate(request.payload["tid"])
+        assert block == request.detail.block_number
+    # Per-session order survives micro-batch boundaries: a session's
+    # n-th request never lands after its (n+1)-th in chain order.
+    for s in range(sessions):
+        locations = [
+            chain.locate(r.payload["tid"]) for r in by_session[s]
+        ]
+        assert locations == sorted(locations)
+    # The run really exercised batch boundaries (many partial batches).
+    assert len(gateway.batch_sizes) > len(schedule) // 5

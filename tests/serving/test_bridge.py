@@ -1,0 +1,120 @@
+"""The asyncio/simulation bridge: determinism, failure, deadlock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.serving.bridge import SimBridge
+from repro.sim.core import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def bridge(env):
+    b = SimBridge(env)
+    yield b
+    b.close()
+
+
+def test_sleep_advances_simulated_time(env, bridge):
+    async def napper():
+        await bridge.sleep(12.5)
+        return env.now
+
+    assert bridge.run(napper()) == [12.5]
+    assert env.now == 12.5
+
+
+def test_interleaving_follows_simulated_clocks(env, bridge):
+    trace = []
+
+    async def ticker(name, period, count):
+        for _ in range(count):
+            await bridge.sleep(period)
+            trace.append((name, env.now))
+
+    bridge.run(ticker("a", 3.0, 2), ticker("b", 5.0, 1))
+    assert trace == [("a", 3.0), ("b", 5.0), ("a", 6.0)]
+
+
+def test_results_in_input_order(env, bridge):
+    async def sleeper(delay, tag):
+        await bridge.sleep(delay)
+        return tag
+
+    # The slower coroutine comes first; results must not be reordered.
+    assert bridge.run(sleeper(9.0, "slow"), sleeper(1.0, "fast")) == [
+        "slow",
+        "fast",
+    ]
+
+
+def test_wait_on_already_processed_event(env, bridge):
+    event = env.timeout(1.0, "ready")
+
+    async def late_waiter():
+        await bridge.sleep(5.0)  # event fires long before this resumes
+        return await bridge.wait(event)
+
+    assert bridge.run(late_waiter()) == ["ready"]
+
+
+def test_wait_propagates_event_failure(env, bridge):
+    event = env.event()
+
+    async def waiter():
+        await bridge.wait(event)
+
+    async def failer():
+        await bridge.sleep(1.0)
+        event.fail(RuntimeError("boom"))
+
+    with pytest.raises(RuntimeError, match="boom"):
+        bridge.run(waiter(), failer())
+
+
+def test_task_exception_aborts_run(env, bridge):
+    async def crasher():
+        await bridge.sleep(1.0)
+        raise ValueError("crashed mid-run")
+
+    async def bystander():
+        await bridge.sleep(100.0)
+
+    with pytest.raises(ValueError, match="crashed mid-run"):
+        bridge.run(crasher(), bystander())
+
+
+def test_deadlock_raises_instead_of_spinning(env, bridge):
+    orphan = env.event()  # nothing will ever trigger this
+
+    async def stuck():
+        await bridge.wait(orphan)
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        bridge.run(stuck())
+
+
+def test_two_runs_produce_identical_traces():
+    def one_run():
+        env = Environment()
+        bridge = SimBridge(env)
+        trace = []
+
+        async def worker(name, period):
+            for tick in range(4):
+                await bridge.sleep(period)
+                trace.append((name, tick, env.now))
+
+        try:
+            bridge.run(worker("x", 2.0), worker("y", 3.0), worker("z", 2.0))
+        finally:
+            bridge.close()
+        return trace
+
+    assert one_run() == one_run()

@@ -1,0 +1,103 @@
+"""The endorse-signature pool escape hatch: thread vs process parity."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import build_network
+from repro.fabric import parallel
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.endorser import Proposal
+from repro.fabric.peer import ValidationCode
+
+PAYLOAD = b"endorsement payload under test"
+
+
+def _rsa_network():
+    return build_network(
+        NetworkConfig(
+            latency=SINGLE_REGION,
+            real_signatures=True,
+            key_bits=512,
+            batch_timeout_ms=50.0,
+        )
+    )
+
+
+def test_default_pool_is_thread():
+    assert parallel.endorse_pool_name() == "thread"
+
+
+def test_set_endorse_pool_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown endorse pool"):
+        parallel.set_endorse_pool("fiber")
+
+
+def test_use_endorse_pool_restores_previous():
+    before = parallel.endorse_pool_name()
+    with parallel.use_endorse_pool("process"):
+        assert parallel.endorse_pool_name() == "process"
+    assert parallel.endorse_pool_name() == before
+    parallel.shutdown_endorse_pool()
+
+
+def test_mac_signature_identical_across_pools(network):
+    peer = network.reference_peer
+    inline = parallel.endorsement_signature(peer, PAYLOAD)
+    with parallel.use_endorse_pool("process"):
+        pooled = parallel.endorsement_signature(peer, PAYLOAD)
+    parallel.shutdown_endorse_pool()
+    assert inline == pooled
+
+
+def test_rsa_signature_identical_across_pools():
+    peer = _rsa_network().reference_peer
+    assert peer.real_signatures
+    inline = parallel.endorsement_signature(peer, PAYLOAD)
+    with parallel.use_endorse_pool("process"):
+        pooled = parallel.endorsement_signature(peer, PAYLOAD)
+    parallel.shutdown_endorse_pool()
+    assert inline == pooled
+
+
+def test_commits_verify_under_process_pool(network):
+    """Endorsements signed in worker processes must satisfy the peers'
+    verification at commit — end to end, not just byte equality."""
+    user = network.register_user("client")
+    with parallel.use_endorse_pool("process"):
+        notice = network.invoke_sync(
+            user,
+            "supply",
+            "create_item",
+            args={"item": "pooled-1", "owner": "W1"},
+            public={"item": "pooled-1", "to": "W1"},
+        )
+    parallel.shutdown_endorse_pool()
+    assert notice.code is ValidationCode.VALID
+
+
+def test_env_var_selects_pool_at_import():
+    env = dict(os.environ)
+    env["REPRO_ENDORSE_POOL"] = "process"
+    env["PYTHONPATH"] = "src"
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.fabric import parallel; print(parallel.endorse_pool_name())",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    assert out.stdout.strip() == "process"
+
+
+def test_shutdown_is_idempotent():
+    parallel.shutdown_endorse_pool()
+    parallel.shutdown_endorse_pool()

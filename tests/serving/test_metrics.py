@@ -1,0 +1,100 @@
+"""Percentile math and run accounting for the serving tier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.metrics import (
+    LatencySummary,
+    ServingMetrics,
+    percentile,
+)
+
+
+def test_percentile_nearest_rank():
+    values = [float(v) for v in range(1, 101)]  # 1..100 sorted
+    assert percentile(values, 0.50) == 50.0
+    assert percentile(values, 0.95) == 95.0
+    assert percentile(values, 0.99) == 99.0
+    assert percentile(values, 1.00) == 100.0
+
+
+def test_percentile_small_samples():
+    assert percentile([7.0], 0.99) == 7.0
+    assert percentile([1.0, 2.0], 0.50) == 1.0
+    assert percentile([], 0.50) == 0.0
+
+
+def test_percentile_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        percentile([1.0], 0.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_latency_summary_from_values():
+    summary = LatencySummary.from_values([30.0, 10.0, 20.0])
+    assert summary.count == 3
+    assert summary.mean_ms == 20.0
+    assert summary.p50_ms == 20.0
+    assert summary.max_ms == 30.0
+
+
+def test_latency_summary_empty():
+    summary = LatencySummary.from_values([])
+    assert summary.count == 0
+    assert summary.p99_ms == 0.0
+
+
+def test_run_accounting_goodput_and_shed_rate():
+    metrics = ServingMetrics()
+    metrics.record_arrival(0.0)
+    metrics.record_arrival(10.0)
+    metrics.record_arrival(20.0)
+    metrics.record_arrival(30.0)
+    metrics.record_shed(30.0)
+    metrics.record_completion(0.0, 500.0, committed=True)
+    metrics.record_completion(10.0, 700.0, committed=True)
+    metrics.record_completion(20.0, 1000.0, committed=False)
+    run = metrics.finalize(offered_tps=100.0)
+    assert run.offered == 4
+    assert run.committed == 2
+    assert run.aborted == 1
+    assert run.shed == 1
+    assert run.shed_rate == pytest.approx(0.25)
+    # 2 commits over exactly one simulated second (0 -> 1000 ms).
+    assert run.goodput_tps == pytest.approx(2.0)
+    assert run.latency.count == 3
+    assert run.latency.max_ms == 980.0
+
+
+def test_queue_sampling_tracks_peak():
+    metrics = ServingMetrics()
+    metrics.sample_queue(1.0, 3, 2)
+    metrics.sample_queue(2.0, 10, 7)
+    metrics.sample_queue(3.0, 0, 1)
+    run = metrics.finalize()
+    assert run.queue_depth_peak == 17
+    assert run.queue_depth_series == ((1.0, 3, 2), (2.0, 10, 7), (3.0, 0, 1))
+
+
+def test_as_row_is_flat_and_rounded():
+    metrics = ServingMetrics()
+    metrics.record_arrival(0.0)
+    metrics.record_completion(0.0, 123.456, committed=True)
+    row = metrics.finalize(offered_tps=50.0).as_row()
+    assert row["offered_tps"] == 50.0
+    assert row["p50_ms"] == 123.5
+    assert set(row) == {
+        "offered_tps",
+        "goodput_tps",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "max_ms",
+        "shed_pct",
+        "committed",
+        "aborted",
+        "shed",
+        "queue_peak",
+    }
