@@ -112,6 +112,13 @@ def _record_phases(network: FabricNetwork, result: RunResult) -> None:
         result.extra["mvcc_retries"] = network.mvcc_retries
     if network.storage is not None:
         result.extra["storage"] = network.storage.summary()
+    if network.pbft is not None:
+        result.extra["pbft"] = {
+            "replicas": len(network.pbft.nodes),
+            "f": network.pbft.f,
+            "block_certs": len(network.block_certs),
+            **network.pbft.stats,
+        }
     network.phase_wall.merge_into(PHASE_TOTALS)
 
 

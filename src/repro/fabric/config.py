@@ -102,6 +102,28 @@ class NetworkConfig:
     #: enables fault injection (leader crashes, elections).
     use_raft: bool = False
 
+    # -- ordering backend ------------------------------------------------------
+    #: Consensus backend for this network's ordering service
+    #: ("raft"/"pbft"; fifth pluggable dimension).  ``None`` uses the
+    #: process-wide default (``REPRO_ORDERER_BACKEND``, or "raft").
+    #:
+    #: - "raft": the crash-fault-tolerant path the paper's deployment
+    #:   uses — the fixed ``ordering_consensus_ms`` charge by default,
+    #:   or the real protocol with elections when ``use_raft`` is on.
+    #: - "pbft": Byzantine fault tolerance (``repro.fabric.pbft``) —
+    #:   3f+1 replicas, pre-prepare/prepare/commit quorums, view
+    #:   changes, and signed quorum certificates retained per block.
+    #:   An honest pbft run charges exactly ``ordering_consensus_ms``
+    #:   per block and is byte-identical to the raft backend.
+    #:
+    #: ``use_raft=True`` pins the raft backend: it overrides an ambient
+    #: ``REPRO_ORDERER_BACKEND=pbft``, and combining it with an explicit
+    #: ``orderer_backend="pbft"`` is an error.
+    orderer_backend: str | None = None
+    #: pbft progress timer: how long replicas wait for a primary's
+    #: pre-prepare before starting a view change.
+    pbft_view_timeout_ms: float = 150.0
+
     # -- cryptography -------------------------------------------------------
     #: RSA modulus size for registered identities.
     key_bits: int = 1024

@@ -21,7 +21,12 @@ from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Any
 
-from repro.errors import FaultInjectionError, LedgerError, SimulatedCrashError
+from repro.errors import (
+    FaultInjectionError,
+    LedgerError,
+    SimulatedCrashError,
+    SimulationError,
+)
 from repro.fabric import occ, parallel
 from repro.fabric.chaincode import Chaincode, ChaincodeRegistry, TxContext
 from repro.fabric.config import NetworkConfig
@@ -250,8 +255,32 @@ class FabricNetwork:
 
         self.ordering = OrderingService(self.config)
         self._cutter = BlockCutter(self.config)
+        #: Ordering consensus backend ("raft" or "pbft"): config wins,
+        #: then REPRO_ORDERER_BACKEND, then "raft".  ``use_raft=True``
+        #: pins raft — the real-protocol raft tests must keep passing
+        #: even when the ambient env var selects pbft — but combining it
+        #: with an *explicit* pbft request is a contradiction.
+        backend = self.config.orderer_backend
+        if backend is None:
+            backend = os.environ.get("REPRO_ORDERER_BACKEND")
+            if self.config.use_raft:
+                backend = "raft"
+        backend = (backend or "raft").lower()
+        if backend not in ("raft", "pbft"):
+            raise SimulationError(
+                f"unknown orderer backend {backend!r}; expected 'raft' or 'pbft'"
+            )
+        if backend == "pbft" and self.config.use_raft:
+            raise SimulationError(
+                "orderer_backend='pbft' and use_raft=True are mutually "
+                "exclusive: use_raft selects the real raft protocol"
+            )
+        self.orderer_backend = backend
         #: Real Raft among the orderers (optional; see config.use_raft).
         self.raft = None
+        #: PBFT among the orderers (orderer_backend="pbft"): 3f+1
+        #: replicas, signed quorum certificates per block.
+        self.pbft = None
         if self.config.use_raft:
             from repro.fabric.raft import RaftCluster
 
@@ -260,6 +289,20 @@ class FabricNetwork:
                 node_count=self.config.orderer_count,
                 rtt_ms=self.config.latency.orderer_to_orderer,
             )
+        elif backend == "pbft":
+            from repro.fabric.pbft import PBFTCluster
+
+            self.pbft = PBFTCluster(
+                env,
+                node_count=max(4, self.config.orderer_count),
+                consensus_ms=self.config.ordering_consensus_ms,
+                view_timeout_ms=self.config.pbft_view_timeout_ms,
+                chain_name=chain_name,
+            )
+        #: Quorum certificates per block (pbft backend only; index =
+        #: block number) — the forensic trail auditors verify replica
+        #: signatures against.
+        self.block_certs: list = []
         self._order_inbox: Store = Store(env)
         self._arrival: Event = env.event()
         self._commit_events: dict[str, Event] = {}
@@ -284,11 +327,18 @@ class FabricNetwork:
         #: or duplicated copies are dropped here (only consulted when a
         #: fault injector is attached).
         self._ordered_tids: set[str] = set()
-        #: High-water mark of transactions queued at the orderer (the
-        #: block cutter's pending batch) — the back-pressure gauge the
-        #: sharding bench reports per shard: a single channel's queue
-        #: grows with total load, a sharded deployment's per-channel
-        #: queues grow with load/N.
+        #: Transactions accepted for ordering (post-dedup).  Together
+        #: with the reference peer's committed-tx count this yields the
+        #: live outstanding-work gauge :meth:`queue_depth` — counting
+        #: the cutter/consensus/delivery stages directly would tally a
+        #: redelivered block's transactions once per stage they
+        #: transit.
+        self._accepted_txs = 0
+        #: High-water mark of transactions outstanding at the orderer
+        #: (accepted but not yet committed at the reference peer) — the
+        #: back-pressure gauge the sharding bench reports per shard: a
+        #: single channel's queue grows with total load, a sharded
+        #: deployment's per-channel queues grow with load/N.
         self.orderer_queue_peak = 0
 
         #: Durability runtime (:class:`repro.storage.StorageRuntime`),
@@ -300,6 +350,10 @@ class FabricNetwork:
         if self.storage is not None:
             for peer in self.peers:
                 self.storage.attach_peer(peer)
+            if self.pbft is not None:
+                # WAL the pbft per-view log and commit certificates so
+                # the consensus audit trail survives restarts too.
+                self.pbft.attach_store(self.storage.pbft_store)
 
         #: Client-side MVCC retry (opt-in; config.mvcc_retry_attempts).
         #: Reuses the fault layer's RetryPolicy backoff curve so the
@@ -346,6 +400,12 @@ class FabricNetwork:
     def reference_peer(self) -> Peer:
         """The peer used for client reads and commit notifications."""
         return self.peers[0]
+
+    @property
+    def consensus_cluster(self):
+        """The live consensus group among the orderers (RaftCluster,
+        PBFTCluster, or None on the fixed-delay model path)."""
+        return self.raft if self.raft is not None else self.pbft
 
     # -- timing helpers ------------------------------------------------------
 
@@ -633,12 +693,23 @@ class FabricNetwork:
         return self.reference_peer.chain.get_transaction(tid)
 
     def queue_depth(self) -> int:
-        """Transactions currently queued at the orderer (the block
-        cutter's pending batch) — the live back-pressure gauge whose
+        """Transactions accepted for ordering but not yet committed at
+        the reference peer — the live back-pressure gauge whose
         high-water mark :attr:`orderer_queue_peak` records.  Admission
         control and the serving metrics read this instead of reaching
-        into the cutter."""
-        return len(self._cutter)
+        into the pipeline.
+
+        Counted as *accepted minus committed* rather than by summing
+        the cutter/consensus/delivery stage queues: both ends of that
+        subtraction are idempotent (dedup at accept, height guard at
+        commit), so a block redelivered during catch-up cannot inflate
+        the gauge by transiting the delivery stage twice — the
+        double-count that used to trip the serving tier's shed
+        watermark early.
+        """
+        return max(
+            0, self._accepted_txs - len(self.reference_peer.validation_codes)
+        )
 
     # -- ordering service processes ---------------------------------------------
 
@@ -654,6 +725,7 @@ class FabricNetwork:
                     self.faults.stats["deduped_txs"] += 1
                     continue
                 self._ordered_tids.add(tx.tid)
+            self._accepted_txs += 1
             self._cutter.add(tx)
             depth = self.queue_depth()
             if depth > self.orderer_queue_peak:
@@ -688,6 +760,13 @@ class FabricNetwork:
                     # Raft group before the block becomes final.
                     digest = [tx.tid for tx in decision.transactions]
                     yield self.raft.replicate(digest)
+                elif self.pbft is not None:
+                    # Order the batch through the pbft group; the
+                    # committed entry carries the 2f+1-signed quorum
+                    # certificate retained per block for forensics.
+                    digest = [tx.tid for tx in decision.transactions]
+                    entry = yield self.pbft.replicate(digest)
+                    self.block_certs.append(entry.cert)
                 else:
                     yield env.timeout(self.config.ordering_consensus_ms)
                 with self.phase_wall.track("order"):

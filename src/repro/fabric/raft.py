@@ -97,7 +97,16 @@ class RaftCluster:
         self.rtt_ms = rtt_ms
         self.heartbeat_ms = heartbeat_ms
         self._timeout_range = election_timeout_ms
-        self._rng = random.Random(seed)
+        #: Per-node deadline RNGs.  A single shared RNG hands *every*
+        #: node the same deadline whenever the draws happen to collide
+        #: (trivially so for a zero-width timeout range): all survivors
+        #: then time out on the same simulated tick, each votes for
+        #: itself at the same term, and the split vote repeats forever.
+        #: Independent per-node streams keep runs deterministic while
+        #: guaranteeing the deadlines differ.
+        self._node_rngs = [
+            random.Random(f"raft-{seed}-node-{i}") for i in range(node_count)
+        ]
         self.nodes = [_NodeState(node_id=i) for i in range(node_count)]
         self._majority = node_count // 2 + 1
         self._request_ids = itertools.count(1)
@@ -163,7 +172,13 @@ class RaftCluster:
 
     def _reset_election_deadline(self, node: _NodeState) -> None:
         low, high = self._timeout_range
-        node.election_deadline = self.env.now + self._rng.uniform(low, high)
+        jitter = self._node_rngs[node.node_id].uniform(low, high)
+        # Deterministic per-node stagger, sized past one election round
+        # (2 RTTs), so even a zero-width configured range cannot produce
+        # simultaneous candidates: the lowest-id survivor always wins
+        # its election before the next deadline fires.
+        stagger = node.node_id * (2.0 * self.rtt_ms + 0.5)
+        node.election_deadline = self.env.now + jitter + stagger
 
     def _alive(self) -> list[_NodeState]:
         return [n for n in self.nodes if not n.crashed]

@@ -39,6 +39,11 @@ class FaultInjector:
         #: appended when their events fire (mutable so heal() can close
         #: an in-progress window early).
         self._owner_windows: list[list[float]] = []
+        #: Absolute [start, end) windows during which the view owner
+        #: serves auditors stale (cutoff = window start) or tampered
+        #: view data.  Same mutable-window shape as owner outages.
+        self._stale_view_windows: list[list[float]] = []
+        self._corrupt_view_windows: list[list[float]] = []
         self._healed = False
         self.stats: dict[str, int] = {
             "retries": 0,
@@ -50,6 +55,9 @@ class FaultInjector:
             "orderer_crashes": 0,
             "owner_outages": 0,
             "storage_crashes": 0,
+            "byzantine_replicas": 0,
+            "stale_view_windows": 0,
+            "view_corruptions": 0,
         }
         self._validate(plan)
         network.faults = self
@@ -81,16 +89,41 @@ class FaultInjector:
                         "not modelled — crash a validating peer instead"
                     )
             elif event.kind in ("crash_orderer", "crash_leader"):
-                if network.raft is None:
+                cluster = network.consensus_cluster
+                if cluster is None:
                     raise FaultInjectionError(
-                        f"{event.kind} events need NetworkConfig.use_raft"
+                        f"{event.kind} events need a real consensus group "
+                        "(NetworkConfig.use_raft or orderer_backend='pbft')"
                     )
                 if event.kind == "crash_orderer" and not (
-                    0 <= event.target < len(network.raft.nodes)
+                    0 <= event.target < len(cluster.nodes)
                 ):
                     raise FaultInjectionError(
                         f"crash_orderer target {event.target} out of range"
                     )
+            elif event.kind in ("byzantine_equivocate", "byzantine_corrupt_block"):
+                if network.pbft is None:
+                    raise FaultInjectionError(
+                        f"{event.kind} events need the pbft orderer backend "
+                        "(NetworkConfig.orderer_backend='pbft'): a raft "
+                        "replica can crash but cannot lie"
+                    )
+                if not 0 <= event.target < len(network.pbft.nodes):
+                    raise FaultInjectionError(
+                        f"{event.kind} target {event.target} out of range "
+                        f"for {len(network.pbft.nodes)} pbft replicas"
+                    )
+        byzantine_targets = {
+            event.target
+            for event in plan.events
+            if event.kind in ("byzantine_equivocate", "byzantine_corrupt_block")
+        }
+        if network.pbft is not None and len(byzantine_targets) > network.pbft.f:
+            raise FaultInjectionError(
+                f"plan arms {len(byzantine_targets)} byzantine replicas but "
+                f"a cluster of {len(network.pbft.nodes)} tolerates only "
+                f"f={network.pbft.f}"
+            )
         for point in plan.crash_points:
             if network.storage is None:
                 raise FaultInjectionError(
@@ -138,6 +171,29 @@ class FaultInjector:
         ]
         return max(remaining, default=0.0)
 
+    def stale_view_cutoff(self) -> float | None:
+        """Staleness horizon the Byzantine owner serves right now.
+
+        Inside a ``byzantine_stale_view`` window the owner answers
+        queries as of the window's start: entries inserted after the
+        cutoff are silently omitted.  ``None`` when the owner is
+        currently honest.
+        """
+        now = self.env.now
+        active = [
+            start
+            for start, end in self._stale_view_windows
+            if start <= now < end
+        ]
+        return min(active, default=None)
+
+    def view_corruption_active(self) -> bool:
+        """Whether the owner currently serves tampered view payloads."""
+        now = self.env.now
+        return any(
+            start <= now < end for start, end in self._corrupt_view_windows
+        )
+
     # -- timed events ---------------------------------------------------------
 
     def _event_process(self, event: FaultEvent):
@@ -149,6 +205,27 @@ class FaultInjector:
             self.stats["owner_outages"] += 1
             self._owner_windows.append([env.now, env.now + event.for_ms])
             return
+        if event.kind == "byzantine_stale_view":
+            self.stats["stale_view_windows"] += 1
+            self._stale_view_windows.append([env.now, env.now + event.for_ms])
+            return
+        if event.kind == "byzantine_corrupt_view":
+            self.stats["view_corruptions"] += 1
+            self._corrupt_view_windows.append([env.now, env.now + event.for_ms])
+            return
+        if event.kind in ("byzantine_equivocate", "byzantine_corrupt_block"):
+            mode = (
+                "equivocate"
+                if event.kind == "byzantine_equivocate"
+                else "corrupt"
+            )
+            self.network.pbft.set_byzantine(event.target, mode)
+            self.stats["byzantine_replicas"] += 1
+            if event.for_ms is not None:
+                yield env.timeout(event.for_ms)
+                if not self._healed:
+                    self.network.pbft.clear_byzantine(event.target)
+            return
         if event.kind == "crash_peer":
             peer = self.network.peers[event.target]
             self._down_peers.add(peer.peer_id)
@@ -159,18 +236,21 @@ class FaultInjector:
             if not self._healed:
                 self.recover_peer(event.target)
             return
-        raft = self.network.raft
+        cluster = self.network.consensus_cluster
         if event.kind == "crash_leader":
-            leader = raft.leader
-            node_id = leader.node_id if leader is not None else 0
+            if self.network.pbft is not None:
+                node_id = self.network.pbft.primary
+            else:
+                leader = cluster.leader
+                node_id = leader.node_id if leader is not None else 0
         else:
             node_id = event.target
-        raft.crash(node_id)
+        cluster.crash(node_id)
         self.stats["orderer_crashes"] += 1
         if event.for_ms is not None:
             yield env.timeout(event.for_ms)
             if not self._healed:
-                raft.recover(node_id)
+                cluster.recover(node_id)
 
     # -- storage crash points ---------------------------------------------------
 
@@ -218,7 +298,11 @@ class FaultInjector:
         """
         self._healed = True
         now = self.env.now
-        for window in self._owner_windows:
+        for window in (
+            self._owner_windows
+            + self._stale_view_windows
+            + self._corrupt_view_windows
+        ):
             window[1] = min(window[1], now)
         if self.network.storage is not None:
             # Disarm un-fired crash points so the recovery commits
@@ -232,6 +316,10 @@ class FaultInjector:
             for node in self.network.raft.nodes:
                 if node.crashed:
                     self.network.raft.recover(node.node_id)
+        if self.network.pbft is not None:
+            # Disarm byzantine modes, recover crashed replicas, repair
+            # tampered copies; evidence and convictions are kept.
+            self.network.pbft.heal()
         for peer in self.network.peers:
             recovery.catch_up(self.network, peer)
 

@@ -64,6 +64,56 @@ class InvariantMonitor:
                         f"raft node {node.node_id} committed a transaction "
                         "digest more than once"
                     )
+        pbft = self.network.pbft
+        if pbft is not None:
+            seqs = [entry.seq for entry in pbft.committed]
+            if len(seqs) != len(set(seqs)):
+                raise InvariantViolationError(
+                    "pbft committed a sequence number more than once"
+                )
+            tids = [
+                tid for entry in pbft.committed for tid in entry.payload
+            ]
+            if len(tids) != len(set(tids)):
+                raise InvariantViolationError(
+                    "pbft committed a transaction digest more than once"
+                )
+
+    def assert_ordering_integrity(self) -> None:
+        """The pbft forensic audit: certificates vs replica copies.
+
+        Every committed block must carry a quorum certificate whose
+        signatures verify, and every replica's stored copy must match
+        the certified digest.  A violation is raised *with the
+        attributable replica id* — the point of retaining signed
+        certificates per block.  No-op on the raft/model backends
+        (nothing can lie there) and on an intact pbft cluster.
+        """
+        network = self.network
+        pbft = network.pbft
+        if pbft is None:
+            return
+        findings = pbft.forensic_findings()
+        if findings:
+            described = ", ".join(
+                f"{f['kind']} by replica {f['replica']} at seq {f['seq']} "
+                f"(view {f['view']})"
+                for f in findings[:5]
+            )
+            raise InvariantViolationError(
+                f"pbft ordering integrity violated ({len(findings)} "
+                f"finding(s)): {described}"
+            )
+        from repro.fabric.pbft import payload_digest
+
+        for number, block in enumerate(network.block_log):
+            cert = network.block_certs[number]
+            tids = [tx.tid for tx in block.transactions]
+            if payload_digest(tids) != cert.digest:
+                raise InvariantViolationError(
+                    f"block {number} does not match its quorum "
+                    f"certificate (view {cert.view}, seq {cert.seq})"
+                )
 
     def assert_convergence(self) -> None:
         """All replicas hold one chain and one world state (post-heal)."""
@@ -106,10 +156,24 @@ class InvariantMonitor:
                 f"{len(durable_log)} blocks, live ordered log has "
                 f"{len(live_log)}, or hashes diverge"
             )
+        if network.pbft is not None:
+            commits, _views = network.pbft.replay_wal()
+            live = network.pbft.committed
+            if len(commits) != len(live) or any(
+                record["digest"] != entry.digest
+                or record["seq"] != entry.seq
+                for record, entry in zip(commits, live)
+            ):
+                raise InvariantViolationError(
+                    f"durability violation at the pbft group: WAL holds "
+                    f"{len(commits)} commit certificates, live log has "
+                    f"{len(live)}, or digests diverge"
+                )
 
     def check(self) -> None:
         """The full post-heal safety check."""
         self.assert_exactly_once()
+        self.assert_ordering_integrity()
         self.assert_convergence()
         self.assert_durability()
 

@@ -24,6 +24,29 @@ Event kinds:
     :class:`~repro.errors.OwnerUnavailableError`, and no TLC flush is
     issued meanwhile.
 
+Byzantine event kinds (require the pbft orderer backend; crashes only
+take nodes *down*, these make them *lie*):
+
+``byzantine_equivocate``
+    Ordering replica ``target`` starts sending conflicting
+    pre-prepares whenever it leads a view.  The conflicting signed
+    messages are self-authenticating evidence: the cluster convicts
+    the replica and never elects it primary again.  With ``for_ms``
+    the behaviour is disarmed after the window (the conviction stays).
+``byzantine_corrupt_block``
+    Ordering replica ``target`` tampers with its own stored copy of
+    every payload it commits.  Consensus is unaffected (the quorum
+    certificate fixes the real digest); the corruption is caught and
+    attributed by the forensic audit of copies against certificates.
+``byzantine_stale_view``
+    For ``for_ms`` the view owner serves auditors *stale* view data:
+    queries omit entries added after the window opened — the omission
+    the Prop 4.1 completeness audit exists to catch.
+``byzantine_corrupt_view``
+    For ``for_ms`` the view owner serves *tampered* secret payloads in
+    place of the real ones — the forgery the Prop 4.1 soundness audit
+    exists to catch.
+
 Separately from timed events, ``crash_points`` kill a peer at an exact
 *durable operation* rather than an instant of simulated time: each
 :class:`CrashPointSpec` arms the target peer's storage guard so its
@@ -43,7 +66,16 @@ from repro.sim.faults import MessageFaultRule
 
 ENV_VAR = "REPRO_FAULT_PLAN"
 
-EVENT_KINDS = ("crash_peer", "crash_orderer", "crash_leader", "owner_outage")
+EVENT_KINDS = (
+    "crash_peer",
+    "crash_orderer",
+    "crash_leader",
+    "owner_outage",
+    "byzantine_equivocate",
+    "byzantine_corrupt_block",
+    "byzantine_stale_view",
+    "byzantine_corrupt_view",
+)
 
 
 @dataclass(frozen=True)
@@ -102,10 +134,23 @@ class FaultEvent:
             raise FaultInjectionError(f"at_ms must be >= 0, got {self.at_ms}")
         if self.for_ms is not None and self.for_ms <= 0:
             raise FaultInjectionError(f"for_ms must be > 0, got {self.for_ms}")
-        if self.kind in ("crash_peer", "crash_orderer") and self.target is None:
+        if (
+            self.kind
+            in (
+                "crash_peer",
+                "crash_orderer",
+                "byzantine_equivocate",
+                "byzantine_corrupt_block",
+            )
+            and self.target is None
+        ):
             raise FaultInjectionError(f"{self.kind} event needs a target")
-        if self.kind == "owner_outage" and self.for_ms is None:
-            raise FaultInjectionError("owner_outage needs for_ms")
+        if (
+            self.kind
+            in ("owner_outage", "byzantine_stale_view", "byzantine_corrupt_view")
+            and self.for_ms is None
+        ):
+            raise FaultInjectionError(f"{self.kind} needs for_ms")
 
 
 @dataclass(frozen=True)

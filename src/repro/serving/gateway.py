@@ -11,8 +11,9 @@ cut when ``max_batch`` requests are waiting *or* the oldest has lingered
   dispatched-but-unresolved, which keeps the orderer queue from growing
   without bound and so keeps the latency of *admitted* requests finite;
 - **shed watermark with hysteresis**: when the total backlog (gateway
-  queue + inflight + the target's live :meth:`queue_depth`, the
-  satellite-(a) accessor) crosses ``shed_high``, new arrivals are
+  queue plus the larger of inflight and the target's live
+  :meth:`queue_depth` — the two overlap, so summing them would count
+  dispatched requests twice) crosses ``shed_high``, new arrivals are
   rejected immediately — and keep being rejected until the backlog
   falls below ``shed_low``, so the gateway does not flap at the
   boundary.  Shedding turns overload into a bounded p99 plus an honest
@@ -322,8 +323,19 @@ class AsyncGateway:
     # -- client side -------------------------------------------------------
 
     def backlog(self) -> int:
-        """Queued + inflight + the target's live orderer queue."""
-        return len(self._queue) + self._inflight + self.target.queue_depth()
+        """Queued + outstanding work past the gateway.
+
+        A dispatched-but-unresolved request is usually *also* resident
+        in the target's pipeline, so ``inflight`` and the target's live
+        :meth:`queue_depth` overlap almost entirely — adding them (as
+        this accessor once did) double-counted every admitted request
+        between dispatch and commit, which during a catch-up burst
+        pushed the apparent backlog past ``shed_high`` and shed traffic
+        the system could comfortably absorb.  ``max`` keeps whichever
+        view of the outstanding work is currently larger without ever
+        counting one request twice.
+        """
+        return len(self._queue) + max(self._inflight, self.target.queue_depth())
 
     def queue_depth(self) -> int:
         """Requests waiting in the gateway (not yet dispatched)."""

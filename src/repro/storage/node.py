@@ -151,6 +151,34 @@ class NodeStore:
         self.wal.append(payload)
         self.records_logged += 1
 
+    def log_record(self, payload: dict[str, Any]) -> None:
+        """Append one arbitrary tagged record to the WAL.
+
+        ``payload["kind"]`` must be set (and must not be "block", which
+        is reserved for :meth:`log_block` so chain recovery never
+        confuses consensus metadata with ledger contents).  Used by the
+        pbft backend to WAL its per-view log and commit certificates.
+        """
+        if self._suspended:
+            return
+        kind = payload.get("kind")
+        if not kind or kind == "block":
+            raise StorageError(
+                f"log_record needs a non-'block' kind; got {kind!r}"
+            )
+        self.wal.append(payload)
+        self.records_logged += 1
+
+    def replay_kind(self, kind: str) -> list[dict[str, Any]]:
+        """All intact WAL records of one kind, in append order."""
+        replay = self.wal.replay(0)
+        if replay.torn:
+            self.wal.truncate_to(replay.end_offset)
+            self.torn_tails_truncated += 1
+        return [
+            record for record in replay.records if record.get("kind") == kind
+        ]
+
     def snapshot_due(self, height: int) -> bool:
         return (
             not self._suspended
@@ -358,6 +386,11 @@ class StorageRuntime:
 
     def log_ordered_block(self, block: Block) -> None:
         self.orderer_store.log_block(block)
+
+    @property
+    def pbft_store(self) -> NodeStore:
+        """The pbft cluster's WAL (per-view log + commit certificates)."""
+        return self.node_store(f"{self.chain_name}-pbft")
 
     def restore_block_log(self) -> list[Block]:
         """Rebuild the ordered block log from the orderer's WAL."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclass_replace
 from typing import Any
 
 from repro.crypto.envelope import open_sealed, seal, seal_many
@@ -42,6 +42,29 @@ from repro.views.txlist_contract import TxListService
 from repro.views.types import Concealment, ViewMode
 
 ACCESS_TX_KIND = "view-access"
+
+
+def _tampered(processed: ProcessedSecret) -> ProcessedSecret:
+    """A Byzantine owner's forgery of one processed secret.
+
+    Hash-based data gets its plaintext bit-flipped (the served secret
+    no longer matches the on-chain salted hash — soundness case 2);
+    encryption-based data gets a bit-flipped per-transaction key (the
+    served key cannot decrypt the on-chain ciphertext).  The envelope
+    and the view-key encryption around it stay valid — only an audit
+    against the ledger exposes the forgery.
+    """
+    if processed.plaintext:
+        return dataclass_replace(
+            processed,
+            plaintext=bytes(b ^ 0xFF for b in processed.plaintext),
+        )
+    if processed.tx_key is not None:
+        material = bytes(b ^ 0xFF for b in processed.tx_key.to_bytes())
+        return dataclass_replace(
+            processed, tx_key=SymmetricKey.from_bytes(material)
+        )
+    return processed
 
 
 @dataclass
@@ -135,6 +158,12 @@ class ViewManager(ABC):
         #: transactions can later be added to further views (the paper's
         #: historical-access grants when an item changes hands).
         self._retained: dict[str, ProcessedSecret] = {}
+        #: Simulated insertion time per (view, tid) — the horizon a
+        #: Byzantine owner under a ``byzantine_stale_view`` fault snaps
+        #: its answers back to (entries inserted after the window
+        #: opened are silently omitted, for the completeness audit to
+        #: catch).
+        self._insert_times: dict[tuple[str, str], float] = {}
 
     # -- view lifecycle ---------------------------------------------------------
 
@@ -534,6 +563,7 @@ class ViewManager(ABC):
         """Record a transaction in the owner's buffer (``InsertIntoView``)."""
         record.tids.append(tid)
         record.data[tid] = self._buffered_data(processed)
+        self._insert_times[(record.name, tid)] = self.gateway.network.env.now
 
     # -- access control -------------------------------------------------------------
 
@@ -763,11 +793,30 @@ class ViewManager(ABC):
                 f"{requester_id!r} is not authorized for view {view_name!r}"
             )
         requested = tids if tids is not None else list(record.tids)
+        # Byzantine owner behaviours (fault injection): inside a
+        # ``byzantine_stale_view`` window the owner answers as of the
+        # window's start, silently omitting later insertions; inside a
+        # ``byzantine_corrupt_view`` window it serves tampered secret
+        # payloads.  Both are the attacks the Prop 4.1 completeness and
+        # soundness audits exist to catch — the served envelope stays
+        # perfectly well-formed.
+        faults = self.gateway.network.faults
+        stale_cutoff = faults.stale_view_cutoff() if faults is not None else None
+        corrupting = faults is not None and faults.view_corruption_active()
         entries: dict[str, str] = {}
         for tid in requested:
             if tid not in record.data:
                 continue
-            entry = self.view_entry(record, tid, self._processed_from_buffer(record, tid))
+            if (
+                stale_cutoff is not None
+                and self._insert_times.get((record.name, tid), 0.0)
+                > stale_cutoff
+            ):
+                continue
+            processed = self._processed_from_buffer(record, tid)
+            if corrupting:
+                processed = _tampered(processed)
+            entry = self.view_entry(record, tid, processed)
             entries[tid] = entry.hex()
         body = json.dumps(
             {

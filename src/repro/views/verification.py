@@ -25,7 +25,12 @@ cursors so completeness resumes from the first unaudited block, and a
 soundness result cache keyed by everything the verdict depends on.
 Verdicts are identical to a fresh verifier's — the chain is append-only
 and block timestamps are monotonic, so re-checking audited prefixes can
-never change the outcome — only the amortised cost drops.  The mode is
+never change the outcome — only the amortised cost drops.  The one case
+where "append-only" fails is a peer restart: a chain rebuilt from a
+snapshot + WAL suffix is a *different object* that may expose different
+contents at audited heights, so cursors anchor on the hash of the last
+block they scanned and self-invalidate (full rescan, soundness cache
+dropped) whenever that anchor no longer matches the chain.  The mode is
 opt-in because the reported ``ledger_accesses``/``cost_ms`` then cover
 just the *new* work, which is the quantity an amortised audit pays.
 """
@@ -89,6 +94,18 @@ class _CompletenessCursor:
     next_block: int = 0
     timestamps: list[float] = field(default_factory=list)
     tids: list[str] = field(default_factory=list)
+    #: Hash of the last block this cursor scanned.  The cursor's
+    #: accumulated state is only valid for the chain that *contains*
+    #: that block: a recovered peer that rebuilt its chain from a
+    #: snapshot + WAL suffix may expose the same heights with different
+    #: contents, so resumption is keyed on the tip hash, not on height.
+    anchor_hash: bytes = b""
+
+    def reset(self) -> None:
+        self.next_block = 0
+        self.timestamps.clear()
+        self.tids.clear()
+        self.anchor_hash = b""
 
 
 class ViewVerifier:
@@ -136,6 +153,25 @@ class ViewVerifier:
     @staticmethod
     def _definition_key(view_name: str, predicate: Predicate) -> tuple[str, str]:
         return view_name, json.dumps(predicate.descriptor(), sort_keys=True)
+
+    def _cursor_stale(self, cursor: _CompletenessCursor) -> bool:
+        """Whether the chain the cursor audited is no longer a prefix
+        of the chain being audited now.
+
+        A fresh cursor is never stale.  Otherwise the block the cursor
+        last scanned must still exist at the same height *with the same
+        hash* — chain identity, not chain length: a peer restarted from
+        snapshot + WAL suffix can come back shorter (durable prefix
+        only) or, on a diverging rebuild, with different contents at
+        audited heights.
+        """
+        if cursor.next_block == 0:
+            return False
+        chain = self._chain
+        if chain.height < cursor.next_block:
+            return True
+        anchor = next(chain.blocks_from(cursor.next_block - 1))
+        return anchor.hash() != cursor.anchor_hash
 
     # -- soundness ------------------------------------------------------------
 
@@ -250,6 +286,15 @@ class ViewVerifier:
             cursor = self._completeness_cursors.setdefault(
                 self._definition_key(view_name, predicate), _CompletenessCursor()
             )
+            if self._cursor_stale(cursor):
+                # The audited prefix is no longer the chain's prefix
+                # (the peer restarted and rebuilt its chain): every
+                # cached conclusion below is about blocks that may no
+                # longer exist, so rescan from genesis — and drop the
+                # soundness verdicts too, since they cite the same
+                # chain.
+                cursor.reset()
+                self._soundness_cache.clear()
             accesses = 0
             local = 0
             for block in self._chain.blocks_from(cursor.next_block):
@@ -263,6 +308,7 @@ class ViewVerifier:
                         cursor.timestamps.append(block.header.timestamp)
                         cursor.tids.append(tx.tid)
                 cursor.next_block = block.number + 1
+                cursor.anchor_hash = block.hash()
             if upto_time is None:
                 expected = set(cursor.tids)
             else:

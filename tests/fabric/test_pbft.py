@@ -1,0 +1,216 @@
+"""Protocol-level tests for PBFT consensus among the ordering nodes."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, SimulationError
+from repro.fabric.pbft import (
+    EquivocationEvidence,
+    PBFTCluster,
+    payload_digest,
+)
+from repro.sim import Environment
+from repro.storage import MemoryFilesystem, NodeStore
+
+
+def _cluster(env=None, **kwargs):
+    env = env or Environment()
+    params = {"node_count": 4, "consensus_ms": 5.0, "view_timeout_ms": 150.0}
+    params.update(kwargs)
+    return env, PBFTCluster(env, **params)
+
+
+def _replicate_all(env, cluster, payloads):
+    entries = []
+
+    def client():
+        for payload in payloads:
+            entry = yield cluster.replicate(payload)
+            entries.append(entry)
+
+    env.process(client())
+    env.run(until=env.now + 100_000)
+    return entries
+
+
+def test_cluster_size_must_be_3f_plus_1():
+    with pytest.raises(SimulationError):
+        PBFTCluster(Environment(), node_count=3)
+
+
+def test_quorum_parameters():
+    _, cluster = _cluster(node_count=4)
+    assert (cluster.f, cluster.quorum) == (1, 3)
+    _, seven = _cluster(node_count=7)
+    assert (seven.f, seven.quorum) == (2, 5)
+
+
+def test_honest_commit_produces_quorum_certificate():
+    env, cluster = _cluster()
+    entries = _replicate_all(env, cluster, [["t1", "t2"], ["t3"]])
+    assert [e.seq for e in entries] == [0, 1]
+    for entry in entries:
+        assert entry.digest == payload_digest(entry.payload)
+        assert entry.cert.verify(cluster.keyring) == []
+        assert len(entry.cert.signatures) >= cluster.quorum
+        assert entry.preprepare.verify(cluster.keyring)
+    # Every replica stores the certified payloads.
+    for node in cluster.nodes:
+        assert cluster.committed_payloads(node.node_id) == [["t1", "t2"], ["t3"]]
+    assert cluster.stats["view_changes"] == 0
+
+
+def test_honest_instance_charges_exactly_consensus_ms():
+    """The honest path must land bit-for-bit on start + consensus_ms —
+    the byte-identity contract with the raft-modelled ordering path."""
+    env, cluster = _cluster(consensus_ms=5.0)
+    env.run(until=53.5125)  # a start time where 3 x (5/3) drifts
+    start = env.now
+    done = cluster.replicate(["tx"])
+    env.run(until=done)
+    assert env.now == start + 5.0
+
+
+def test_commit_survives_f_crashes():
+    env, cluster = _cluster()
+    cluster.crash(3)  # a non-primary backup
+    entries = _replicate_all(env, cluster, [["a"]])
+    assert len(entries) == 1
+    assert len(entries[0].cert.signatures) == cluster.quorum
+    assert 3 not in entries[0].cert.signers()
+
+
+def test_more_than_f_crashes_stalls_until_recovery():
+    env, cluster = _cluster()
+    cluster.crash(2)
+    cluster.crash(3)
+    pending = cluster.replicate(["stuck"])
+    env.run(until=env.now + 2_000)
+    assert not pending.triggered  # 2 of 4 live < quorum of 3
+    cluster.recover(2)
+    env.run(until=pending)
+    assert cluster.committed_payloads()[-1] == ["stuck"]
+
+
+def test_crashed_primary_triggers_view_change():
+    env, cluster = _cluster()
+    assert cluster.primary == 0
+    cluster.crash(0)
+    entries = _replicate_all(env, cluster, [["x"]])
+    assert len(entries) == 1
+    assert cluster.view == 1
+    assert cluster.primary == 1
+    assert cluster.stats["view_changes"] == 1
+    assert cluster.views[0].status == "abandoned"
+    assert cluster.views[1].committed_seqs == [0]
+    cert = cluster.view_change_certs[0]
+    assert (cert.previous_view, cert.new_view) == (0, 1)
+    assert cert.verify(cluster.keyring) == []
+    assert len(cert.signatures) >= cluster.quorum
+
+
+def test_equivocating_primary_is_convicted_and_skipped():
+    env, cluster = _cluster()
+    cluster.set_byzantine(0, "equivocate")
+    entries = _replicate_all(env, cluster, [["a"], ["b"]])
+    # Commits still succeed (the cluster routes around the liar)...
+    assert [e.payload for e in entries] == [["a"], ["b"]]
+    # ...and the conflicting pre-prepares convict replica 0.
+    assert cluster.convicted == {0}
+    assert len(cluster.evidence) == 1
+    evidence = cluster.evidence[0]
+    assert evidence.verify(cluster.keyring)
+    assert cluster.attribute(evidence) == 0
+    # The convict never leads again: later views skip it.
+    for view in cluster.views.values():
+        if view.view > 0:
+            assert view.primary != 0
+
+
+def test_forged_evidence_does_not_attribute():
+    env, cluster = _cluster()
+    cluster.set_byzantine(0, "equivocate")
+    _replicate_all(env, cluster, [["a"]])
+    real = cluster.evidence[0]
+    # Same messages, blamed on an innocent replica: verification fails.
+    forged = EquivocationEvidence(
+        replica=1,
+        view=real.view,
+        seq=real.seq,
+        first=real.first,
+        second=real.second,
+    )
+    assert cluster.attribute(forged) is None
+
+
+def test_corrupt_replica_is_caught_by_forensics():
+    env, cluster = _cluster()
+    cluster.set_byzantine(2, "corrupt")
+    _replicate_all(env, cluster, [["t1"], ["t2"]])
+    findings = cluster.forensic_findings()
+    assert findings, "tampered copies must surface in the audit"
+    assert {f["kind"] for f in findings} == {"corrupted-copy"}
+    assert {f["replica"] for f in findings} == {2}
+    assert sorted(f["seq"] for f in findings) == [0, 1]
+    # The certified cluster log itself is intact.
+    assert cluster.committed_payloads() == [["t1"], ["t2"]]
+    # heal() repairs the copies; the findings disappear.
+    cluster.heal()
+    assert cluster.forensic_findings() == []
+    assert cluster.stats["repaired_copies"] == 2
+    assert cluster.committed_payloads(2) == [["t1"], ["t2"]]
+
+
+def test_at_most_f_byzantine_replicas():
+    _, cluster = _cluster(node_count=4)
+    cluster.set_byzantine(1, "equivocate")
+    with pytest.raises(FaultInjectionError):
+        cluster.set_byzantine(2, "corrupt")
+    # Re-arming the same replica is fine; disarming frees the slot.
+    cluster.set_byzantine(1, "corrupt")
+    cluster.clear_byzantine(1)
+    cluster.set_byzantine(2, "corrupt")
+
+
+def test_unknown_byzantine_mode_rejected():
+    _, cluster = _cluster()
+    with pytest.raises(FaultInjectionError):
+        cluster.set_byzantine(0, "omit")
+
+
+def test_recovery_state_transfers_missed_slots():
+    env, cluster = _cluster()
+    cluster.crash(3)
+    _replicate_all(env, cluster, [["a"], ["b"]])
+    assert cluster.committed_payloads(3) == []
+    cluster.recover(3)
+    assert cluster.committed_payloads(3) == [["a"], ["b"]]
+
+
+def test_wal_replay_reproduces_commits_and_view_changes():
+    store = NodeStore(MemoryFilesystem(), "pbft", "group")
+    env, cluster = _cluster(store=store)
+    cluster.crash(0)  # force one view change into the WAL too
+    _replicate_all(env, cluster, [["a"], ["b"]])
+    commits, views = cluster.replay_wal()
+    assert [(r["seq"], r["digest"]) for r in commits] == [
+        (entry.seq, entry.digest) for entry in cluster.committed
+    ]
+    for record, entry in zip(commits, cluster.committed):
+        assert record["cert"] == entry.cert.to_dict()
+    assert [v["new_view"] for v in views] == [
+        c.new_view for c in cluster.view_change_certs
+    ]
+
+
+def test_deterministic_across_runs():
+    def run():
+        env, cluster = _cluster()
+        cluster.crash(0)
+        entries = _replicate_all(env, cluster, [["a"], ["b"], ["c"]])
+        return (
+            [(e.seq, e.view, e.digest) for e in entries],
+            env.now,
+            cluster.stats.copy(),
+        )
+
+    assert run() == run()

@@ -1,0 +1,363 @@
+"""Byzantine chaos differential suite (pbft ordering backend).
+
+Two families of assertions:
+
+1. **Honest-path byte-identity.** With nobody misbehaving, a pbft-ordered
+   run must be indistinguishable — block tips, per-block tid lists,
+   simulated clock, state roots, served secrets, audit verdicts — from
+   the default raft-modelled ordering path, across all four view methods
+   (EI/ER/HI/HR).  The BFT machinery must cost exactly the modelled
+   ``ordering_consensus_ms`` and change nothing else.
+
+2. **Every injected attack is caught and attributed.**  Equivocating
+   replicas are convicted by their own conflicting signatures; replicas
+   that tamper their stored copies are named by the forensic audit
+   against the per-block quorum certificates; a view owner serving
+   stale or tampered view data is caught by the Prop 4.1 completeness
+   and soundness audits respectively — with f=1 of 4 ordering replicas
+   Byzantine throughout.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import secrets as secrets_module
+
+import pytest
+
+from repro import build_network
+from repro.errors import InvariantViolationError
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.network import Gateway
+from repro.faults import FaultEvent, FaultPlan, InvariantMonitor, RetryPolicy
+from repro.ledger import transaction as transaction_module
+from repro.views.encryption_based import EncryptionBasedManager
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.types import ViewMode
+from repro.views.verification import ViewVerifier
+
+METHODS = {
+    "EI": (EncryptionBasedManager, ViewMode.IRREVOCABLE),
+    "ER": (EncryptionBasedManager, ViewMode.REVOCABLE),
+    "HI": (HashBasedManager, ViewMode.IRREVOCABLE),
+    "HR": (HashBasedManager, ViewMode.REVOCABLE),
+}
+
+PREDICATE = AttributeEquals("to", "W1")
+
+
+@pytest.fixture
+def rearm(monkeypatch):
+    """Seeded DRBG behind ``secrets`` + tid-counter reset, so every leg
+    draws the same bytes and transaction ids in order."""
+
+    def arm():
+        rng = random.Random(0x1EDE9)
+        monkeypatch.setattr(
+            secrets_module, "token_bytes", lambda n=32: rng.randbytes(n)
+        )
+        monkeypatch.setattr(secrets_module, "randbits", rng.getrandbits)
+        monkeypatch.setattr(secrets_module, "randbelow", lambda n: rng.randrange(n))
+        monkeypatch.setattr(
+            transaction_module, "_tid_counter", itertools.count(7_000_000)
+        )
+
+    return arm
+
+
+def _config(backend: str, plan: FaultPlan | None = None) -> NetworkConfig:
+    return NetworkConfig(
+        latency=SINGLE_REGION,
+        real_signatures=False,
+        batch_timeout_ms=50.0,
+        orderer_backend=backend,
+        fault_plan=plan.to_json() if plan is not None else None,
+    )
+
+
+def _verdict(report):
+    return (
+        report.check,
+        report.view,
+        report.ok,
+        report.checked,
+        tuple(report.violations),
+        tuple(report.missing),
+    )
+
+
+# --------------------------------------------------------------------------
+# 1. Honest-path byte-identity: pbft vs the raft-modelled ordering path.
+# --------------------------------------------------------------------------
+
+
+def _honest_fingerprint(method: str, backend: str):
+    manager_cls, mode = METHODS[method]
+    network = build_network(_config(backend))
+    monitor = InvariantMonitor(network)
+    owner = network.register_user("owner")
+    manager = manager_cls(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, mode)
+    outcomes = [
+        manager.invoke_with_secret(
+            "create_item",
+            {"item": f"i{i}", "owner": to},
+            {"item": f"i{i}", "from": None, "to": to},
+            f"manifest-{i}".encode(),
+        )
+        for i, to in enumerate(["W1", "W1", "W9", "W1"])
+    ]
+    monitor.check()
+
+    reader_user = network.register_user("bob")
+    reader = ViewReader(reader_user, Gateway(network, reader_user))
+    reader.accept_offchain_grant(manager.grant_access_offchain("w1", "bob"))
+    if mode is ViewMode.IRREVOCABLE:
+        result = reader.read_irrevocable_view(manager, "w1")
+    else:
+        result = reader.read_view(manager, "w1")
+    verifier = ViewVerifier(Gateway(network, reader_user))
+    peer = network.reference_peer
+    return {
+        "codes": [out.notice.code.value for out in outcomes],
+        "served": dict(sorted(result.secrets.items())),
+        "soundness": _verdict(
+            verifier.verify_soundness("w1", PREDICATE, result, manager.concealment)
+        ),
+        "completeness": _verdict(
+            verifier.verify_completeness("w1", PREDICATE, set(result.secrets))
+        ),
+        "tip": peer.chain.tip_hash.hex(),
+        "blocks": [
+            (block.number, block.header.timestamp, [tx.tid for tx in block.transactions])
+            for block in peer.chain
+        ],
+        "state_root": peer.current_state_root().hex(),
+        "sim_now": network.env.now,
+    }, network
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_honest_pbft_is_byte_identical_to_raft_path(method, rearm):
+    rearm()
+    raft_print, _ = _honest_fingerprint(method, "raft")
+    rearm()
+    pbft_print, network = _honest_fingerprint(method, "pbft")
+    assert pbft_print == raft_print
+    # And the pbft leg really ran the protocol: one verifying quorum
+    # certificate per block, no view changes on the honest path.
+    assert len(network.block_certs) == len(network.block_log) > 0
+    for cert in network.block_certs:
+        assert cert.verify(network.pbft.keyring) == []
+        assert len(cert.signatures) >= network.pbft.quorum
+    assert network.pbft.stats["view_changes"] == 0
+
+
+# --------------------------------------------------------------------------
+# 2. Injected attacks: each one detected and attributed (f=1 of 4).
+# --------------------------------------------------------------------------
+
+
+def _pbft_network(plan: FaultPlan):
+    network = build_network(_config("pbft", plan))
+    return network, InvariantMonitor(network)
+
+
+def _workload(network, waves=2, per_wave=3):
+    user = network.register_user("alice")
+    tids = []
+    for wave in range(waves):
+        for i in range(per_wave):
+            notice = network.invoke_sync(
+                user,
+                "supply",
+                "create_item",
+                {"item": f"w{wave}i{i}", "owner": "W1"},
+            )
+            tids.append(notice.tid)
+    return tids
+
+
+def test_equivocating_primary_is_convicted_and_ordering_survives(rearm):
+    rearm()
+    plan = FaultPlan(
+        seed=3,
+        retry=RetryPolicy(timeout_ms=5_000.0),
+        events=(FaultEvent(kind="byzantine_equivocate", at_ms=0.0, target=0),),
+    )
+    network, monitor = _pbft_network(plan)
+    pbft = network.pbft
+    _workload(network)
+
+    # The attack fired: replica 0 led view 0 and equivocated.
+    assert network.faults.summary()["byzantine_replicas"] == 1
+    assert pbft.stats["equivocations"] >= 1
+    # ...and is attributed by its own two conflicting signed pre-prepares.
+    assert pbft.convicted == {0}
+    evidence = pbft.evidence[0]
+    assert evidence.verify(pbft.keyring)
+    assert pbft.attribute(evidence) == 0
+    # The cluster routed around the liar: all blocks committed in later
+    # views led by someone else, each under a verifying certificate.
+    assert len(network.block_certs) == len(network.block_log) > 0
+    for cert in network.block_certs:
+        assert cert.view > 0
+        assert cert.verify(pbft.keyring) == []
+    for view in pbft.views.values():
+        if view.view > 0:
+            assert view.primary != 0
+    # Equivocation never corrupted committed data; the full invariant
+    # check (exactly-once, ordering integrity, convergence) passes.
+    network.faults.heal()
+    network.env.run(until=network.env.now + 2_000.0)
+    monitor.check()
+
+
+def test_corrupting_replica_is_named_by_the_forensic_audit(rearm):
+    rearm()
+    plan = FaultPlan(
+        seed=4,
+        retry=RetryPolicy(timeout_ms=5_000.0),
+        events=(FaultEvent(kind="byzantine_corrupt_block", at_ms=0.0, target=2),),
+    )
+    network, monitor = _pbft_network(plan)
+    _workload(network)
+
+    # Consensus is unaffected (the certificate pins the real digest) —
+    # but the tampered copies are caught AND attributed to replica 2.
+    assert network.pbft.stats["corrupted_copies"] > 0
+    findings = network.pbft.forensic_findings()
+    assert findings and {f["kind"] for f in findings} == {"corrupted-copy"}
+    assert {f["replica"] for f in findings} == {2}
+    with pytest.raises(InvariantViolationError, match="replica 2"):
+        monitor.assert_ordering_integrity()
+
+    # heal() repairs the copies from the certified entries; afterwards
+    # the cluster passes the full invariant check.
+    network.faults.heal()
+    network.env.run(until=network.env.now + 2_000.0)
+    assert network.pbft.forensic_findings() == []
+    assert network.pbft.stats["repaired_copies"] > 0
+    monitor.check()
+
+
+def test_stale_view_serving_is_caught_by_completeness_audit(rearm):
+    rearm()
+    plan = FaultPlan(
+        seed=5,
+        retry=RetryPolicy(timeout_ms=5_000.0),
+        events=(
+            FaultEvent(kind="byzantine_stale_view", at_ms=2_000.0, for_ms=60_000.0),
+        ),
+    )
+    network, monitor = _pbft_network(plan)
+    env = network.env
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+
+    def wave(names):
+        return [
+            manager.invoke_with_secret(
+                "create_item",
+                {"item": name, "owner": "W1"},
+                {"item": name, "from": None, "to": "W1"},
+                f"manifest-{name}".encode(),
+            ).tid
+            for name in names
+        ]
+
+    early = wave(["a0", "a1"])
+    assert env.now < 2_000.0, "first wave must land before the window opens"
+    env.run(until=2_500.0)  # enter the stale-serving window
+    late = wave(["b0", "b1"])
+
+    reader_user = network.register_user("bob")
+    reader = ViewReader(reader_user, Gateway(network, reader_user))
+    reader.accept_offchain_grant(manager.grant_access_offchain("w1", "bob"))
+    verifier = ViewVerifier(Gateway(network, reader_user))
+
+    # Inside the window the owner silently omits the late insertions;
+    # the completeness audit names exactly the omitted transactions.
+    result = reader.read_view(manager, "w1")
+    assert sorted(result.secrets) == sorted(early)
+    report = verifier.verify_completeness("w1", PREDICATE, set(result.secrets))
+    assert report.ok is False
+    assert report.missing == sorted(late)
+    assert network.faults.summary()["stale_view_windows"] == 1
+
+    # After heal the owner serves everything and the audit passes.
+    network.faults.heal()
+    env.run(until=env.now + 2_000.0)
+    result = reader.read_view(manager, "w1")
+    assert sorted(result.secrets) == sorted(early + late)
+    report = verifier.verify_completeness("w1", PREDICATE, set(result.secrets))
+    assert report.ok is True
+    monitor.check()
+
+
+def test_corrupt_view_serving_is_caught_by_soundness_audit(rearm):
+    rearm()
+    plan = FaultPlan(
+        seed=6,
+        retry=RetryPolicy(timeout_ms=5_000.0),
+        events=(
+            FaultEvent(kind="byzantine_corrupt_view", at_ms=0.0, for_ms=60_000.0),
+        ),
+    )
+    network, monitor = _pbft_network(plan)
+    owner = network.register_user("owner")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    tids = [
+        manager.invoke_with_secret(
+            "create_item",
+            {"item": f"c{i}", "owner": "W1"},
+            {"item": f"c{i}", "from": None, "to": "W1"},
+            f"manifest-{i}".encode(),
+        ).tid
+        for i in range(3)
+    ]
+
+    reader_user = network.register_user("bob")
+    reader = ViewReader(reader_user, Gateway(network, reader_user))
+    reader.accept_offchain_grant(manager.grant_access_offchain("w1", "bob"))
+    verifier = ViewVerifier(Gateway(network, reader_user))
+
+    # The tampered payloads decrypt fine (the envelope is honest) but
+    # fail the audit against the on-chain salted hashes, every one.
+    result = reader.read_view(manager, "w1", validate=False)
+    report = verifier.verify_soundness("w1", PREDICATE, result, manager.concealment)
+    assert report.ok is False
+    assert report.violations == tids
+    assert network.faults.summary()["view_corruptions"] == 1
+
+    # Honest again after heal.
+    network.faults.heal()
+    network.env.run(until=network.env.now + 2_000.0)
+    result = reader.read_view(manager, "w1")
+    report = verifier.verify_soundness("w1", PREDICATE, result, manager.concealment)
+    assert report.ok is True
+    assert sorted(result.secrets) == sorted(tids)
+    monitor.check()
+
+
+def test_crashed_pbft_leader_does_not_block_ordering(rearm):
+    """crash_leader works against the pbft backend too: the view change
+    replaces the primary and the workload completes."""
+    rearm()
+    plan = FaultPlan(
+        seed=8,
+        retry=RetryPolicy(timeout_ms=5_000.0),
+        events=(FaultEvent(kind="crash_leader", at_ms=0.0, for_ms=3_000.0),),
+    )
+    network, monitor = _pbft_network(plan)
+    _workload(network, waves=1)
+    assert network.pbft.stats["view_changes"] >= 1
+    assert network.faults.summary()["orderer_crashes"] == 1
+    network.faults.heal()
+    network.env.run(until=network.env.now + 2_000.0)
+    monitor.check()

@@ -1,0 +1,69 @@
+"""Regression: simultaneous Raft candidates must not livelock.
+
+The election-deadline jitter used to come from ONE shared RNG.  When two
+draws collided — deterministically so for a zero-width timeout range —
+every follower timed out on the same simulated tick, each voted for
+itself at the same term, nobody reached a majority, and the identical
+re-draws repeated the split vote forever: a cluster of perfectly healthy
+nodes that never elects a leader.  The fix gives each node its own
+seeded RNG stream plus a deterministic per-node stagger wider than one
+election round, so the earliest-deadline survivor always completes its
+election before the next candidate wakes.  Pre-fix, every test below
+spins until its time horizon with ``leader is None``.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.raft import RaftCluster
+from repro.sim import Environment
+
+#: Zero-width range: the degenerate configuration that forced the
+#: collision on every draw under the shared-RNG implementation.
+ZERO_WIDTH = (200.0, 200.0)
+
+
+def test_identical_timeouts_still_elect_a_leader():
+    env = Environment()
+    cluster = RaftCluster(env, node_count=3, election_timeout_ms=ZERO_WIDTH)
+    env.run(until=5_000)
+    assert cluster.leader is not None, (
+        "zero-width election timeouts livelocked the cluster "
+        f"({cluster.elections_held} elections, no winner)"
+    )
+    # One decisive election, not thousands of split votes: the old code
+    # burned an election per node per 200 ms round, unboundedly.
+    assert cluster.elections_held <= 3
+
+
+def test_identical_timeouts_commit_entries():
+    env = Environment()
+    cluster = RaftCluster(env, node_count=5, election_timeout_ms=ZERO_WIDTH)
+    done = cluster.replicate("payload")
+    env.run(until=10_000)  # bounded horizon: pre-fix this never commits
+    assert done.triggered, "no leader ever emerged to commit the entry"
+    assert cluster.committed_payloads() == ["payload"]
+
+
+def test_recovery_after_leader_crash_with_identical_timeouts():
+    """The same collision used to recur at every mass deadline reset —
+    a leader crash resets all followers at once."""
+    env = Environment()
+    cluster = RaftCluster(env, node_count=3, election_timeout_ms=ZERO_WIDTH)
+    env.run(until=2_000)
+    first = cluster.leader.node_id
+    cluster.crash(first)
+    env.run(until=env.now + 5_000)
+    assert cluster.leader is not None
+    assert cluster.leader.node_id != first
+
+
+def test_per_node_streams_stay_deterministic():
+    def run(seed):
+        env = Environment()
+        cluster = RaftCluster(
+            env, node_count=3, election_timeout_ms=ZERO_WIDTH, seed=seed
+        )
+        env.run(until=3_000)
+        return cluster.leader.node_id, cluster.elections_held, env.now
+
+    assert run(7) == run(7)

@@ -281,13 +281,16 @@ def test_plan_validation_rejects_out_of_range_peer():
         _network(plan)
 
 
-def test_plan_validation_requires_raft_for_orderer_crash():
+def test_plan_validation_requires_consensus_group_for_orderer_crash():
     plan = FaultPlan(
         seed=1,
         events=(FaultEvent(kind="crash_orderer", at_ms=0.0, target=0),),
     )
+    # Pin the raft *model* path (no real consensus group) explicitly:
+    # under an ambient REPRO_ORDERER_BACKEND=pbft the plan would be
+    # legitimately valid — pbft replicas can crash.
     with pytest.raises(FaultInjectionError, match="use_raft"):
-        _network(plan)
+        _network(plan, orderer_backend="raft")
 
 
 def test_retry_exhaustion_fails_the_submission():

@@ -1,0 +1,201 @@
+"""Regression: incremental audit cursors must survive peer restarts.
+
+The incremental verifier's completeness cursor used to be keyed on
+*height only*: "I have scanned blocks 0..N-1, resume at N".  That is
+sound for an append-only chain, but a peer restart breaks append-only:
+the chain object is rebuilt from the durable prefix, and what grows
+back above that prefix can differ from what the cursor audited (blocks
+that were cut but never durably ordered get re-submitted and re-cut).
+A cursor that only remembers a height then audits a chain it never saw
+— reporting transactions as "missing" that no longer exist (a false
+alarm against an honest owner), or skipping blocks it believes it
+scanned.
+
+The fix anchors each cursor on the HASH of the last block it scanned:
+resumption requires the same block at the same height, otherwise the
+cursor self-invalidates (full rescan, soundness cache dropped).  These
+tests pin both halves: an honest restart (rebuilt chain, identical
+bytes) keeps the cursor, a divergent restart discards it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import secrets as secrets_module
+
+import pytest
+
+from repro import build_network
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.fabric.network import Gateway
+from repro.ledger import transaction as transaction_module
+from repro.views.hash_based import HashBasedManager
+from repro.views.manager import ViewReader
+from repro.views.predicates import AttributeEquals
+from repro.views.types import ViewMode
+from repro.views.verification import ViewVerifier
+
+PREDICATE = AttributeEquals("to", "W1")
+
+
+@pytest.fixture
+def rearm(monkeypatch):
+    """Seeded DRBG + tid-counter reset: two legs that perform the same
+    operations produce byte-identical chains (the 'durable prefix')."""
+
+    def arm():
+        rng = random.Random(0x1EDE9)
+        monkeypatch.setattr(
+            secrets_module, "token_bytes", lambda n=32: rng.randbytes(n)
+        )
+        monkeypatch.setattr(secrets_module, "randbits", rng.getrandbits)
+        monkeypatch.setattr(secrets_module, "randbelow", lambda n: rng.randrange(n))
+        monkeypatch.setattr(
+            transaction_module, "_tid_counter", itertools.count(7_000_000)
+        )
+
+    return arm
+
+
+def _config(storage: str | None = None) -> NetworkConfig:
+    return NetworkConfig(
+        latency=SINGLE_REGION,
+        real_signatures=False,
+        batch_timeout_ms=50.0,
+        storage_backend=storage,
+    )
+
+
+def _world(network):
+    owner = network.register_user("owner")
+    bob = network.register_user("bob")
+    manager = HashBasedManager(Gateway(network, owner))
+    manager.create_view("w1", PREDICATE, ViewMode.REVOCABLE)
+    manager.grant_access("w1", "bob")
+    reader = ViewReader(bob, Gateway(network, bob))
+
+    def transfer(name: str):
+        return manager.invoke_with_secret(
+            "create_item",
+            {"item": name, "owner": "W1"},
+            {"item": name, "from": None, "to": "W1"},
+            f"manifest-{name}".encode(),
+        )
+
+    return manager, reader, transfer, bob
+
+
+def test_honest_restart_keeps_the_cursor(rearm):
+    """A restart that rebuilds the chain byte-identically (snapshot +
+    WAL replay) must NOT invalidate the cursor: the anchor hash still
+    matches, so the re-audit costs zero ledger accesses."""
+    rearm()
+    network = build_network(_config(storage="memory"))
+    manager, reader, transfer, bob = _world(network)
+    for i in range(3):
+        transfer(f"i{i}")
+    result = reader.read_view(manager, "w1")
+    verifier = ViewVerifier(Gateway(network, bob), incremental=True)
+    first = verifier.verify_completeness("w1", PREDICATE, set(result.secrets))
+    assert first.ok and first.ledger_accesses > 0
+
+    peer = network.reference_peer
+    tip_before = peer.chain.tip_hash
+    peer.recover_from_chain(network._peer_keys, network._peer_secrets)
+    assert peer.chain.tip_hash == tip_before
+    assert peer.last_recovery is not None
+
+    again = verifier.verify_completeness("w1", PREDICATE, set(result.secrets))
+    assert again.ok
+    assert again.missing == []
+    assert again.ledger_accesses == 0  # the cursor survived the restart
+
+
+def test_divergent_restart_invalidates_the_cursor(rearm):
+    """THE regression: the audited suffix does not survive the restart.
+
+    Leg A commits a prefix plus two more transactions and is audited
+    (the cursor now cites A's blocks).  Leg B shares the byte-identical
+    durable prefix but grows back differently — only one of the two
+    suffix transactions exists, under different block bytes.  Swapping
+    the reference peer's chain to B's models the restarted node.  A
+    height-keyed cursor believes it already scanned B's suffix heights
+    and reports A's extra transaction as missing — a false alarm
+    against a perfectly honest owner.  The hash-anchored cursor detects
+    the divergence and rescans to the correct verdict.
+    """
+    rearm()
+    net_a = build_network(_config())
+    manager_a, reader_a, transfer_a, bob_a = _world(net_a)
+    transfer_a("p0")
+    transfer_a("p1")
+    prefix_height = net_a.reference_peer.chain.height
+    transfer_a("a2")
+    transfer_a("a3")
+
+    result_a = reader_a.read_view(manager_a, "w1")
+    verifier = ViewVerifier(Gateway(net_a, bob_a), incremental=True)
+    warm = verifier.verify_completeness("w1", PREDICATE, set(result_a.secrets))
+    assert warm.ok
+
+    # Leg B: identical prefix operations, divergent suffix (the
+    # re-submissions after the crash landed differently).
+    rearm()
+    net_b = build_network(_config())
+    manager_b, reader_b, transfer_b, _bob_b = _world(net_b)
+    transfer_b("p0")
+    transfer_b("p1")
+    transfer_b("b2")
+
+    chain_a = net_a.reference_peer.chain
+    chain_b = net_b.reference_peer.chain
+    # The durable prefix really is byte-identical, the suffix is not.
+    for number in range(prefix_height):
+        assert chain_a._blocks[number].hash() == chain_b._blocks[number].hash()
+    assert chain_a.tip_hash != chain_b.tip_hash
+
+    # "Restart": the reference peer comes back holding B's chain.
+    net_a.reference_peer.chain = chain_b
+
+    # The honest owner of the restarted world serves exactly B's data.
+    result_b = reader_b.read_view(manager_b, "w1")
+    report = verifier.verify_completeness("w1", PREDICATE, set(result_b.secrets))
+    assert report.ok is True, (
+        f"false alarm after restart: reported {report.missing} missing "
+        "from an honest owner (stale cursor audited a vanished chain)"
+    )
+    assert report.missing == []
+    # It re-scanned rather than trusting the stale cursor.
+    assert report.ledger_accesses == chain_b.height
+
+    # The rescued cursor is anchored on B now: a further audit is free.
+    again = verifier.verify_completeness("w1", PREDICATE, set(result_b.secrets))
+    assert again.ok and again.ledger_accesses == 0
+
+
+def test_shrunken_chain_invalidates_the_cursor(rearm):
+    """A peer that comes back SHORTER than the audited height (durable
+    prefix only, catch-up pending) must also invalidate the cursor."""
+    rearm()
+    net_a = build_network(_config())
+    manager_a, reader_a, transfer_a, bob_a = _world(net_a)
+    tids = [transfer_a(f"i{i}").tid for i in range(3)]
+    result = reader_a.read_view(manager_a, "w1")
+    verifier = ViewVerifier(Gateway(net_a, bob_a), incremental=True)
+    assert verifier.verify_completeness("w1", PREDICATE, set(result.secrets)).ok
+
+    # Rebuild the same workload minus the last transfer: the restarted
+    # peer exposes a strict prefix of what the cursor audited.
+    rearm()
+    net_b = build_network(_config())
+    manager_b, reader_b, transfer_b, _ = _world(net_b)
+    transfer_b("i0")
+    transfer_b("i1")
+    assert net_b.reference_peer.chain.height < net_a.reference_peer.chain.height
+    net_a.reference_peer.chain = net_b.reference_peer.chain
+
+    served = set(reader_b.read_view(manager_b, "w1").secrets)
+    report = verifier.verify_completeness("w1", PREDICATE, served)
+    assert report.ok is True, f"false alarm on prefix chain: {report.missing}"
+    assert tids[2] not in report.missing
