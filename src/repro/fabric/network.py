@@ -381,7 +381,10 @@ class FabricNetwork:
         plan_source = self.config.fault_plan or os.environ.get(
             "REPRO_FAULT_PLAN"
         )
-        if plan_source:
+        # ``fault_plan="off"`` pins a network fault-free even when an
+        # ambient REPRO_FAULT_PLAN is exported — differential suites
+        # need a guaranteed-clean leg to compare against.
+        if plan_source and plan_source.strip().lower() != "off":
             from repro.faults import FaultInjector, FaultPlan
 
             FaultInjector(self, FaultPlan.from_source(plan_source))
@@ -500,15 +503,32 @@ class FabricNetwork:
         resubmission, which reuses the proposal's transaction id so a
         slow-but-alive original is deduplicated at the orderer rather
         than committed twice.
+
+        When the policy carries a ``deadline_ms`` the whole loop lives
+        inside that budget: each attempt's timeout is clipped to the
+        time remaining and no backoff is slept that would carry the
+        next attempt past the deadline — a request never retries past
+        its SLO.
         """
         env = self.env
         faults = self.faults
         policy = faults.retry
         tid = proposal.tid
         started = env.now
+        deadline = (
+            None if policy.deadline_ms is None else started + policy.deadline_ms
+        )
+        out_of_budget = False
         for attempt in range(1, policy.max_attempts + 1):
+            timeout_ms = policy.timeout_ms
+            if deadline is not None:
+                remaining = deadline - env.now
+                if remaining <= 0:
+                    out_of_budget = True
+                    break
+                timeout_ms = min(timeout_ms, remaining)
             inner = env.process(self._submit_process(proposal, started=started))
-            yield env.any_of([inner, env.timeout(policy.timeout_ms)])
+            yield env.any_of([inner, env.timeout(timeout_ms)])
             if inner.triggered:
                 return inner.value
             notice = self._committed_notice(tid)
@@ -522,7 +542,16 @@ class FabricNetwork:
                 self.metrics.latencies_ms.record(env.now, env.now - started)
                 return notice
             faults.stats["retries"] += 1
-            yield env.timeout(policy.backoff_for(attempt, faults.rng))
+            backoff = policy.backoff_for(attempt, faults.rng)
+            if deadline is not None and env.now + backoff >= deadline:
+                out_of_budget = True
+                break
+            yield env.timeout(backoff)
+        if out_of_budget:
+            raise FaultInjectionError(
+                f"transaction {tid!r} produced no commit notice within its "
+                f"{policy.deadline_ms}ms deadline budget"
+            )
         raise FaultInjectionError(
             f"transaction {tid!r} produced no commit notice after "
             f"{policy.max_attempts} attempts"
@@ -591,15 +620,31 @@ class FabricNetwork:
         # --- ordering phase ---
         commit_event = env.event()
         self._commit_events[tx.tid] = commit_event
-        yield env.timeout(latency.client_to_orderer)
+        transit = latency.client_to_orderer
+        if self.faults is not None:
+            transit *= self.faults.link_factor("client", "orderer")
+        yield env.timeout(transit)
         if self.faults is not None:
             decision = self.faults.message_decision(
                 "client_to_orderer", kind=proposal.kind
             )
             if decision.delay_ms:
-                yield env.timeout(decision.delay_ms)
-            if decision.drop:
-                # The broadcast is lost in flight: the orderer never
+                # Race the delay against heal(): a heal flushes the
+                # message instead of leaving it parked past the heal.
+                yield env.any_of(
+                    [
+                        env.timeout(decision.delay_ms),
+                        self.faults.heal_event(),
+                    ]
+                )
+            lost = (
+                decision.drop
+                or not self.faults.reachable("client", "orderer")
+                or self.faults.link_lost("client", "orderer")
+            )
+            if lost:
+                # The broadcast is lost in flight (dropped, partitioned
+                # away, or eaten by a lossy link): the orderer never
                 # sees it, and this attempt blocks until a commit
                 # notice arrives another way (retry, or a duplicate).
                 notice = yield commit_event
@@ -801,17 +846,36 @@ class FabricNetwork:
         block log before committing this one, preserving chain order.
         """
         env = self.env
-        yield env.timeout(self.config.latency.orderer_to_peer)
+        transit = self.config.latency.orderer_to_peer
         if self.faults is not None:
+            transit *= self.faults.link_factor("orderer", f"peer:{index}")
+        yield env.timeout(transit)
+        if self.faults is not None:
+            peer_name = f"peer:{index}"
+            heal = self.faults.heal_event()
             while True:
                 decision = self.faults.message_decision(
                     "orderer_to_peer", kind="block"
                 )
                 if decision.delay_ms:
-                    yield env.timeout(decision.delay_ms)
-                if decision.drop or self.faults.peer_down(peer):
+                    # Race the delay against heal() so a heal flushes
+                    # in-flight messages instead of leaving them parked
+                    # on timers past the heal boundary.
+                    yield env.any_of([env.timeout(decision.delay_ms), heal])
+                lost = (
+                    decision.drop
+                    or self.faults.peer_down(peer)
+                    or not self.faults.reachable("orderer", peer_name)
+                    or self.faults.link_lost("orderer", peer_name)
+                )
+                if lost:
                     self.faults.stats["redeliveries"] += 1
-                    yield env.timeout(self.faults.plan.redeliver_after_ms)
+                    yield env.any_of(
+                        [
+                            env.timeout(self.faults.plan.redeliver_after_ms),
+                            heal,
+                        ]
+                    )
                     continue
                 break
             while peer.chain.height < block.number:
@@ -837,6 +901,10 @@ class FabricNetwork:
             service = self.config.commit_block_overhead_ms + sum(
                 self._validate_service_ms(tx) for tx in block.transactions
             )
+            if self.faults is not None:
+                # A gray-slow peer grinds through validation at a
+                # multiple of the healthy service time.
+                service *= self.faults.node_factor(f"peer:{index}")
             yield env.timeout(service)
             if self._fanout is not None:
                 # Commit barrier: in-flight endorsements against this

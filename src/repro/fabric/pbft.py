@@ -320,6 +320,10 @@ class PBFTCluster:
         self.view = 0
         #: New-view certificates, in installation order.
         self.view_change_certs: list[NewViewCertificate] = []
+        #: Optional pair-connectivity hook ``(a_id, b_id) -> bool`` set
+        #: by the fault injector when a plan carries partitions.  While
+        #: ``None`` every path below behaves exactly as before.
+        self.connectivity = None
         self.stats = {
             "instances": 0,
             "view_changes": 0,
@@ -462,6 +466,13 @@ class PBFTCluster:
             node.byzantine = None
             if node.crashed:
                 self.recover(node.node_id)
+            else:
+                # A replica that sat out a partition has gaps where the
+                # majority side committed without it; fill them by the
+                # same certified state transfer a recovery uses.
+                for entry in self.committed:
+                    if entry.seq not in node.log:
+                        node.log[entry.seq] = list(entry.payload)
         repaired = 0
         for entry in self.committed:
             for node in self.nodes:
@@ -486,6 +497,22 @@ class PBFTCluster:
 
     def _live(self) -> list[_ReplicaState]:
         return [n for n in self.nodes if not n.crashed]
+
+    def _reachable_pair(self, a: int, b: int) -> bool:
+        """Whether replicas ``a`` and ``b`` can exchange messages."""
+        if self.connectivity is None or a == b:
+            return True
+        return self.connectivity(a, b) and self.connectivity(b, a)
+
+    def _connected(self, primary: int) -> list[_ReplicaState]:
+        """Live replicas that can exchange messages with ``primary``
+        (including the primary itself) — the set whose prepares and
+        commits a partition lets the primary actually collect."""
+        return [
+            n
+            for n in self._live()
+            if self._reachable_pair(primary, n.node_id)
+        ]
 
     def _sign(self, replica: int, kind: str, view: int, seq: int, digest: str) -> SignedMessage:
         return SignedMessage(
@@ -551,11 +578,20 @@ class PBFTCluster:
 
             # --- phase 2: prepare (2f+1 matching, signed) ---
             yield env.timeout(phase_ms)
-            signers = [n.node_id for n in self._live()]
+            signers = [n.node_id for n in self._connected(primary)]
             if len(signers) < self.quorum:
-                # More than f replicas down: wait for recoveries rather
-                # than burning through views no quorum can install.
-                yield env.timeout(self.view_timeout_ms)
+                if len(self._live()) < self.quorum:
+                    # More than f replicas down: wait for recoveries
+                    # rather than burning through views no quorum can
+                    # install.
+                    yield env.timeout(self.view_timeout_ms)
+                    continue
+                # Enough replicas are alive but the primary cannot
+                # reach a quorum of them — it is on the minority side
+                # of a partition.  The majority side's progress timers
+                # expire and a view led from their side is installed.
+                yield env.timeout(max(self.view_timeout_ms - 2 * phase_ms, 0.0))
+                yield from self._change_view()
                 continue
             # (Prepare signatures are exchanged; a Byzantine
             # non-primary gains nothing by deviating here — 2f+1 honest
@@ -605,19 +641,29 @@ class PBFTCluster:
         """
         env = self.env
         old = self.view
-        while len(self._live()) < self.quorum:
+        while len(self._live()) < self.quorum or not any(
+            len(self._connected(n.node_id)) >= self.quorum
+            for n in self._live()
+        ):
+            # Either too many replicas are down, or a partition has cut
+            # every candidate off from a quorum (e.g. a 2-2 split):
+            # keep waiting — progress resumes at recovery/heal.
             yield env.timeout(self.view_timeout_ms)
         new_view = old + 1
         while True:
             candidate = new_view % len(self.nodes)
             node = self.nodes[candidate]
-            if not node.crashed and candidate not in self.convicted:
+            if (
+                not node.crashed
+                and candidate not in self.convicted
+                and len(self._connected(candidate)) >= self.quorum
+            ):
                 break
             new_view += 1
             if new_view - old > 2 * len(self.nodes):
                 raise SimulationError(
                     "pbft cannot find an eligible primary: every replica "
-                    "is crashed or convicted"
+                    "is crashed, convicted, or partitioned from a quorum"
                 )
         # One message round for the view-change exchange.
         yield env.timeout(self.consensus_ms / 3.0)
@@ -625,7 +671,7 @@ class PBFTCluster:
             node.node_id: self.keyring.sign(
                 node.node_id, "view-change", new_view, old, ""
             )
-            for node in self._live()
+            for node in self._connected(candidate)
         }
         cert = NewViewCertificate(
             new_view=new_view, previous_view=old, signatures=signatures
@@ -643,9 +689,15 @@ class PBFTCluster:
     def _commit(self, entry: CommittedEntry) -> None:
         self.committed.append(entry)
         self.views[entry.view].committed_seqs.append(entry.seq)
+        primary = self.views[entry.view].primary
         for node in self.nodes:
             if node.crashed:
                 continue  # missed slots are state-transferred on recover
+            if not self._reachable_pair(primary, node.node_id):
+                # Partitioned away from the committing side: the slot
+                # stays a gap (a liveness issue, per the forensic
+                # audit) until state transfer at recover()/heal().
+                continue
             stored = list(entry.payload)
             if node.byzantine == "corrupt":
                 # The replica tampers its own stored copy — the attack

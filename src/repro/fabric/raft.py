@@ -110,6 +110,11 @@ class RaftCluster:
         self.nodes = [_NodeState(node_id=i) for i in range(node_count)]
         self._majority = node_count // 2 + 1
         self._request_ids = itertools.count(1)
+        #: Optional pair-connectivity hook ``(a_id, b_id) -> bool`` set
+        #: by the fault injector when a plan carries partitions.  While
+        #: ``None`` (the default, and any fault-free run) every path
+        #: below short-circuits to the historical behaviour.
+        self.connectivity = None
         #: Election statistics (observable by tests).
         self.elections_held = 0
         for node in self.nodes:
@@ -120,11 +125,20 @@ class RaftCluster:
 
     @property
     def leader(self) -> _NodeState | None:
-        """The current leader, if one is up."""
-        for node in self.nodes:
-            if node.role == LEADER and not node.crashed:
-                return node
-        return None
+        """The current leader, if one is up.
+
+        A partition can leave a deposed leader frozen at an old term on
+        the minority side; the highest-term claimant is the one the
+        majority elected and the one clients should submit to.
+        """
+        leaders = [
+            node
+            for node in self.nodes
+            if node.role == LEADER and not node.crashed
+        ]
+        if not leaders:
+            return None
+        return max(leaders, key=lambda node: node.current_term)
 
     def replicate(self, payload: Any) -> Event:
         """Append a payload through the leader; fires when committed.
@@ -183,6 +197,15 @@ class RaftCluster:
     def _alive(self) -> list[_NodeState]:
         return [n for n in self.nodes if not n.crashed]
 
+    def _reachable(self, src: _NodeState, dst: _NodeState) -> bool:
+        """Whether a message from ``src`` currently reaches ``dst``."""
+        if self.connectivity is None or src is dst:
+            return True
+        return self.connectivity(src.node_id, dst.node_id)
+
+    def _pair_reachable(self, a: _NodeState, b: _NodeState) -> bool:
+        return self._reachable(a, b) and self._reachable(b, a)
+
     def _node_loop(self, node: _NodeState):
         """Follower/candidate timer loop; leaders run the heartbeat loop."""
         env = self.env
@@ -199,6 +222,20 @@ class RaftCluster:
 
     def _run_election(self, node: _NodeState):
         env = self.env
+        # Pre-vote (Ongaro §9.6): a node that cannot exchange messages
+        # with a majority — it sits on the minority side of a partition
+        # — must not start a real election.  Bumping its term could
+        # never win, but would force a disruptive step-down on the
+        # healed cluster and perturb timing relative to a fault-free
+        # run.  It stays a follower and re-arms its timer instead.
+        reachable = 1 + sum(
+            1
+            for peer in self._alive()
+            if peer is not node and self._pair_reachable(node, peer)
+        )
+        if reachable < self._majority:
+            self._reset_election_deadline(node)
+            return
         node.role = CANDIDATE
         node.current_term += 1
         node.voted_for = node.node_id
@@ -210,6 +247,8 @@ class RaftCluster:
         for peer in self._alive():
             if peer is node:
                 continue
+            if not self._pair_reachable(node, peer):
+                continue  # the vote request (or the vote) is lost
             if peer.current_term > term:
                 continue  # peer is ahead: no vote
             up_to_date = len(node.log) >= len(peer.log)
@@ -248,6 +287,8 @@ class RaftCluster:
         for peer in self._alive():
             if peer is leader:
                 continue
+            if not self._reachable(leader, peer):
+                continue  # the AppendEntries never arrives
             if peer.current_term > leader.current_term:
                 leader.role = FOLLOWER
                 self._reset_election_deadline(leader)
@@ -259,7 +300,8 @@ class RaftCluster:
             # Simplified log reconciliation: followers adopt the
             # leader's log (safe here because only leaders append).
             peer.log = list(leader.log)
-            acks += 1
+            if self._reachable(peer, leader):
+                acks += 1  # an asymmetric link can swallow just the ack
         yield env.timeout(self.rtt_ms)  # acks back
         if acks >= self._majority:
             new_commit = len(leader.log) - 1
@@ -271,7 +313,10 @@ class RaftCluster:
                         event.succeed(index)
                 leader.commit_index = new_commit
             for peer in self._alive():
-                peer.commit_index = max(peer.commit_index, leader.commit_index)
+                if self._reachable(leader, peer):
+                    peer.commit_index = max(
+                        peer.commit_index, leader.commit_index
+                    )
 
     def _find_entry(self, node: _NodeState, request_id: int) -> int | None:
         """Index of the entry with ``request_id`` on a node's log."""

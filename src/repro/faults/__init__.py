@@ -26,6 +26,7 @@ any run via the ``REPRO_FAULT_PLAN`` environment variable or
 ``NetworkConfig.fault_plan``.
 """
 
+from repro.faults.health import HeartbeatMonitor, PhiAccrualDetector
 from repro.faults.injector import FaultInjector
 from repro.faults.monitor import InvariantMonitor
 from repro.faults.plan import (
@@ -41,21 +42,33 @@ from repro.faults.shard import (
     ShardFaultPlan,
     schedule_shard_faults,
 )
-from repro.sim.faults import FaultDecision, MessageFaultModel, MessageFaultRule
+from repro.sim.faults import (
+    DegradationSpec,
+    FaultDecision,
+    MessageFaultModel,
+    MessageFaultRule,
+    PartitionSpec,
+    TopologyFaultModel,
+)
 
 __all__ = [
     "ENV_VAR",
     "CrashPointSpec",
+    "DegradationSpec",
     "FaultDecision",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "HeartbeatMonitor",
     "InvariantMonitor",
     "MessageFaultModel",
     "MessageFaultRule",
+    "PartitionSpec",
+    "PhiAccrualDetector",
     "RetryPolicy",
     "ShardCrashSpec",
     "ShardFaultPlan",
+    "TopologyFaultModel",
     "catch_up",
     "recover_peer",
     "schedule_shard_faults",

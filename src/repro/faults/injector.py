@@ -18,7 +18,14 @@ import random
 from repro.errors import FaultInjectionError
 from repro.faults import recovery
 from repro.faults.plan import FaultEvent, FaultPlan
-from repro.sim.faults import NO_FAULT, FaultDecision, MessageFaultModel
+from repro.sim.faults import (
+    NO_FAULT,
+    DegradationSpec,
+    FaultDecision,
+    MessageFaultModel,
+    PartitionSpec,
+    TopologyFaultModel,
+)
 
 
 class FaultInjector:
@@ -44,6 +51,21 @@ class FaultInjector:
         #: view data.  Same mutable-window shape as owner outages.
         self._stale_view_windows: list[list[float]] = []
         self._corrupt_view_windows: list[list[float]] = []
+        #: Live partition/degradation state, activated and released by
+        #: the scheduled processes below.
+        self.topology = TopologyFaultModel(seed=plan.seed ^ 0x70B0)
+        #: Ground truth for the failure detector: absolute mutable
+        #: [start, end-or-None] windows per node name during which the
+        #: node could not send (partition membership or mute side).
+        self.unreachable_windows: dict[str, list[list[float | None]]] = {}
+        #: Same shape for gray degradations (slow/lossy), keyed by the
+        #: affected node: a conviction inside one of these is a
+        #: correctly-detected gray failure, not a false positive.
+        self.degraded_windows: dict[str, list[list[float | None]]] = {}
+        #: Fires once at heal(): in-flight delay/redeliver waits race
+        #: against it so a heal is a clean-network boundary rather than
+        #: leaving messages parked on timers beyond the heal.
+        self._heal_event = self.env.event()
         self._healed = False
         self.stats: dict[str, int] = {
             "retries": 0,
@@ -58,11 +80,26 @@ class FaultInjector:
             "byzantine_replicas": 0,
             "stale_view_windows": 0,
             "view_corruptions": 0,
+            "partitions": 0,
+            "partition_heals": 0,
+            "degradations": 0,
         }
         self._validate(plan)
         network.faults = self
         for event in plan.events:
             self.env.process(self._event_process(event))
+        for spec in plan.partitions:
+            self.env.process(self._partition_process(spec))
+        for spec in plan.degradations:
+            self.env.process(self._degradation_process(spec))
+        if plan.partitions or plan.degradations:
+            # Consensus replicas route messages through the topology
+            # model under the names "orderer:<id>".  The hook stays
+            # None (zero overhead, bit-identical paths) for plans
+            # without topology faults.
+            cluster = network.consensus_cluster
+            if cluster is not None:
+                cluster.connectivity = self._orderer_connectivity
         #: recover_after_ms per armed crash point, keyed by peer index;
         #: consulted when the point fires (op order, not sim time).
         self._crash_point_recovery: dict[int, float | None] = {}
@@ -159,6 +196,38 @@ class FaultInjector:
     def peer_down(self, peer) -> bool:
         return peer.peer_id in self._down_peers
 
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether the active partitions let ``src`` talk to ``dst``."""
+        if self._healed:
+            return True
+        return self.topology.reachable(src, dst)
+
+    def node_factor(self, node: str) -> float:
+        """Service-time multiplier for a gray-slow node (1.0 = healthy)."""
+        if self._healed:
+            return 1.0
+        return self.topology.node_factor(node)
+
+    def link_factor(self, src: str, dst: str) -> float:
+        """Latency multiplier for the directed link ``src``→``dst``."""
+        if self._healed:
+            return 1.0
+        return self.topology.link_factor(src, dst)
+
+    def link_lost(self, src: str, dst: str) -> bool:
+        """Seeded one-way loss draw for a message on ``src``→``dst``."""
+        if self._healed:
+            return False
+        return self.topology.link_lost(src, dst)
+
+    def heal_event(self):
+        """Event that fires at ``heal()`` — raced by in-flight fault waits."""
+        return self._heal_event
+
+    def _orderer_connectivity(self, a: int, b: int) -> bool:
+        """Pair hook for consensus clusters (node ids → topology names)."""
+        return self.reachable(f"orderer:{a}", f"orderer:{b}")
+
     def owner_available(self) -> bool:
         now = self.env.now
         return not any(start <= now < end for start, end in self._owner_windows)
@@ -252,6 +321,48 @@ class FaultInjector:
             if not self._healed:
                 cluster.recover(node_id)
 
+    def _partition_process(self, spec: PartitionSpec):
+        env = self.env
+        yield env.timeout(max(spec.at_ms, 0.0))
+        if self._healed:
+            return
+        self.topology.activate_partition(spec)
+        self.stats["partitions"] += 1
+        windows: list[list[float | None]] = []
+        for group in spec.groups:
+            for node in group:
+                window: list[float | None] = [env.now, None]
+                self.unreachable_windows.setdefault(node, []).append(window)
+                windows.append(window)
+        if spec.for_ms is None:
+            return  # held until heal()
+        yield env.timeout(spec.for_ms)
+        if self._healed:
+            return  # heal() already released it and closed the windows
+        self.topology.release_partition(spec)
+        self.stats["partition_heals"] += 1
+        for window in windows:
+            if window[1] is None:
+                window[1] = env.now
+
+    def _degradation_process(self, spec: DegradationSpec):
+        env = self.env
+        yield env.timeout(max(spec.at_ms, 0.0))
+        if self._healed:
+            return
+        self.topology.activate_degradation(spec)
+        self.stats["degradations"] += 1
+        window: list[float | None] = [env.now, None]
+        self.degraded_windows.setdefault(spec.subject, []).append(window)
+        if spec.for_ms is None:
+            return
+        yield env.timeout(spec.for_ms)
+        if self._healed:
+            return
+        self.topology.release_degradation(spec)
+        if window[1] is None:
+            window[1] = env.now
+
     # -- storage crash points ---------------------------------------------------
 
     def on_storage_crash(self, index: int) -> None:
@@ -304,6 +415,18 @@ class FaultInjector:
             + self._corrupt_view_windows
         ):
             window[1] = min(window[1], now)
+        self.topology.clear()
+        for windows in list(self.unreachable_windows.values()) + list(
+            self.degraded_windows.values()
+        ):
+            for window in windows:
+                if window[1] is None:
+                    window[1] = now
+        # Wake every in-flight delay/redeliver wait parked on a timer
+        # beyond the heal: post-heal decisions are NO_FAULT, so the
+        # woken messages complete over a clean network immediately.
+        if not self._heal_event.triggered:
+            self._heal_event.succeed()
         if self.network.storage is not None:
             # Disarm un-fired crash points so the recovery commits
             # below cannot trip them.
@@ -322,6 +445,17 @@ class FaultInjector:
             self.network.pbft.heal()
         for peer in self.network.peers:
             recovery.catch_up(self.network, peer)
+        # The catch-up above commits blocks through the recovery path,
+        # which does not notify clients.  An in-flight submission whose
+        # block just landed that way would hang until its retry timeout
+        # rescues it from the ledger — rescue it now instead, so heal()
+        # is a clean boundary for clients too.
+        network = self.network
+        for tid in list(network._commit_events):
+            notice = network._committed_notice(tid)
+            if notice is not None:
+                network._commit_events.pop(tid).succeed(notice)
+                self.stats["rescued_notices"] += 1
 
     def summary(self) -> dict:
         """Counters for reports: injected faults and their handling."""
@@ -330,4 +464,6 @@ class FaultInjector:
             "messages_dropped": dict(self.messages.dropped),
             "messages_duplicated": dict(self.messages.duplicated),
             "messages_delayed": dict(self.messages.delayed),
+            "messages_blocked_by_partition": self.topology.blocked,
+            "messages_lost_on_links": self.topology.link_drops,
         }

@@ -62,7 +62,7 @@ import os
 from dataclasses import dataclass, field
 
 from repro.errors import FaultInjectionError
-from repro.sim.faults import MessageFaultRule
+from repro.sim.faults import DegradationSpec, MessageFaultRule, PartitionSpec
 
 ENV_VAR = "REPRO_FAULT_PLAN"
 
@@ -87,6 +87,13 @@ class RetryPolicy:
     slow is deduplicated at the orderer) after an exponential backoff —
     ``backoff_ms · backoff_factor^(attempt-1)``, capped at
     ``max_backoff_ms``, plus uniform jitter from the plan's seeded RNG.
+
+    ``deadline_ms`` is the *total* budget across all attempts: each
+    attempt's timeout is clipped to the remaining budget and no retry
+    is started whose backoff would carry it past the deadline, so the
+    client-visible worst case is the deadline rather than
+    ``max_attempts × (timeout + backoff)``.  ``None`` (the default)
+    keeps the historical per-attempt-only behaviour.
     """
 
     max_attempts: int = 8
@@ -95,6 +102,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     max_backoff_ms: float = 5_000.0
     jitter_ms: float = 50.0
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -103,6 +111,8 @@ class RetryPolicy:
             )
         if self.timeout_ms <= 0:
             raise FaultInjectionError("timeout_ms must be positive")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise FaultInjectionError("deadline_ms must be positive when set")
 
     def backoff_for(self, attempt: int, rng) -> float:
         """Backoff before retry number ``attempt`` (1-based)."""
@@ -201,6 +211,13 @@ class FaultPlan:
     events: tuple[FaultEvent, ...] = ()
     #: Durable-operation crash points (require a storage backend).
     crash_points: tuple[CrashPointSpec, ...] = ()
+    #: Timed network partitions over named node groups (symmetric
+    #: splits or asymmetric mute groups); node names that match nothing
+    #: in a deployment are inert, so one plan can run anywhere.
+    partitions: tuple[PartitionSpec, ...] = ()
+    #: Gray failures: ``slow_node`` / ``slow_link`` factors and one-way
+    #: ``link_loss`` probabilities.
+    degradations: tuple[DegradationSpec, ...] = ()
     #: How long a peer's deliver service waits before re-fetching a
     #: block whose push was lost (Fabric peers pull blocks and retry;
     #: without redelivery a single dropped block would wedge a replica
@@ -217,6 +234,8 @@ class FaultPlan:
             "messages",
             "events",
             "crash_points",
+            "partitions",
+            "degradations",
             "redeliver_after_ms",
         }
         unknown = set(raw) - known
@@ -241,12 +260,28 @@ class FaultPlan:
         crash_points = tuple(
             CrashPointSpec(**point) for point in raw.get("crash_points", [])
         )
+        partitions = tuple(
+            PartitionSpec(
+                **{
+                    **spec,
+                    "groups": tuple(
+                        tuple(group) for group in spec.get("groups", ())
+                    ),
+                }
+            )
+            for spec in raw.get("partitions", [])
+        )
+        degradations = tuple(
+            DegradationSpec(**spec) for spec in raw.get("degradations", [])
+        )
         return cls(
             seed=raw.get("seed", 1),
             retry=retry,
             messages=messages,
             events=events,
             crash_points=crash_points,
+            partitions=partitions,
+            degradations=degradations,
             redeliver_after_ms=raw.get("redeliver_after_ms", 250.0),
         )
 
@@ -263,6 +298,14 @@ class FaultPlan:
             ],
             "events": [vars(event).copy() for event in self.events],
             "crash_points": [vars(point).copy() for point in self.crash_points],
+            "partitions": [
+                {
+                    **vars(spec),
+                    "groups": [list(group) for group in spec.groups],
+                }
+                for spec in self.partitions
+            ],
+            "degradations": [vars(spec).copy() for spec in self.degradations],
             "redeliver_after_ms": self.redeliver_after_ms,
         }
 

@@ -15,7 +15,10 @@ overloaded deployment lives on.  This package adds the missing ingress:
 - :mod:`repro.serving.loadgen` generates seeded Poisson arrivals with
   configurable operation mixes, measuring latency from *arrival*;
 - :mod:`repro.serving.metrics` reduces a run to latency percentiles,
-  goodput, shed rate, and queue-depth series.
+  goodput, shed rate, and queue-depth series;
+- :mod:`repro.serving.resilience` degrades gracefully under partition
+  and gray failure: per-shard circuit breakers, latency-percentile
+  hedged view queries, and end-to-end deadline budgets.
 """
 
 from repro.serving.bridge import SimBridge
@@ -36,14 +39,26 @@ from repro.serving.loadgen import (
     view_mix_builder,
 )
 from repro.serving.metrics import LatencySummary, RunMetrics, ServingMetrics
+from repro.serving.resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    HedgedQueryClient,
+    QueryOutcome,
+    ResilientShardedTarget,
+)
 
 __all__ = [
     "AdmissionConfig",
     "AsyncGateway",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "HedgedQueryClient",
     "LatencySummary",
     "NetworkTarget",
     "OpenLoopConfig",
     "PoissonLoadGenerator",
+    "QueryOutcome",
+    "ResilientShardedTarget",
     "RunMetrics",
     "ServingMetrics",
     "ServingMix",

@@ -31,7 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import LedgerViewError, WorkloadError
+from repro.errors import FaultInjectionError, LedgerViewError, WorkloadError
 from repro.fabric.endorser import Proposal
 from repro.fabric.identity import User
 from repro.fabric.network import FabricNetwork
@@ -160,29 +160,54 @@ class ShardedTarget:
     def queue_depth(self) -> int:
         return self.sharded.queue_depth()
 
+    def _submit_one(self, request: ServingRequest) -> Event:
+        payload = request.payload
+        fields: dict[str, Any] = {}
+        if payload.get("tid") is not None:
+            fields["tid"] = payload["tid"]
+        return self.gateway.submit_async(
+            payload["key"],
+            payload["chaincode"],
+            payload["fn"],
+            payload.get("args", {}),
+            public=payload.get("public", {}),
+            contract_write=payload.get("contract_write", False),
+            **fields,
+        )
+
     def dispatch(self, batch: list[ServingRequest]) -> Event:
+        """Submit a micro-batch, isolating per-request shard failures.
+
+        A request routed to a down or partitioned shard fails *alone*
+        (its slot carries the routing error) rather than poisoning the
+        whole micro-batch — other sessions' requests in the same batch
+        proceed normally.  Likewise a submission that later dies to
+        fault injection (e.g. a retry deadline on a dark shard) aborts
+        only its own slot.
+        """
         env = self.env
 
+        def settle(event: Event, slots: list[Any], slot: int):
+            try:
+                notice = yield event
+            except FaultInjectionError as exc:
+                slots[slot] = ("aborted", exc)
+                return
+            slots[slot] = _notice_outcome(notice)
+
         def run():
-            events = []
-            for request in batch:
-                payload = request.payload
-                fields: dict[str, Any] = {}
-                if payload.get("tid") is not None:
-                    fields["tid"] = payload["tid"]
-                events.append(
-                    self.gateway.submit_async(
-                        payload["key"],
-                        payload["chaincode"],
-                        payload["fn"],
-                        payload.get("args", {}),
-                        public=payload.get("public", {}),
-                        contract_write=payload.get("contract_write", False),
-                        **fields,
-                    )
-                )
-            notices = yield env.all_of(events)
-            return [_notice_outcome(notice) for notice in notices]
+            slots: list[Any] = [None] * len(batch)
+            waiters: list[Event] = []
+            for i, request in enumerate(batch):
+                try:
+                    event = self._submit_one(request)
+                except FaultInjectionError as exc:
+                    slots[i] = ("aborted", exc)
+                    continue
+                waiters.append(env.process(settle(event, slots, i)))
+            if waiters:
+                yield env.all_of(waiters)
+            return slots
 
         return env.process(run())
 

@@ -324,6 +324,9 @@ class TwoPhaseCoordinator:
             "replayed": 0,
             "prepares": 0,
             "refusals": 0,
+            #: Transactions aborted upfront because a participant shard
+            #: was dark (partitioned/down) — no prepare was ever sent.
+            "presumed_aborts": 0,
         }
 
     # -- helpers -------------------------------------------------------------
@@ -388,6 +391,21 @@ class TwoPhaseCoordinator:
         xid = xid or self.fresh_xid()
         shards = sorted({w.shard for w in writes})
         coordinator = self.sharded.coordinator_shard_for(xid)
+        if not self.sharded.shard_reachable(coordinator):
+            # The ring placed the coordinator records on a dark shard;
+            # any shard's chain can host them, so fail over to the
+            # first reachable one rather than blocking the protocol.
+            candidates = [
+                s
+                for s in range(self.sharded.shard_count)
+                if self.sharded.shard_reachable(s)
+            ]
+            if not candidates:
+                raise TwoPhaseCommitError(
+                    f"{xid}: no reachable shard can coordinate "
+                    "(every shard is dark or down)"
+                )
+            coordinator = candidates[0]
         self.stats["begun"] += 1
         self.sharded.count_cross_shard("begun")
 
@@ -401,6 +419,34 @@ class TwoPhaseCoordinator:
                 {"xid": xid, "views": [f"shard-{s}" for s in shards]},
             )
         )
+
+        # Presumed abort for dark participants: a prepare sent at a
+        # partitioned shard would burn its whole retry budget and still
+        # die, while any lock it *did* manage to take on the far side
+        # would be stranded until heal.  Deciding "aborted" before
+        # phase 1 even starts keeps the protocol safe (nothing was
+        # prepared anywhere, so there is nothing to roll back on the
+        # dark shard) and fast.
+        dark = sorted(
+            {
+                w.shard
+                for w in writes
+                if not self.sharded.shard_reachable(w.shard)
+            }
+        )
+        if dark:
+            self.stats["refusals"] += len(dark)
+            self.stats["presumed_aborts"] += 1
+            self.log.log_decision(xid, "aborted")
+            live_writes = [w for w in writes if w.shard not in dark]
+            result = yield env.process(
+                self._finish_process(
+                    xid, writes, coordinator, "aborted", fanout_writes=live_writes
+                )
+            )
+            result.latency_ms = env.now - started
+            result.refused = dark
+            return result
 
         # Phase 1: prepare on every involved shard, in parallel.
         prepare_events = [
@@ -445,11 +491,15 @@ class TwoPhaseCoordinator:
         coordinator: int,
         outcome: str,
         replayed: bool = False,
+        fanout_writes: list[CrossShardWrite] | None = None,
     ):
         """Phase 2: record the decision, then fan out commit/abort.
 
         Every step is idempotent on chain, so this whole process is
-        safely re-drivable by recovery.
+        safely re-drivable by recovery.  ``fanout_writes`` restricts
+        the fan-out to a subset (the presumed-abort path skips dark
+        shards, which hold nothing to roll back) while the result still
+        names the transaction's full intended shard set.
         """
         env = self.env
         decide = self._coordinator_proposal(
@@ -457,13 +507,15 @@ class TwoPhaseCoordinator:
         )
         yield self.sharded.shards[coordinator].submit(decide)
         fn = "commit" if outcome == "committed" else "abort"
+        targets = writes if fanout_writes is None else fanout_writes
         fanout = [
             self.sharded.shards[w.shard].submit(
                 self._shard_proposal(w.shard, fn, {"xid": xid})
             )
-            for w in writes
+            for w in targets
         ]
-        yield env.all_of(fanout)
+        if fanout:
+            yield env.all_of(fanout)
         self.log.log_done(xid)
         self.stats[outcome] += 1
         self.sharded.count_cross_shard(outcome)

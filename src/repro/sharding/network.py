@@ -102,6 +102,11 @@ class ShardedNetwork:
             network.install_chaincode(ShardContract())
         #: Shard indices currently crashed (whole-shard outage).
         self.down: set[int] = set()
+        #: Shard indices currently network-partitioned from the router.
+        #: Unlike a crash, a partitioned shard keeps its memory and its
+        #: in-flight work — it is dark, not dead — so healing needs no
+        #: recovery, only re-admission to routing.
+        self.partitioned: set[int] = set()
         self._cross_shard = {"begun": 0, "committed": 0, "aborted": 0}
 
     # -- placement (the router) ----------------------------------------------
@@ -116,12 +121,14 @@ class ShardedNetwork:
 
     def network_for(self, key: str) -> FabricNetwork:
         """Route a key to its home channel (raises while that shard is
-        down — shard-local traffic has nowhere else to go)."""
+        down or partitioned — shard-local traffic has nowhere else to
+        go)."""
         index = self.shard_index(key)
-        if index in self.down:
+        if not self.shard_reachable(index):
+            state = "down" if index in self.down else "partitioned"
             raise FaultInjectionError(
                 f"shard {self.shards[index].chain_name!r} (home of "
-                f"{key!r}) is down"
+                f"{key!r}) is {state}"
             )
         return self.shards[index]
 
@@ -135,9 +142,10 @@ class ShardedNetwork:
 
     def submit_on(self, shard: int, proposal: Proposal) -> Event:
         """Submit directly to one shard (router-internal / 2PC use)."""
-        if shard in self.down:
+        if not self.shard_reachable(shard):
+            state = "down" if shard in self.down else "partitioned"
             raise FaultInjectionError(
-                f"shard {self.shards[shard].chain_name!r} is down"
+                f"shard {self.shards[shard].chain_name!r} is {state}"
             )
         return self.shards[shard].submit(proposal)
 
@@ -164,6 +172,24 @@ class ShardedNetwork:
         self._cross_shard[event] = self._cross_shard.get(event, 0) + 1
 
     # -- whole-shard failure -------------------------------------------------
+
+    def shard_reachable(self, index: int) -> bool:
+        """Can the router reach this shard right now?"""
+        return index not in self.down and index not in self.partitioned
+
+    def partition_shard(self, index: int) -> None:
+        """Cut the router's network path to one shard (a *dark* shard).
+
+        The shard itself stays healthy — peers keep their state, the
+        orderer keeps its queue — but no new traffic can reach it, so
+        routed submissions and 2PC prepares against it fail fast.
+        Needs no durable storage: nothing is lost, only unreachable.
+        """
+        self.partitioned.add(index)
+
+    def heal_shard_partition(self, index: int) -> None:
+        """Restore the router's path; the shard resumes where it was."""
+        self.partitioned.discard(index)
 
     def crash_shard(self, index: int) -> None:
         """Power-cut one shard: orderer and every peer lose all memory.
@@ -251,17 +277,17 @@ class ShardedNetwork:
     def queue_depth(self) -> int:
         """Transactions queued at live shards' orderers, summed — the
         deployment-wide back-pressure signal admission control watches
-        (crashed shards hold no admittable queue)."""
+        (crashed or dark shards hold no admittable queue)."""
         return sum(
             network.queue_depth()
             for index, network in enumerate(self.shards)
-            if index not in self.down
+            if self.shard_reachable(index)
         )
 
     def queue_depths(self) -> list[int]:
-        """Per-shard orderer queue depths (crashed shards report 0)."""
+        """Per-shard orderer queue depths (unreachable shards report 0)."""
         return [
-            0 if index in self.down else network.queue_depth()
+            network.queue_depth() if self.shard_reachable(index) else 0
             for index, network in enumerate(self.shards)
         ]
 
@@ -281,6 +307,7 @@ class ShardedNetwork:
                     "orderer_queue_peak": network.orderer_queue_peak,
                     "mvcc_retries": network.mvcc_retries,
                     "down": index in self.down,
+                    "partitioned": index in self.partitioned,
                 }
             )
         return stats

@@ -74,7 +74,9 @@ def _config(backend: str, plan: FaultPlan | None = None) -> NetworkConfig:
         real_signatures=False,
         batch_timeout_ms=50.0,
         orderer_backend=backend,
-        fault_plan=plan.to_json() if plan is not None else None,
+        # "off" pins the no-plan legs fault-free: the byte-identity
+        # fingerprints must not absorb an ambient REPRO_FAULT_PLAN.
+        fault_plan=plan.to_json() if plan is not None else "off",
     )
 
 

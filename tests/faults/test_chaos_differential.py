@@ -92,12 +92,14 @@ def rearm(monkeypatch):
 
 
 def _config(plan: FaultPlan | None) -> NetworkConfig:
+    # ``"off"`` (not None) for the clean leg: it must stay fault-free
+    # even when CI exports an ambient REPRO_FAULT_PLAN.
     return NetworkConfig(
         latency=SINGLE_REGION,
         real_signatures=False,
         batch_timeout_ms=50.0,
         use_raft=True,
-        fault_plan=plan.to_json() if plan is not None else None,
+        fault_plan=plan.to_json() if plan is not None else "off",
     )
 
 

@@ -58,7 +58,9 @@ def _network(plan=None, **overrides):
         batch_timeout_ms=50.0,
         storage_backend="memory",
         snapshot_interval_blocks=3,
-        fault_plan=plan.to_json() if plan is not None else None,
+        # "off" keeps the hand-tampered durability checks deterministic
+        # even when an ambient REPRO_FAULT_PLAN is exported.
+        fault_plan=plan.to_json() if plan is not None else "off",
         **overrides,
     )
     network = FabricNetwork(Environment(), config)

@@ -1,0 +1,283 @@
+"""Phi-accrual failure detection: the math, and the detector vs ground truth.
+
+Unit tests pin the detector's shape — phi rises continuously with
+silence, the bootstrap estimate avoids first-gap convictions, suspected
+nodes' partition gaps never pollute their healthy-cadence history — and
+integration tests run a :class:`HeartbeatMonitor` over injected
+partitions and gray slowdowns, then let
+:meth:`InvariantMonitor.assert_detection` hold the suspicion-transition
+log against the injector's ground-truth fault windows: bounded
+detection latency, zero false convictions, clean slate after heal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_network
+from repro.errors import InvariantViolationError
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.faults import (
+    DegradationSpec,
+    FaultPlan,
+    HeartbeatMonitor,
+    InvariantMonitor,
+    PartitionSpec,
+    PhiAccrualDetector,
+)
+
+# --------------------------------------------------------------------------
+# The pure math.
+# --------------------------------------------------------------------------
+
+
+def test_phi_rises_continuously_with_silence():
+    detector = PhiAccrualDetector(threshold=8.0, min_std_ms=10.0)
+    for t in range(0, 1_001, 100):
+        detector.observe("n", float(t))
+    # Just heard from: no suspicion.  Slightly overdue: some suspicion.
+    # Far overdue: convicted.  Silent forever: capped, still finite.
+    assert detector.phi("n", 1_050.0) < 1.0
+    assert 1.0 < detector.phi("n", 1_130.0) < 8.0
+    assert detector.phi("n", 1_160.0) >= 8.0
+    assert detector.phi("n", 100_000.0) == 15.0
+    # Monotone in elapsed time.
+    values = [detector.phi("n", 1_000.0 + dt) for dt in range(0, 300, 10)]
+    assert values == sorted(values)
+
+
+def test_bootstrap_estimate_prevents_first_gap_conviction():
+    detector = PhiAccrualDetector(threshold=8.0, first_estimate_ms=500.0)
+    detector.observe("n", 0.0)
+    # One beat, no history: the conservative prior keeps phi low for a
+    # plausible first gap, but a node silent for many multiples of the
+    # estimate is still eventually convicted.
+    assert detector.phi("n", 400.0) < 8.0
+    assert detector.phi("n", 5_000.0) >= 8.0
+
+
+def test_unknown_node_has_zero_suspicion():
+    detector = PhiAccrualDetector()
+    assert detector.phi("ghost", 1_000.0) == 0.0
+    assert detector.suspicion_levels(1_000.0) == {}
+
+
+def test_sample_records_each_suspicion_flip_once():
+    detector = PhiAccrualDetector(threshold=8.0, min_std_ms=10.0)
+    for t in range(0, 501, 100):
+        detector.observe("n", float(t))
+    assert detector.sample(550.0) == set()
+    assert detector.sample(900.0) == {"n"}
+    assert detector.sample(1_000.0) == {"n"}  # still suspected: no new flip
+    detector.observe("n", 1_100.0)
+    assert detector.sample(1_150.0) == set()
+    assert detector.transitions == [("n", 900.0, True), ("n", 1_150.0, False)]
+
+
+def test_partition_gap_does_not_pollute_interarrival_history():
+    """The silence of a fault is a fault, not a new normal: folding a
+    1.5 s partition gap into the history would both desensitise the
+    detector and convict the healed node of its old gap."""
+    detector = PhiAccrualDetector(threshold=8.0, min_std_ms=10.0)
+    for t in range(0, 501, 100):
+        detector.observe("n", float(t))
+    history_before = list(detector._history["n"])
+    detector.sample(900.0)  # convicted during the gap
+    detector.observe("n", 2_000.0)  # first beat after the partition heals
+    assert list(detector._history["n"]) == history_before  # gap not learned
+    detector.sample(2_050.0)
+    assert detector.suspects() == set()
+    # Healthy cadence resumes feeding the model.
+    detector.observe("n", 2_100.0)
+    assert list(detector._history["n"]) == history_before + [100.0]
+    # And the healed node is judged by its healthy model again: a
+    # normal inter-beat wait stays unconvicted.
+    assert detector.phi("n", 2_150.0) < 1.0
+
+
+# --------------------------------------------------------------------------
+# Detector vs injected ground truth, end to end.
+# --------------------------------------------------------------------------
+
+
+def _network(plan: FaultPlan, peer_count: int = 3):
+    return build_network(
+        NetworkConfig(
+            latency=SINGLE_REGION,
+            real_signatures=False,
+            batch_timeout_ms=50.0,
+            peer_count=peer_count,
+            fault_plan=plan.to_json(),
+        )
+    )
+
+
+def test_partitioned_peer_is_convicted_within_bound_and_cleared():
+    plan = FaultPlan(
+        seed=6,
+        partitions=(
+            PartitionSpec(at_ms=500.0, for_ms=1_000.0, groups=(("peer:1",),)),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    heartbeats = HeartbeatMonitor(network, interval_ms=100.0)
+    env = network.env
+
+    env.run(until=2_500.0)
+    network.faults.heal()
+    env.run(until=3_000.0)  # settle: beats resume, suspicion drains
+    heartbeats.stop()
+
+    assert heartbeats.heartbeats_lost > 0
+    convicted = {n for n, _at, suspected in heartbeats.detector.transitions if suspected}
+    assert convicted == {"peer:1"}  # nobody else ever suspected
+    monitor.assert_detection(heartbeats, max_detection_ms=500.0)
+    assert heartbeats.detector.suspects() == set()
+
+
+def test_gray_slow_node_is_a_legitimate_conviction():
+    """A 20x-slow node stops beating on time without being partitioned:
+    the conviction is correct (it falls inside the degradation's ground
+    truth window), not a false positive."""
+    plan = FaultPlan(
+        seed=8,
+        degradations=(
+            DegradationSpec(
+                kind="slow_node",
+                at_ms=500.0,
+                for_ms=2_000.0,
+                node="peer:1",
+                factor=20.0,
+            ),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    heartbeats = HeartbeatMonitor(network, interval_ms=100.0)
+    env = network.env
+
+    env.run(until=3_000.0)
+    network.faults.heal()
+    env.run(until=3_500.0)
+    heartbeats.stop()
+
+    convicted = {n for n, _at, suspected in heartbeats.detector.transitions if suspected}
+    assert convicted == {"peer:1"}
+    monitor.assert_detection(heartbeats, max_detection_ms=600.0)
+    assert heartbeats.detector.suspects() == set()
+
+
+def test_mute_node_is_detected_while_still_committing():
+    """The asymmetric case the ledger invariants cannot see: the node
+    receives and commits everything, but its egress is dead — only the
+    heartbeat path notices."""
+    plan = FaultPlan(
+        seed=10,
+        partitions=(
+            PartitionSpec(
+                at_ms=400.0,
+                for_ms=1_200.0,
+                groups=(("peer:2",),),
+                symmetric=False,
+            ),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    heartbeats = HeartbeatMonitor(network, interval_ms=100.0)
+    env = network.env
+    user = network.register_user("alice")
+
+    env.run(until=500.0)
+    notice = network.invoke_sync(
+        user, "supply", "create_item", {"item": "x", "owner": "W1"}
+    )
+    assert notice.code.value == "valid"
+    # The mute peer committed the block the moment it was delivered.
+    assert network.peers[2].chain.height == network.reference_peer.chain.height
+
+    env.run(until=2_200.0)
+    network.faults.heal()
+    env.run(until=2_700.0)
+    heartbeats.stop()
+
+    convicted = {n for n, _at, suspected in heartbeats.detector.transitions if suspected}
+    assert convicted == {"peer:2"}
+    monitor.assert_detection(heartbeats, max_detection_ms=500.0)
+    monitor.check()
+
+
+def test_assert_detection_flags_a_false_conviction():
+    """A conviction outside every ground-truth window must fail the
+    invariant — the check is not vacuously green."""
+    plan = FaultPlan(
+        seed=12,
+        partitions=(
+            PartitionSpec(at_ms=500.0, for_ms=800.0, groups=(("peer:1",),)),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    heartbeats = HeartbeatMonitor(network, interval_ms=100.0)
+    network.env.run(until=2_000.0)
+    heartbeats.stop()
+    # Forge a conviction of a node that was never faulted.
+    heartbeats.detector.transitions.append(("peer:0", 700.0, True))
+    with pytest.raises(InvariantViolationError, match="false conviction"):
+        monitor.assert_detection(heartbeats, max_detection_ms=500.0)
+
+
+def test_assert_detection_flags_a_missed_partition():
+    """A long unreachable window with no conviction inside the latency
+    bound must fail the invariant."""
+    plan = FaultPlan(
+        seed=14,
+        partitions=(
+            PartitionSpec(at_ms=500.0, for_ms=1_000.0, groups=(("peer:1",),)),
+        ),
+    )
+    network = _network(plan)
+    monitor = InvariantMonitor(network)
+    heartbeats = HeartbeatMonitor(network, interval_ms=100.0)
+    network.env.run(until=2_000.0)
+    heartbeats.stop()
+    heartbeats.detector.transitions.clear()  # the detector "slept"
+    with pytest.raises(InvariantViolationError, match="not suspected within"):
+        monitor.assert_detection(heartbeats, max_detection_ms=500.0)
+
+
+def test_monitored_node_set_includes_consensus_replicas():
+    plan = FaultPlan(
+        seed=16,
+        partitions=(
+            PartitionSpec(at_ms=400.0, for_ms=1_000.0, groups=(("orderer:2",),)),
+        ),
+    )
+    network = build_network(
+        NetworkConfig(
+            latency=SINGLE_REGION,
+            real_signatures=False,
+            batch_timeout_ms=50.0,
+            peer_count=2,
+            use_raft=True,
+            fault_plan=plan.to_json(),
+        )
+    )
+    monitor = InvariantMonitor(network)
+    heartbeats = HeartbeatMonitor(network, interval_ms=100.0)
+    assert set(heartbeats.nodes) == {
+        "peer:0",
+        "peer:1",
+        "orderer:0",
+        "orderer:1",
+        "orderer:2",
+    }
+    env = network.env
+    env.run(until=2_000.0)
+    network.faults.heal()
+    env.run(until=2_500.0)
+    heartbeats.stop()
+    convicted = {n for n, _at, suspected in heartbeats.detector.transitions if suspected}
+    assert convicted == {"orderer:2"}
+    monitor.assert_detection(heartbeats, max_detection_ms=500.0)

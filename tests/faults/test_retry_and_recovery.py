@@ -27,11 +27,18 @@ RETRY = RetryPolicy(timeout_ms=1_000.0, backoff_ms=50.0, jitter_ms=10.0)
 
 
 def _network(plan=None, **config_overrides):
+    # plan="off" pins the network fault-free even under an ambient
+    # REPRO_FAULT_PLAN; plan=None leaves the ambient pickup in place
+    # (the env-var attachment tests below depend on it).
+    if plan == "off":
+        fault_plan = "off"
+    else:
+        fault_plan = plan.to_json() if plan is not None else None
     config = NetworkConfig(
         latency=SINGLE_REGION,
         real_signatures=False,
         batch_timeout_ms=50.0,
-        fault_plan=plan.to_json() if plan is not None else None,
+        fault_plan=fault_plan,
         **config_overrides,
     )
     return build_network(config)
@@ -184,7 +191,7 @@ def test_crash_leader_mid_run_with_raft():
 
 
 def test_recover_peer_rebuilds_identical_state():
-    network = _network()
+    network = _network("off")
     user = network.register_user("u")
     _invoke_items(network, user, 5)
     peer = network.peers[1]

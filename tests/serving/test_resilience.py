@@ -1,0 +1,252 @@
+"""Circuit breakers and hedged queries: the degrade-gracefully tier.
+
+The breaker tests drive the closed/open/half-open state machine on a
+bare simulation clock (the breaker reads nothing but ``env.now``); the
+hedging tests run real view queries against a built network under
+gray-slowdown and partition plans, pinning the tail-cutting win, the
+exactly-once response guarantee, and the end-to-end deadline budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_network
+from repro.errors import FaultInjectionError, WorkloadError
+from repro.fabric.config import SINGLE_REGION, NetworkConfig
+from repro.faults import DegradationSpec, FaultPlan, PartitionSpec
+from repro.serving import BreakerConfig, CircuitBreaker, HedgedQueryClient
+from repro.sim import Environment
+
+# --------------------------------------------------------------------------
+# Circuit breaker state machine.
+# --------------------------------------------------------------------------
+
+
+def _breaker(env, **overrides):
+    defaults = dict(
+        failure_threshold=3,
+        reset_timeout_ms=100.0,
+        backoff_factor=2.0,
+        max_reset_timeout_ms=400.0,
+        jitter_ms=0.0,
+    )
+    defaults.update(overrides)
+    return CircuitBreaker(env, BreakerConfig(**defaults), seed=3, name="s0")
+
+
+class TestCircuitBreaker:
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(WorkloadError, match="reset_timeout_ms"):
+            BreakerConfig(reset_timeout_ms=0.0)
+        with pytest.raises(WorkloadError, match="backoff_factor"):
+            BreakerConfig(backoff_factor=0.5)
+        with pytest.raises(WorkloadError, match="max_reset_timeout_ms"):
+            BreakerConfig(reset_timeout_ms=500.0, max_reset_timeout_ms=100.0)
+        with pytest.raises(WorkloadError, match="jitter_ms"):
+            BreakerConfig(jitter_ms=-1.0)
+
+    def test_trips_only_on_consecutive_failures(self):
+        breaker = _breaker(Environment())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the consecutive count
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats["opens"] == 1 and breaker.stats["rejected"] == 1
+
+    def test_probe_after_backoff_closes_on_success(self):
+        env = Environment()
+        breaker = _breaker(env)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()  # still inside the 100ms window
+        env.run(until=100.0)
+        assert breaker.allow()  # this caller becomes the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # others rejected while the probe flies
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.stats == {
+            "opens": 1,
+            "probes": 1,
+            "rejected": 2,
+            "closes": 1,
+        }
+
+    def test_failed_probe_reopens_with_exponential_backoff_capped(self):
+        env = Environment()
+        breaker = _breaker(env)  # windows: 100, 200, 400, capped at 400
+        opened_at = []
+        for expected_window in (100.0, 200.0, 400.0, 400.0):
+            for _ in range(3 if breaker.state == "closed" else 1):
+                breaker.record_failure()
+            assert breaker.state == "open"
+            opened_at.append(breaker._retry_at - env.now)
+            assert opened_at[-1] == expected_window
+            env.run(until=breaker._retry_at)
+            assert breaker.allow()  # probe ...
+        breaker.record_success()  # ... finally lands
+        assert breaker.state == "closed"
+        # The streak reset: the next trip starts back at the base window.
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker._retry_at - env.now == 100.0
+
+    def test_probe_jitter_is_seeded_and_replayable(self):
+        def trip(seed):
+            env = Environment()
+            breaker = CircuitBreaker(
+                env, BreakerConfig(jitter_ms=50.0), seed=seed, name="shard-1"
+            )
+            for _ in range(3):
+                breaker.record_failure()
+            return breaker._retry_at
+
+        assert trip(7) == trip(7)  # same seed, same probe time
+        assert trip(7) != trip(8)  # jitter actually draws from the seed
+
+
+# --------------------------------------------------------------------------
+# Hedged queries.
+# --------------------------------------------------------------------------
+
+
+def _network(plan: FaultPlan | None = None, peer_count: int = 3):
+    network = build_network(
+        NetworkConfig(
+            latency=SINGLE_REGION,
+            real_signatures=False,
+            batch_timeout_ms=20.0,
+            peer_count=peer_count,
+            fault_plan=plan.to_json() if plan is not None else "off",
+        )
+    )
+    user = network.register_user("alice")
+    notice = network.invoke_sync(
+        user, "supply", "create_item", {"item": "widget", "owner": "W1"}
+    )
+    assert notice.code.value == "valid"
+    return network
+
+
+class TestHedgedQueries:
+    def test_validation(self):
+        network = _network()
+        with pytest.raises(WorkloadError, match="hedge_percentile"):
+            HedgedQueryClient(network, hedge_percentile=0.0)
+        with pytest.raises(WorkloadError, match="deadline_budget_ms"):
+            HedgedQueryClient(network, deadline_budget_ms=-1.0)
+
+    def test_healthy_query_never_hedges(self):
+        network = _network()
+        client = HedgedQueryClient(network)
+        outcome = client.query("supply", "get_item", {"item": "widget"})
+        assert outcome.result["holder"] == "W1"
+        assert outcome.hedged is False and outcome.peer == 0
+        rtt = 2 * network.config.latency.client_to_peer + client.query_service_ms
+        assert outcome.latency_ms == pytest.approx(rtt)
+        assert client.stats["hedged"] == 0
+        assert client.stats["primary_wins"] == 1
+
+    def test_gray_slow_primary_is_hedged_and_loser_cancelled(self):
+        plan = FaultPlan(
+            seed=5,
+            degradations=(
+                DegradationSpec(
+                    kind="slow_node",
+                    at_ms=1.0,
+                    for_ms=60_000.0,
+                    node="peer:0",
+                    factor=100.0,
+                ),
+            ),
+        )
+        network = _network(plan)
+        env = network.env
+        env.run(until=env.now + 10.0)  # inside the degradation window
+        client = HedgedQueryClient(network)
+        outcome = client.query("supply", "get_item", {"item": "widget"})
+        # The hedge to the healthy replica won; the 100x-slow primary's
+        # response arrives later and is discarded at the client.
+        assert outcome.hedged is True and outcome.peer == 1
+        assert outcome.result["holder"] == "W1"
+        rtt = 2 * SINGLE_REGION.client_to_peer + client.query_service_ms
+        assert outcome.latency_ms == pytest.approx(4.0 * rtt + rtt)
+        assert client.stats["hedge_wins"] == 1
+        assert client.stats["cancelled"] == 0  # the loser is still in flight
+        env.run(until=env.now + 300.0)
+        assert client.stats["cancelled"] == 1  # exactly-once: discarded late
+
+    def test_hedging_disabled_waits_out_the_slow_primary(self):
+        plan = FaultPlan(
+            seed=5,
+            degradations=(
+                DegradationSpec(
+                    kind="slow_node",
+                    at_ms=1.0,
+                    for_ms=60_000.0,
+                    node="peer:0",
+                    factor=100.0,
+                ),
+            ),
+        )
+        network = _network(plan)
+        network.env.run(until=network.env.now + 10.0)
+        client = HedgedQueryClient(network, hedging_enabled=False)
+        outcome = client.query("supply", "get_item", {"item": "widget"})
+        assert outcome.hedged is False and outcome.peer == 0
+        assert outcome.latency_ms == pytest.approx(
+            2 * SINGLE_REGION.client_to_peer + 100.0
+        )
+        assert client.stats["hedged"] == 0
+
+    def test_hedge_delay_adapts_to_observed_latencies(self):
+        network = _network()
+        client = HedgedQueryClient(network, hedge_percentile=0.95)
+        floor = client.hedge_delay_ms()
+        rtt = 2 * network.config.latency.client_to_peer + client.query_service_ms
+        assert floor == pytest.approx(4.0 * rtt)  # bootstrap: 4x healthy RTT
+        for _ in range(8):
+            client.query("supply", "get_item", {"item": "widget"})
+        # With history, the deadline tracks the actual p95, far below
+        # the conservative floor.
+        assert client.hedge_delay_ms() == pytest.approx(rtt)
+        assert client.hedge_delay_ms() < floor
+
+    def test_round_robin_rotates_the_primary(self):
+        network = _network()
+        client = HedgedQueryClient(network)
+        peers = [
+            client.query("supply", "get_item", {"item": "widget"}).peer
+            for _ in range(4)
+        ]
+        assert peers == [0, 1, 2, 0]
+
+    def test_deadline_budget_bounds_a_fully_partitioned_fanout(self):
+        plan = FaultPlan(
+            seed=9,
+            partitions=(
+                PartitionSpec(
+                    at_ms=100.0,
+                    for_ms=60_000.0,
+                    groups=(("peer:0", "peer:1", "peer:2"),),
+                ),
+            ),
+        )
+        network = _network(plan)
+        env = network.env
+        env.run(until=200.0)  # all peers now unreachable from the client
+        client = HedgedQueryClient(network, deadline_budget_ms=500.0)
+        started = env.now
+        with pytest.raises(FaultInjectionError, match="deadline budget"):
+            client.query("supply", "get_item", {"item": "widget"})
+        assert env.now == pytest.approx(started + 500.0)
+        assert client.stats["deadline_expired"] == 1
+        assert client.stats["lost"] == 3  # every leg swallowed by the cut

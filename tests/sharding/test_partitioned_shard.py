@@ -1,0 +1,250 @@
+"""One dark shard, everything else keeps serving.
+
+A network partition is not a crash: the shard keeps its memory and its
+ledger, it is simply unreachable from the router.  These tests pin the
+routing refusals, the presumed-abort fast path for cross-shard
+transactions touching the dark shard, coordinator failover off a dark
+ring placement, and the per-shard circuit breakers that shed traffic at
+the gateway instead of burning retry budget against the partition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CircuitOpenError, FaultInjectionError, TwoPhaseCommitError
+from repro.fabric.config import NetworkConfig
+from repro.fabric.peer import ValidationCode
+from repro.serving import BreakerConfig, ResilientShardedTarget
+from repro.serving.gateway import ServingRequest
+from repro.sharding import (
+    CrossShardWrite,
+    ShardedGateway,
+    ShardedNetwork,
+    TwoPhaseCoordinator,
+)
+from repro.sharding.crossshard import SHARD_CHAINCODE
+from repro.workload.zipf import CounterContract
+
+
+def _deployment(shards=3):
+    sharded = ShardedNetwork(
+        config=NetworkConfig(
+            real_signatures=False,
+            batch_timeout_ms=20.0,
+            storage_backend="memory",
+        ),
+        shard_count=shards,
+    )
+    for network in sharded.shards:
+        network.install_chaincode(CounterContract())
+    gateway = ShardedGateway(sharded, "client")
+    return sharded, gateway
+
+
+def _key_on(sharded, shard, tag="k"):
+    """A routing key whose home is the given shard."""
+    for i in range(10_000):
+        key = f"{tag}-{i}"
+        if sharded.shard_index(key) == shard:
+            return key
+    raise AssertionError(f"no key found for shard {shard}")
+
+
+def _record_on(sharded, shard, xid):
+    return sharded.shards[shard].query(
+        SHARD_CHAINCODE, "get_record", {"xid": xid}
+    )
+
+
+class TestRouting:
+    def test_partitioned_shard_refuses_traffic_with_state_intact(self):
+        sharded, gateway = _deployment()
+        key = _key_on(sharded, 1)
+        notice = gateway.invoke(key, "counter", "bump", {"key": key, "amount": 4})
+        assert notice.code is ValidationCode.VALID
+
+        sharded.partition_shard(1)
+        assert not sharded.shard_reachable(1)
+        assert sharded.per_shard_stats()[1]["partitioned"] is True
+        with pytest.raises(FaultInjectionError, match="partitioned"):
+            gateway.invoke(key, "counter", "bump", {"key": key, "amount": 1})
+
+        # Heal: no recovery dance — the shard never lost anything.
+        sharded.heal_shard_partition(1)
+        assert sharded.shard_reachable(1)
+        assert sharded.shards[1].query("counter", "get", {"key": key}) == 4
+        post = gateway.invoke(key, "counter", "bump", {"key": key, "amount": 1})
+        assert post.code is ValidationCode.VALID
+        assert sharded.shards[1].query("counter", "get", {"key": key}) == 5
+
+    def test_live_shards_keep_committing_around_the_dark_one(self):
+        sharded, gateway = _deployment()
+        sharded.partition_shard(1)
+        for shard in (0, 2):
+            key = _key_on(sharded, shard, tag="live")
+            notice = gateway.invoke(key, "counter", "bump", {"key": key, "amount": 1})
+            assert notice.code is ValidationCode.VALID
+        assert 1 in sharded.partitioned  # still dark the whole time
+
+
+class TestCrossShardPresumedAbort:
+    def test_transaction_touching_dark_shard_aborts_before_phase_one(self):
+        sharded, gateway = _deployment()
+        coordinator = TwoPhaseCoordinator(sharded, gateway)
+        sharded.partition_shard(1)
+
+        writes = [
+            CrossShardWrite(shard=0, lock_key="pa", payload={"v": 1}),
+            CrossShardWrite(shard=1, lock_key="pa", payload={"v": 1}),
+        ]
+        result = coordinator.execute_sync(writes)
+
+        assert not result.committed
+        assert result.refused == [1]
+        assert coordinator.stats["presumed_aborts"] == 1
+        # No prepare ever flew: the dark shard holds no lock to strand,
+        # and the live shard applied nothing.
+        assert coordinator.stats["prepares"] == 0
+        coordinator.verify_atomicity(result)
+        assert _record_on(sharded, 0, result.xid) is None
+        sharded.heal_shard_partition(1)
+        assert _record_on(sharded, 1, result.xid) is None
+
+        # The lock key is free on the live shard: a post-heal retry of
+        # the same writes commits cleanly.
+        retry = coordinator.execute_sync(writes)
+        assert retry.committed
+        coordinator.verify_atomicity(retry)
+        sharded.verify_convergence()
+
+    def test_cross_shard_between_live_shards_unaffected(self):
+        sharded, gateway = _deployment()
+        coordinator = TwoPhaseCoordinator(sharded, gateway)
+        sharded.partition_shard(1)
+        result = coordinator.execute_sync(
+            [
+                CrossShardWrite(shard=0, lock_key="ok", payload={"v": 2}),
+                CrossShardWrite(shard=2, lock_key="ok", payload={"v": 2}),
+            ]
+        )
+        assert result.committed
+        coordinator.verify_atomicity(result)
+        assert coordinator.stats["presumed_aborts"] == 0
+
+    def test_coordinator_fails_over_off_a_dark_ring_placement(self):
+        sharded, gateway = _deployment()
+        coordinator = TwoPhaseCoordinator(sharded, gateway)
+        dark = 1
+        # An xid whose coordinator records the ring would place on the
+        # dark shard.
+        xid = next(
+            f"xs-{i:08d}"
+            for i in range(10_000)
+            if sharded.coordinator_shard_for(f"xs-{i:08d}") == dark
+        )
+        sharded.partition_shard(dark)
+        result = coordinator.execute_sync(
+            [
+                CrossShardWrite(shard=0, lock_key="fo", payload={"v": 3}),
+                CrossShardWrite(shard=2, lock_key="fo", payload={"v": 3}),
+            ],
+            xid=xid,
+        )
+        assert result.committed
+        assert result.coordinator_shard != dark
+        assert sharded.shard_reachable(result.coordinator_shard)
+        coordinator.verify_atomicity(result)
+
+    def test_every_shard_dark_cannot_coordinate(self):
+        sharded, gateway = _deployment()
+        coordinator = TwoPhaseCoordinator(sharded, gateway)
+        for shard in range(sharded.shard_count):
+            sharded.partition_shard(shard)
+        with pytest.raises(TwoPhaseCommitError, match="no reachable shard"):
+            coordinator.execute_sync(
+                [
+                    CrossShardWrite(shard=0, lock_key="x", payload={}),
+                    CrossShardWrite(shard=1, lock_key="x", payload={}),
+                ]
+            )
+
+
+class TestResilientShardedTarget:
+    def _request(self, index, key):
+        return ServingRequest(
+            index=index,
+            session=0,
+            kind="invoke",
+            payload={
+                "key": key,
+                "chaincode": "counter",
+                "fn": "bump",
+                "args": {"key": key, "amount": 1},
+            },
+        )
+
+    def _dispatch(self, sharded, target, requests):
+        event = target.dispatch(requests)
+        return sharded.env.run(until=event)
+
+    def test_breaker_sheds_dark_shard_traffic_then_probes_closed(self):
+        sharded, gateway = _deployment()
+        target = ResilientShardedTarget(
+            gateway,
+            BreakerConfig(
+                failure_threshold=2, reset_timeout_ms=200.0, jitter_ms=0.0
+            ),
+        )
+        dark_key = _key_on(sharded, 1, tag="dk")
+        live_key = _key_on(sharded, 0, tag="lk")
+        sharded.partition_shard(1)
+
+        # Two routing failures trip the shard's breaker; the request to
+        # the live shard riding in the same batches is untouched.
+        slots = self._dispatch(
+            sharded,
+            target,
+            [self._request(0, dark_key), self._request(1, live_key)],
+        )
+        assert slots[0][0] == "aborted"
+        assert isinstance(slots[0][1], FaultInjectionError)
+        assert slots[1][0] == "committed"
+        slots = self._dispatch(sharded, target, [self._request(2, dark_key)])
+        assert slots[0][0] == "aborted"
+        breaker = target.breaker_for(dark_key)
+        assert breaker.state == "open"
+
+        # While open, dark-shard requests are shed at the gateway
+        # without touching the network.
+        slots = self._dispatch(sharded, target, [self._request(3, dark_key)])
+        assert slots[0][0] == "shed"
+        assert isinstance(slots[0][1], CircuitOpenError)
+        assert breaker.stats["rejected"] == 1
+
+        # Heal, wait out the backoff window: the next request is the
+        # probe, it commits, and the breaker closes for good.
+        sharded.heal_shard_partition(1)
+        sharded.run(until=sharded.env.now + 250.0)
+        slots = self._dispatch(sharded, target, [self._request(4, dark_key)])
+        assert slots[0][0] == "committed"
+        assert breaker.state == "closed"
+        assert breaker.stats["opens"] == 1
+        assert breaker.stats["probes"] == 1
+        assert breaker.stats["closes"] == 1
+        assert sharded.shards[1].query("counter", "get", {"key": dark_key}) == 1
+
+    def test_live_shard_breakers_stay_closed_throughout(self):
+        sharded, gateway = _deployment()
+        target = ResilientShardedTarget(
+            gateway, BreakerConfig(failure_threshold=1, jitter_ms=0.0)
+        )
+        sharded.partition_shard(2)
+        keys = [_key_on(sharded, 0, "a"), _key_on(sharded, 1, "b")]
+        slots = self._dispatch(
+            sharded,
+            target,
+            [self._request(i, key) for i, key in enumerate(keys)],
+        )
+        assert [s[0] for s in slots] == ["committed", "committed"]
+        assert [b.state for b in target.breakers] == ["closed", "closed", "closed"]
